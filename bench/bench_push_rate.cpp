@@ -1,0 +1,127 @@
+// T1 — per-node particle-advance performance table: particles advanced per
+// second, sustained Gflop/s (s.p.) using the counted flops/particle, for a
+// sorted uniform plasma at several grid sizes and particle densities.
+// Google-benchmark microkernel timing of VPIC's inner loop plus its
+// supporting kernels (interpolator load, accumulator unload, sort).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "particles/loader.hpp"
+#include "particles/push.hpp"
+#include "perf/costs.hpp"
+#include "util/rng.hpp"
+
+using namespace minivpic;
+using namespace minivpic::particles;
+
+namespace {
+
+struct PushFixture {
+  PushFixture(int cells, int ppc)
+      : grid(make_grid(cells)),
+        fields(grid),
+        interp(grid),
+        acc(grid),
+        pusher(grid, periodic_particles()),
+        sp("e", -1.0, 1.0) {
+    for (int k = 0; k <= cells + 1; ++k)
+      for (int j = 0; j <= cells + 1; ++j)
+        for (int i = 0; i <= cells + 1; ++i) {
+          fields.ey(i, j, k) = 0.01f * float(std::sin(0.3 * i));
+          fields.cbz(i, j, k) = 0.02f * float(std::cos(0.2 * j));
+        }
+    interp.load(fields);
+    LoadConfig cfg;
+    cfg.ppc = ppc;
+    cfg.uth = 0.05;
+    load_uniform(sp, grid, cfg);
+    sp.sort(grid);
+  }
+
+  static grid::GlobalGrid make_grid(int cells) {
+    grid::GlobalGrid g;
+    g.nx = g.ny = g.nz = cells;
+    g.dx = g.dy = g.dz = 0.5;
+    return g;
+  }
+
+  grid::LocalGrid grid;
+  grid::FieldArray fields;
+  InterpolatorArray interp;
+  AccumulatorArray acc;
+  Pusher pusher;
+  Species sp;
+};
+
+void BM_ParticleAdvance(benchmark::State& state) {
+  PushFixture fx(int(state.range(0)), int(state.range(1)));
+  std::int64_t pushed = 0;
+  for (auto _ : state) {
+    fx.acc.clear();
+    const auto res = fx.pusher.advance(fx.sp, fx.interp, fx.acc);
+    pushed += res.pushed;
+    benchmark::DoNotOptimize(res.pushed);
+  }
+  state.counters["particles/s"] =
+      benchmark::Counter(double(pushed), benchmark::Counter::kIsRate);
+  state.counters["Gflop/s(sp)"] = benchmark::Counter(
+      double(pushed) * perf::KernelCosts::push_flops_per_particle() / 1e9,
+      benchmark::Counter::kIsRate);
+  state.counters["flops/particle"] =
+      perf::KernelCosts::push_flops_per_particle();
+}
+BENCHMARK(BM_ParticleAdvance)
+    ->Args({16, 16})
+    ->Args({16, 64})
+    ->Args({32, 16})
+    ->Args({32, 64})
+    ->Args({32, 256})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InterpolatorLoad(benchmark::State& state) {
+  PushFixture fx(int(state.range(0)), 1);
+  for (auto _ : state) {
+    fx.interp.load(fx.fields);
+    benchmark::DoNotOptimize(fx.interp.data());
+  }
+  state.counters["voxels/s"] = benchmark::Counter(
+      double(state.iterations()) * double(fx.grid.num_cells()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpolatorLoad)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_AccumulatorUnload(benchmark::State& state) {
+  PushFixture fx(int(state.range(0)), 1);
+  for (auto _ : state) {
+    fx.acc.unload(fx.fields);
+    benchmark::DoNotOptimize(fx.fields.jfx_span().data());
+  }
+  state.counters["voxels/s"] = benchmark::Counter(
+      double(state.iterations()) * double(fx.grid.num_cells()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AccumulatorUnload)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_CountingSort(benchmark::State& state) {
+  PushFixture fx(16, int(state.range(0)));
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Shuffle so the sort has real work (post-push disorder is mild).
+    for (std::size_t n = fx.sp.size(); n > 1; --n) {
+      const auto m = std::size_t(rng.uniform_u64(n));
+      std::swap(fx.sp[n - 1], fx.sp[m]);
+    }
+    state.ResumeTiming();
+    fx.sp.sort(fx.grid);
+  }
+  state.counters["particles/s"] = benchmark::Counter(
+      double(state.iterations()) * double(fx.sp.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CountingSort)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// A1 — ablation: the particle sort. VPIC periodically counting-sorts
+// particles by cell so the inner loop streams the interpolator and
+// accumulator arrays instead of thrashing them. Compares the push on a
+// sorted list against the same particles in shuffled (worst-case) order,
+// and shows the sort's own cost for amortization.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "particles/loader.hpp"
+#include "particles/push.hpp"
+#include "util/rng.hpp"
+
+using namespace minivpic;
+using namespace minivpic::particles;
+
+namespace {
+
+grid::GlobalGrid make_grid(int cells) {
+  grid::GlobalGrid g;
+  g.nx = g.ny = g.nz = cells;
+  g.dx = g.dy = g.dz = 0.5;
+  return g;
+}
+
+struct Fixture {
+  Fixture(int cells, int ppc, bool shuffled)
+      : grid(make_grid(cells)),
+        fields(grid),
+        interp(grid),
+        acc(grid),
+        pusher(grid, periodic_particles()),
+        sp("e", -1.0, 1.0) {
+    for (int k = 0; k <= cells + 1; ++k)
+      for (int j = 0; j <= cells + 1; ++j)
+        for (int i = 0; i <= cells + 1; ++i)
+          fields.ey(i, j, k) = 0.01f * float(std::sin(0.3 * i));
+    interp.load(fields);
+    LoadConfig cfg;
+    cfg.ppc = ppc;
+    cfg.uth = 0.05;
+    load_uniform(sp, grid, cfg);
+    if (shuffled) {
+      Rng rng(11);
+      for (std::size_t n = sp.size(); n > 1; --n)
+        std::swap(sp[n - 1], sp[std::size_t(rng.uniform_u64(n))]);
+    } else {
+      sp.sort(grid);
+    }
+  }
+
+  grid::LocalGrid grid;
+  grid::FieldArray fields;
+  InterpolatorArray interp;
+  AccumulatorArray acc;
+  Pusher pusher;
+  Species sp;
+};
+
+void push_loop(benchmark::State& state, bool shuffled) {
+  Fixture fx(int(state.range(0)), int(state.range(1)), shuffled);
+  std::int64_t pushed = 0;
+  for (auto _ : state) {
+    fx.acc.clear();
+    pushed += fx.pusher.advance(fx.sp, fx.interp, fx.acc).pushed;
+  }
+  state.counters["particles/s"] =
+      benchmark::Counter(double(pushed), benchmark::Counter::kIsRate);
+}
+
+void BM_PushSorted(benchmark::State& state) { push_loop(state, false); }
+void BM_PushShuffled(benchmark::State& state) { push_loop(state, true); }
+
+// Grid large enough that the interpolator array falls out of cache when
+// access order is random — the case the sort exists for.
+BENCHMARK(BM_PushSorted)->Args({32, 8})->Args({48, 8})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PushShuffled)->Args({32, 8})->Args({48, 8})->Unit(benchmark::kMillisecond);
+
+void BM_SortCost(benchmark::State& state) {
+  Fixture fx(int(state.range(0)), 8, true);
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t n = fx.sp.size(); n > 1; --n)
+      std::swap(fx.sp[n - 1], fx.sp[std::size_t(rng.uniform_u64(n))]);
+    state.ResumeTiming();
+    fx.sp.sort(fx.grid);
+  }
+  state.counters["particles/s"] = benchmark::Counter(
+      double(state.iterations()) * double(fx.sp.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SortCost)->Arg(32)->Arg(48)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// T2 — whole-step cost breakdown: where the time of a full PIC step goes
+// (particle advance, sort, source reduction, field solve, migration,
+// cleaning) for an LPI-style deck. The paper's claim that the inner loop
+// dominates (0.488 Pflop/s inner vs 0.374 Pflop/s whole-code ~ 77%) should
+// reproduce as a push fraction around 70-85%.
+#include <iostream>
+
+#include "perf/costs.hpp"
+#include "sim/simulation.hpp"
+#include "util/csv.hpp"
+
+using namespace minivpic;
+
+int main() {
+  sim::LpiParams p;
+  p.nx = 192;
+  p.ny = p.nz = 2;
+  p.dx = 0.25;
+  p.ppc = 96;
+  p.a0 = 0.1;
+  p.vacuum_cells = 24;
+  sim::Simulation sim(sim::lpi_deck(p));
+  sim.initialize();
+
+  const int warmup = 10, steps = 100;
+  sim.run(warmup);  // let caches and particle lists settle
+  sim::Simulation timed(sim::lpi_deck(p));  // fresh timers, same deck
+  timed.initialize();
+  timed.run(steps);
+
+  const auto& t = timed.timings();
+  const double total = t.total_seconds();
+  Table table({"phase", "seconds", "% of step", "notes"});
+  auto row = [&](const char* name, const Stopwatch& sw, const char* note) {
+    table.add_row({std::string(name), sw.total_seconds(),
+                   100.0 * sw.total_seconds() / total, std::string(note)});
+  };
+  row("particle advance", t.push, "the paper's 0.488 Pflop/s inner loop");
+  row("interpolator load", t.interpolate, "per-cell field coefficients");
+  row("migration", t.migrate, "inter-rank exchange (1 rank: bookkeeping)");
+  row("sort", t.sort, "counting sort, every 20 steps");
+  row("source reduction", t.sources, "accumulator unload + halo fold");
+  row("field solve", t.field, "B/E/B Yee update + ghost refresh");
+  row("divergence clean", t.clean, "Marder passes, every 50 steps");
+  table.add_row({std::string("TOTAL"), total, 100.0, std::string("")});
+  table.print(std::cout, "T2: step cost breakdown (LPI deck, 100 steps)");
+
+  const double pushed = double(timed.particle_stats().pushed);
+  std::cout << "\npush rate: " << pushed / t.push.total_seconds() / 1e6
+            << " M particles/s; sustained (whole step): "
+            << pushed * perf::KernelCosts::push_flops_per_particle() / total /
+                   1e9
+            << " Gflop/s s.p. on this host core\n";
+  std::cout << "inner-loop share of step: "
+            << 100.0 * t.push.total_seconds() / total
+            << "%  (paper: 0.374/0.488 = 77%)\n";
+  return 0;
+}

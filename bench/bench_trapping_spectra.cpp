@@ -1,0 +1,66 @@
+// F5 — particle trapping: electron energy spectra below and above the SRS
+// threshold. The driven electron plasma wave traps electrons near its phase
+// velocity and accelerates them into a hot tail — the kinetic physics
+// ("particle trapping ... within a laser-driven hohlraum") the paper's
+// trillion-particle fidelity was bought for.
+#include <iostream>
+
+#include "sim/diagnostics.hpp"
+#include "sim/simulation.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+using namespace minivpic;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const double t_end = quick ? 120.0 : 400.0;
+  const int ppc = quick ? 32 : 128;
+
+  const double below = 0.05, above = 0.25;
+  std::vector<sim::ParticleSpectrum> spectra;
+  std::vector<double> hot_fraction, mean_ke;
+  for (double a0 : {below, above}) {
+    sim::LpiParams p;
+    p.a0 = a0;
+    p.n_over_nc = 0.1;
+    p.te_kev = 2.0;
+    p.nx = 480;
+    p.ny = p.nz = 1;
+    p.dx = 0.2;
+    p.ppc = ppc;
+    p.vacuum_cells = 30;
+    sim::Simulation sim(sim::lpi_deck(p));
+    sim.initialize();
+    while (sim.time() < t_end) sim.step();
+    sim::ParticleSpectrum spec(1e-4, 1.0, 20, /*log=*/true);
+    spec.build(sim, *sim.find_species("electron"));
+    spectra.push_back(spec);
+    hot_fraction.push_back(
+        spec.fraction_above(5.0 * 1.5 * p.te_kev / units::kElectronRestKeV));
+    const auto rep = sim.energies();
+    mean_ke.push_back(rep.species_kinetic[0]);
+  }
+
+  Table table({"KE (m_e c^2)", "count @ a0=0.05", "count @ a0=0.25",
+               "tail ratio"});
+  for (std::size_t b = 0; b < spectra[0].num_bins(); ++b) {
+    const double lo = spectra[0].count(b);
+    const double hi = spectra[1].count(b);
+    if (lo == 0 && hi == 0) continue;
+    table.add_row({spectra[0].bin_center(b), lo, hi,
+                   lo > 0 ? hi / lo : 1e9});
+  }
+  table.print(std::cout,
+              "F5: electron spectra below vs above the SRS threshold");
+  std::cout << "\nhot-electron fraction (>5x thermal): " << hot_fraction[0]
+            << " below threshold vs " << hot_fraction[1]
+            << " above (x" << hot_fraction[1] / std::max(hot_fraction[0], 1e-12)
+            << ")\n";
+  std::cout << "electron kinetic energy: " << mean_ke[0] << " -> "
+            << mean_ke[1]
+            << " (laser heating through the trapped population)\n";
+  std::cout << "expected shape: identical thermal bulk; the high-intensity "
+               "run grows a multi-decade suprathermal tail.\n";
+  return 0;
+}

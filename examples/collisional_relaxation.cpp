@@ -1,0 +1,89 @@
+// Collisional relaxation: a temperature-anisotropic electron plasma
+// isotropizes under Takizuka-Abe binary Coulomb collisions. Demonstrates
+// the collision operator, the deck-level collision configuration, and the
+// energy-history recorder with CSV output.
+//
+//   ./collisional_relaxation [--nu=3e-4] [--steps=200] [--csv=path]
+#include <cmath>
+#include <iostream>
+
+#include "sim/history.hpp"
+#include "sim/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+using namespace minivpic;
+
+namespace {
+
+double anisotropy(const particles::Species& sp) {
+  double tz = 0, tp = 0;
+  for (const auto& p : sp.particles()) {
+    tz += double(p.uz) * p.uz;
+    tp += 0.5 * (double(p.ux) * p.ux + double(p.uy) * p.uy);
+  }
+  return tz / tp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.check_known({"nu", "steps", "csv"});
+  const double nu = args.get_double("nu", 3e-4);
+  const int steps = int(args.get_int("steps", 200));
+
+  sim::Deck deck;
+  deck.grid.nx = deck.grid.ny = deck.grid.nz = 6;
+  deck.grid.dx = deck.grid.dy = deck.grid.dz = 0.5;
+  sim::SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 48;
+  e.load.uth3 = {0.04, 0.04, 0.16};  // Tz = 16 T_perp
+  deck.species.push_back(e);
+  sim::SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.load.uth3 = {0, 0, 0};
+  ion.load.uth = 0.001;
+  ion.mobile = false;
+  deck.species.push_back(ion);
+
+  sim::CollisionSpec cs;
+  cs.species_a = cs.species_b = "electron";
+  cs.nu_scale = nu;
+  cs.period = 2;
+  deck.collisions.push_back(cs);
+
+  sim::Simulation sim(deck);
+  sim.initialize();
+  sim::EnergyHistory history(sim);
+  history.sample();
+
+  std::cout << "Takizuka-Abe relaxation, nu_scale = " << nu << "\n\n";
+  Table table({"time", "Tz/Tperp", "electron KE", "collision pairs"});
+  table.add_row({0.0, anisotropy(sim.species(0)),
+                 sim.energies().species_kinetic[0], 0LL});
+  for (int s = 1; s <= steps; ++s) {
+    sim.step();
+    history.sample();
+    if (s % (steps / 8) == 0) {
+      table.add_row({sim.time(), anisotropy(sim.species(0)),
+                     sim.energies().species_kinetic[0],
+                     (long long)sim.particle_stats().collision_pairs});
+    }
+  }
+  table.print(std::cout, "anisotropy relaxation");
+  std::cout << "\nworst total-energy drift over the run: "
+            << 100 * history.worst_relative_drift()
+            << "% (collisions conserve energy pairwise)\n";
+  if (args.has("csv")) {
+    const std::string path = args.get("csv", "");
+    history.write_csv(path);
+    std::cout << "energy history written to " << path << "\n";
+  }
+  return 0;
+}

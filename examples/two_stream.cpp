@@ -1,0 +1,59 @@
+// Two-stream instability: the classic kinetic benchmark. Counter-streaming
+// electron beams drive an exponentially growing electrostatic wave that
+// saturates by particle trapping — the same trapping physics at the heart
+// of the paper's laser-reflectivity study.
+//
+//   ./two_stream [--cells=32] [--ppc=48] [--drift=0.5] [--steps=700]
+#include <iostream>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+using namespace minivpic;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.check_known({"cells", "ppc", "drift", "steps"});
+  const int cells = int(args.get_int("cells", 32));
+  const int ppc = int(args.get_int("ppc", 48));
+  const double drift = args.get_double("drift", 0.5);
+  const int steps = int(args.get_int("steps", 700));
+
+  sim::Simulation sim(sim::two_stream_deck(cells, ppc, drift));
+  sim.initialize();
+  std::cout << "two-stream: beams at u = +-" << drift << ", "
+            << sim.global_particle_count() << " particles\n\n";
+
+  std::vector<double> t, ex;
+  Table table({"time", "E_x energy", "beam KE"});
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    const auto rep = sim.energies();
+    t.push_back(sim.time());
+    ex.push_back(rep.field.ex);
+    if (s % (steps / 14) == 0) {
+      table.add_row({sim.time(), rep.field.ex,
+                     rep.species_kinetic[0] + rep.species_kinetic[1]});
+    }
+  }
+  table.print(std::cout, "electrostatic field growth");
+
+  // Fit the exponential phase: between 30x the noise floor and 10% of peak.
+  const double noise = ex[5];
+  const double peak = *std::max_element(ex.begin(), ex.end());
+  std::size_t lo = 0, hi = 0;
+  while (lo < ex.size() && ex[lo] < 30 * noise) ++lo;
+  hi = lo;
+  while (hi < ex.size() && ex[hi] < 0.1 * peak) ++hi;
+  std::cout << "\namplification: " << peak / noise << "x\n";
+  if (hi > lo + 10) {
+    const auto fit = fit_exponential_growth(t, ex, lo, hi);
+    std::cout << "fitted growth rate of field energy: " << fit.slope
+              << " omega_pe  (wave gamma = " << fit.slope / 2
+              << ", cold-beam theory gamma ~ 0.2-0.4)\n";
+  }
+  return 0;
+}

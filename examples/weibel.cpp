@@ -1,0 +1,52 @@
+// Weibel (filamentation) instability: a temperature-anisotropic plasma
+// spontaneously generates magnetic field — a fully electromagnetic kinetic
+// effect no fluid code captures, and a standard validation problem for
+// relativistic EM PIC codes like VPIC.
+//
+//   ./weibel [--cells=16] [--ppc=64] [--hot=0.3] [--cold=0.03] [--steps=500]
+#include <iostream>
+
+#include "sim/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+using namespace minivpic;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.check_known({"cells", "ppc", "hot", "cold", "steps"});
+  const int cells = int(args.get_int("cells", 16));
+  const int ppc = int(args.get_int("ppc", 64));
+  const double hot = args.get_double("hot", 0.3);
+  const double cold = args.get_double("cold", 0.03);
+  const int steps = int(args.get_int("steps", 500));
+
+  sim::Simulation sim(sim::weibel_deck(cells, ppc, hot, cold));
+  sim.initialize();
+  std::cout << "Weibel: electrons hot along z (u_th = " << hot
+            << "), cold in plane (u_th = " << cold << ")\n\n";
+
+  Table table({"time", "B_plane energy", "B_z energy", "anisotropy"});
+  double b0 = 0;
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    if (s % (steps / 12) == 0) {
+      const auto rep = sim.energies();
+      const double bp = rep.field.bx + rep.field.by;
+      if (b0 == 0 && bp > 0) b0 = bp;
+      // Temperature anisotropy T_z / T_plane from the momenta.
+      double uz2 = 0, up2 = 0;
+      for (const auto& p : sim.species(0).particles()) {
+        uz2 += double(p.uz) * p.uz;
+        up2 += double(p.ux) * p.ux + double(p.uy) * p.uy;
+      }
+      table.add_row({sim.time(), bp, rep.field.bz, 2.0 * uz2 / up2});
+    }
+  }
+  table.print(std::cout, "magnetic filament growth");
+  const auto rep = sim.energies();
+  std::cout << "\nin-plane B energy grew "
+            << (rep.field.bx + rep.field.by) / b0
+            << "x while the anisotropy relaxed toward 1.\n";
+  return 0;
+}

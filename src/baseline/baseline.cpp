@@ -1,0 +1,185 @@
+#include "baseline/baseline.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic::baseline {
+
+BaselinePic::BaselinePic(const grid::LocalGrid& grid, double q, double m)
+    : grid_(&grid), q_(q), m_(m) {
+  MV_REQUIRE(grid.nranks() == 1, "baseline PIC is single-rank only");
+  for (int face = 0; face < 6; ++face) {
+    MV_REQUIRE(grid.boundary(static_cast<grid::Face>(face)) ==
+                   grid::BoundaryKind::kPeriodic,
+               "baseline PIC supports periodic domains only");
+  }
+  MV_REQUIRE(m > 0, "mass must be positive");
+}
+
+void BaselinePic::add(const ParticleD& p) { parts_.push_back(p); }
+
+void BaselinePic::load_uniform(int ppc, double density, double uth,
+                               std::uint64_t seed) {
+  MV_REQUIRE(ppc > 0 && density > 0 && uth >= 0, "bad load parameters");
+  const auto& g = *grid_;
+  const double w = density * g.cell_volume() / ppc;
+  Rng rng(seed);
+  parts_.reserve(parts_.size() +
+                 std::size_t(ppc) * std::size_t(g.num_cells()));
+  for (int k = 1; k <= g.nz(); ++k)
+    for (int j = 1; j <= g.ny(); ++j)
+      for (int i = 1; i <= g.nx(); ++i)
+        for (int n = 0; n < ppc; ++n) {
+          ParticleD p;
+          p.x = g.node_x(i) + rng.uniform() * g.dx();
+          p.y = g.node_y(j) + rng.uniform() * g.dy();
+          p.z = g.node_z(k) + rng.uniform() * g.dz();
+          p.ux = rng.maxwellian(uth);
+          p.uy = rng.maxwellian(uth);
+          p.uz = rng.maxwellian(uth);
+          p.w = w;
+          parts_.push_back(p);
+        }
+}
+
+namespace {
+
+struct CellPos {
+  int i, j, k;          ///< containing cell
+  double fx, fy, fz;    ///< fractional position in [0,1)
+};
+
+CellPos locate(const grid::LocalGrid& g, double x, double y, double z) {
+  CellPos c;
+  const double rx = (x - g.node_x(1)) / g.dx();
+  const double ry = (y - g.node_y(1)) / g.dy();
+  const double rz = (z - g.node_z(1)) / g.dz();
+  c.i = 1 + int(std::floor(rx));
+  c.j = 1 + int(std::floor(ry));
+  c.k = 1 + int(std::floor(rz));
+  c.fx = rx - std::floor(rx);
+  c.fy = ry - std::floor(ry);
+  c.fz = rz - std::floor(rz);
+  return c;
+}
+
+double wrap(double v, double lo, double len) {
+  double r = std::fmod(v - lo, len);
+  if (r < 0) r += len;
+  return lo + r;
+}
+
+}  // namespace
+
+BaselinePic::Fields BaselinePic::gather(const grid::FieldArray& f, double x,
+                                        double y, double z) const {
+  const auto& g = *grid_;
+  const CellPos c = locate(g, x, y, z);
+  MV_ASSERT(g.is_interior(c.i, c.j, c.k));
+  // Staggered gather equivalent to the interpolator scheme: E bilinear over
+  // its 4 edges, B linear between its 2 faces — but re-fetched from the
+  // mesh for every particle (the conventional organization).
+  auto bilin = [](double w00, double w10, double w01, double w11, double a,
+                  double b) {
+    return (1 - a) * (1 - b) * w00 + a * (1 - b) * w10 + (1 - a) * b * w01 +
+           a * b * w11;
+  };
+  Fields out;
+  out.ex = bilin(f.ex(c.i, c.j, c.k), f.ex(c.i, c.j + 1, c.k),
+                 f.ex(c.i, c.j, c.k + 1), f.ex(c.i, c.j + 1, c.k + 1), c.fy,
+                 c.fz);
+  out.ey = bilin(f.ey(c.i, c.j, c.k), f.ey(c.i, c.j, c.k + 1),
+                 f.ey(c.i + 1, c.j, c.k), f.ey(c.i + 1, c.j, c.k + 1), c.fz,
+                 c.fx);
+  out.ez = bilin(f.ez(c.i, c.j, c.k), f.ez(c.i + 1, c.j, c.k),
+                 f.ez(c.i, c.j + 1, c.k), f.ez(c.i + 1, c.j + 1, c.k), c.fx,
+                 c.fy);
+  out.cbx = (1 - c.fx) * f.cbx(c.i, c.j, c.k) + c.fx * f.cbx(c.i + 1, c.j, c.k);
+  out.cby = (1 - c.fy) * f.cby(c.i, c.j, c.k) + c.fy * f.cby(c.i, c.j + 1, c.k);
+  out.cbz = (1 - c.fz) * f.cbz(c.i, c.j, c.k) + c.fz * f.cbz(c.i, c.j, c.k + 1);
+  return out;
+}
+
+void BaselinePic::push(grid::FieldArray& f) {
+  const auto& g = *grid_;
+  const double qdt_2m = q_ * g.dt() / (2.0 * m_);
+  const double dt = g.dt();
+  const double x0 = g.node_x(1), y0 = g.node_y(1), z0 = g.node_z(1);
+  const double lx = g.global_nx() * g.dx();
+  const double ly = g.global_ny() * g.dy();
+  const double lz = g.global_nz() * g.dz();
+
+  for (ParticleD& p : parts_) {
+    const Fields fld = gather(f, p.x, p.y, p.z);
+
+    // Classic Boris (no angle correction).
+    const double hx = qdt_2m * fld.ex, hy = qdt_2m * fld.ey,
+                 hz = qdt_2m * fld.ez;
+    double ux = p.ux + hx, uy = p.uy + hy, uz = p.uz + hz;
+    const double rg =
+        1.0 / std::sqrt(1.0 + ux * ux + uy * uy + uz * uz);
+    const double tx = qdt_2m * fld.cbx * rg;
+    const double ty = qdt_2m * fld.cby * rg;
+    const double tz = qdt_2m * fld.cbz * rg;
+    const double t2 = tx * tx + ty * ty + tz * tz;
+    const double sx = 2 * tx / (1 + t2), sy = 2 * ty / (1 + t2),
+                 sz = 2 * tz / (1 + t2);
+    const double px = ux + (uy * tz - uz * ty);
+    const double py = uy + (uz * tx - ux * tz);
+    const double pz = uz + (ux * ty - uy * tx);
+    ux += py * sz - pz * sy;
+    uy += pz * sx - px * sz;
+    uz += px * sy - py * sx;
+    p.ux = ux + hx;
+    p.uy = uy + hy;
+    p.uz = uz + hz;
+
+    // Position update with periodic wrap in global coordinates.
+    const double rg2 =
+        1.0 / std::sqrt(1.0 + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
+    p.x = wrap(p.x + p.ux * rg2 * dt, x0, lx);
+    p.y = wrap(p.y + p.uy * rg2 * dt, y0, ly);
+    p.z = wrap(p.z + p.uz * rg2 * dt, z0, lz);
+
+    // Non-split CIC current deposit at the new position.
+    const CellPos c = locate(g, p.x, p.y, p.z);
+    const double qw = q_ * p.w / g.cell_volume();
+    const double jx = qw * p.ux * rg2, jy = qw * p.uy * rg2,
+                 jz = qw * p.uz * rg2;
+    const double w000 = (1 - c.fx) * (1 - c.fy) * (1 - c.fz);
+    const double w100 = c.fx * (1 - c.fy) * (1 - c.fz);
+    const double w010 = (1 - c.fx) * c.fy * (1 - c.fz);
+    const double w110 = c.fx * c.fy * (1 - c.fz);
+    const double w001 = (1 - c.fx) * (1 - c.fy) * c.fz;
+    const double w101 = c.fx * (1 - c.fy) * c.fz;
+    const double w011 = (1 - c.fx) * c.fy * c.fz;
+    const double w111 = c.fx * c.fy * c.fz;
+    auto dep = [&](auto&& comp, double j) {
+      comp(c.i, c.j, c.k) += grid::real(j * w000);
+      comp(c.i + 1, c.j, c.k) += grid::real(j * w100);
+      comp(c.i, c.j + 1, c.k) += grid::real(j * w010);
+      comp(c.i + 1, c.j + 1, c.k) += grid::real(j * w110);
+      comp(c.i, c.j, c.k + 1) += grid::real(j * w001);
+      comp(c.i + 1, c.j, c.k + 1) += grid::real(j * w101);
+      comp(c.i, c.j + 1, c.k + 1) += grid::real(j * w011);
+      comp(c.i + 1, c.j + 1, c.k + 1) += grid::real(j * w111);
+    };
+    dep([&f](int a, int b, int cc) -> grid::real& { return f.jfx(a, b, cc); },
+        jx);
+    dep([&f](int a, int b, int cc) -> grid::real& { return f.jfy(a, b, cc); },
+        jy);
+    dep([&f](int a, int b, int cc) -> grid::real& { return f.jfz(a, b, cc); },
+        jz);
+  }
+}
+
+double BaselinePic::kinetic_energy() const {
+  double e = 0;
+  for (const ParticleD& p : parts_) {
+    e += p.w * (std::sqrt(1.0 + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz) - 1.0);
+  }
+  return e * m_;
+}
+
+}  // namespace minivpic::baseline

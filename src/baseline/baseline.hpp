@@ -1,0 +1,63 @@
+// Conventional-PIC comparator for the ablation studies (DESIGN.md A2).
+//
+// This is the "textbook" organization VPIC's design is measured against:
+//   * array-of-structures particles in double precision (56 B/particle,
+//     global coordinates instead of cell + offset),
+//   * direct staggered field gather from the Yee mesh per particle
+//     (18 scattered loads) instead of the cached per-cell interpolator,
+//   * classic Boris rotation (no angle correction),
+//   * non-split CIC current deposition (not charge-conserving; documented —
+//     conventional codes pair this with a Poisson/Boris correction step).
+// Single-rank, fully periodic domains only: it exists to quantify the cost
+// of the conventional data layout, not to replace the core library.
+#pragma once
+
+#include <vector>
+
+#include "grid/fields.hpp"
+#include "util/rng.hpp"
+
+namespace minivpic::baseline {
+
+struct ParticleD {
+  double x = 0, y = 0, z = 0;     ///< global position
+  double ux = 0, uy = 0, uz = 0;  ///< gamma v / c
+  double w = 0;
+};
+
+class BaselinePic {
+ public:
+  /// `grid` must be single-rank and fully periodic.
+  BaselinePic(const grid::LocalGrid& grid, double q, double m);
+
+  void add(const ParticleD& p);
+  std::size_t size() const { return parts_.size(); }
+  const std::vector<ParticleD>& particles() const { return parts_; }
+  std::vector<ParticleD>& particles() { return parts_; }
+
+  /// Loads a uniform Maxwellian (density in code units).
+  void load_uniform(int ppc, double density, double uth, std::uint64_t seed);
+
+  /// One particle step against the fields: direct gather, Boris push,
+  /// position update with periodic wrap, CIC current deposit into f's J
+  /// arrays. E/B ghosts of `f` must be fresh.
+  void push(grid::FieldArray& f);
+
+  double kinetic_energy() const;
+
+  /// Gathered fields at a position (exposed for the equivalence tests).
+  struct Fields {
+    double ex, ey, ez, cbx, cby, cbz;
+  };
+  Fields gather(const grid::FieldArray& f, double x, double y, double z) const;
+
+  /// Flops per particle push (documented count; see baseline.cpp).
+  static constexpr double flops_per_particle() { return 230.0; }
+
+ private:
+  const grid::LocalGrid* grid_;
+  double q_, m_;
+  std::vector<ParticleD> parts_;
+};
+
+}  // namespace minivpic::baseline

@@ -1,0 +1,79 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace minivpic::fft {
+
+void transform(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  MV_REQUIRE(n > 0 && is_pow2(n), "FFT length must be a power of two, got " << n);
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Iterative Cooley–Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+std::vector<std::complex<double>> real_spectrum(std::span<const double> data) {
+  MV_REQUIRE(!data.empty(), "cannot transform an empty series");
+  const std::size_t n = next_pow2(data.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < data.size(); ++i) buf[i] = {data[i], 0.0};
+  transform(buf);
+  return buf;
+}
+
+std::vector<double> power_spectrum(std::span<const double> data) {
+  const auto spec = real_spectrum(data);
+  std::vector<double> power(spec.size() / 2 + 1);
+  for (std::size_t k = 0; k < power.size(); ++k) power[k] = std::norm(spec[k]);
+  return power;
+}
+
+std::size_t peak_bin(std::span<const double> spectrum, std::size_t lo,
+                     std::size_t hi) {
+  MV_REQUIRE(lo < hi && hi <= spectrum.size(), "bad peak window");
+  std::size_t best = lo;
+  for (std::size_t k = lo; k < hi; ++k) {
+    if (spectrum[k] > spectrum[best]) best = k;
+  }
+  return best;
+}
+
+double bin_omega(std::size_t k, std::size_t padded_n, double dt) {
+  MV_REQUIRE(padded_n > 0 && dt > 0.0, "bad spectrum parameters");
+  return 2.0 * std::numbers::pi * static_cast<double>(k) /
+         (static_cast<double>(padded_n) * dt);
+}
+
+}  // namespace minivpic::fft

@@ -1,0 +1,37 @@
+// Radix-2 FFT for diagnostics (backscatter spectra, mode analysis).
+//
+// Scope is deliberately small: power-of-two complex transforms plus the
+// helpers the spectra diagnostics need. This is a diagnostic substrate, not
+// a performance kernel.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace minivpic::fft {
+
+/// In-place complex FFT. `data.size()` must be a power of two.
+/// `inverse` applies the conjugate transform *and* the 1/N normalization,
+/// so forward followed by inverse is the identity.
+void transform(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Forward FFT of a real series (zero imaginary part); returns the full
+/// complex spectrum of length next_pow2(n) with the input zero-padded.
+std::vector<std::complex<double>> real_spectrum(std::span<const double> data);
+
+/// One-sided power spectrum |X_k|^2 for k = 0..N/2 of a real series,
+/// zero-padded to the next power of two. The frequency of bin k is
+/// k / (N * dt) cycles per unit time (N = padded length).
+std::vector<double> power_spectrum(std::span<const double> data);
+
+/// Index of the largest bin in spectrum[lo, hi) — used to find the dominant
+/// mode; returns lo if the window is empty of power.
+std::size_t peak_bin(std::span<const double> spectrum, std::size_t lo,
+                     std::size_t hi);
+
+/// Angular frequency of bin k for a series sampled at interval dt and padded
+/// length n: omega_k = 2*pi*k / (n*dt).
+double bin_omega(std::size_t k, std::size_t padded_n, double dt);
+
+}  // namespace minivpic::fft

@@ -1,0 +1,49 @@
+#include "field/antenna.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace minivpic::field {
+
+double laser_waveform(const LaserConfig& cfg, double t) {
+  if (t < 0) return 0.0;
+  if (cfg.duration >= 0 && t > cfg.duration) return 0.0;
+  double env = 1.0;
+  if (t < cfg.ramp) {
+    const double s = std::sin(0.5 * std::numbers::pi * t / cfg.ramp);
+    env = s * s;
+  }
+  return cfg.a0 * env * std::sin(cfg.omega0 * t);
+}
+
+LaserAntenna::LaserAntenna(const grid::LocalGrid& grid, const LaserConfig& cfg)
+    : grid_(&grid), cfg_(cfg) {
+  MV_REQUIRE(cfg.omega0 > 0, "laser frequency must be positive");
+  MV_REQUIRE(cfg.a0 >= 0, "laser amplitude must be non-negative");
+  MV_REQUIRE(cfg.ramp > 0, "laser ramp must be positive");
+  MV_REQUIRE(cfg.global_plane >= 1 && cfg.global_plane <= grid.global_nx(),
+             "laser source plane outside the global grid");
+  const int li = cfg.global_plane - grid.offset_x();
+  if (li >= 1 && li <= grid.nx()) local_i_ = li;
+}
+
+void LaserAntenna::deposit(grid::FieldArray& f, double t) const {
+  if (local_i_ < 0) return;
+  // Surface current K = -2 E0 f(t); as a volume current density in the
+  // source cells, J = K / dx. Sample the waveform at the step midpoint,
+  // where the leapfrog scheme wants J.
+  const double w = laser_waveform(cfg_, t + 0.5 * grid_->dt());
+  const grid::real j = grid::real(-2.0 * w / grid_->dx());
+  if (j == 0) return;
+  for (int k = 1; k <= grid_->nz(); ++k) {
+    for (int jy = 1; jy <= grid_->ny(); ++jy) {
+      if (cfg_.polarize_z) {
+        f.jfz(local_i_, jy, k) += j;
+      } else {
+        f.jfy(local_i_, jy, k) += j;
+      }
+    }
+  }
+}
+
+}  // namespace minivpic::field

@@ -1,0 +1,48 @@
+// Laser injection: a soft current-sheet antenna on an x-plane.
+//
+// A surface current K_y(t) on a plane radiates plane waves of amplitude
+// E = -K/2 symmetrically toward +x and -x (code units, impedance 1). With
+// the global -x wall absorbing, the backward half leaves the box and the
+// antenna launches a clean wave of amplitude `a0` toward +x — while
+// backscattered light passes through the (transparent) source plane and is
+// absorbed behind it. This is how VPIC-style LPI decks light their lasers.
+#pragma once
+
+#include "grid/fields.hpp"
+
+namespace minivpic::field {
+
+struct LaserConfig {
+  double omega0 = 3.0;    ///< laser frequency in units of omega_pe
+  double a0 = 0.01;       ///< normalized field amplitude eE/(m c omega0)...
+                          ///< stored here as the E amplitude in code units
+  double ramp = 10.0;     ///< sin^2 turn-on time (1/omega_pe)
+  double duration = -1;   ///< pulse length; < 0 = run forever
+  int global_plane = 2;   ///< global x cell index of the source plane
+  bool polarize_z = false;  ///< drive Ez instead of Ey
+};
+
+/// Temporal profile a0 * env(t) * sin(omega0 t); exposed for tests.
+double laser_waveform(const LaserConfig& cfg, double t);
+
+class LaserAntenna {
+ public:
+  LaserAntenna(const grid::LocalGrid& grid, const LaserConfig& cfg);
+
+  /// Deposits the antenna's sheet current into J for the step ending at
+  /// time t + dt (call after clearing sources, before advance_e; `t` is the
+  /// time at the start of the step). No-op on ranks not owning the plane.
+  void deposit(grid::FieldArray& f, double t) const;
+
+  const LaserConfig& config() const { return cfg_; }
+
+  /// Local interior x index of the source plane, or -1 if not on this rank.
+  int local_plane() const { return local_i_; }
+
+ private:
+  const grid::LocalGrid* grid_;
+  LaserConfig cfg_;
+  int local_i_ = -1;
+};
+
+}  // namespace minivpic::field

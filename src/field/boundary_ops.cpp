@@ -1,0 +1,141 @@
+#include "field/boundary_ops.hpp"
+
+#include "grid/halo.hpp"
+
+namespace minivpic::field {
+
+namespace {
+
+/// Maps (plane-along-normal-axis, u, v) to voxel coordinates, where u and v
+/// run over the two non-normal axes in ascending axis order.
+std::array<int, 3> face_coords(int axis, int plane, int u, int v) {
+  switch (axis) {
+    case 0: return {plane, u, v};
+    case 1: return {u, plane, v};
+    default: return {u, v, plane};
+  }
+}
+
+/// Padded extents of the two non-normal axes.
+std::array<int, 2> face_extents(const grid::LocalGrid& g, int axis) {
+  switch (axis) {
+    case 0: return {g.ny() + 2, g.nz() + 2};
+    case 1: return {g.nx() + 2, g.nz() + 2};
+    default: return {g.nx() + 2, g.ny() + 2};
+  }
+}
+
+}  // namespace
+
+std::array<grid::Component, 2> FieldBoundary::tangential_components(int axis) {
+  using grid::Component;
+  switch (axis) {
+    case 0: return {Component::kEy, Component::kEz};
+    case 1: return {Component::kEx, Component::kEz};
+    default: return {Component::kEx, Component::kEy};
+  }
+}
+
+FieldBoundary::FieldBoundary(const grid::LocalGrid& grid) : grid_(&grid) {
+  using grid::BoundaryKind;
+  for (int face_i = 0; face_i < 6; ++face_i) {
+    const auto face = static_cast<grid::Face>(face_i);
+    if (!grid.on_global_boundary(face)) continue;
+    const BoundaryKind kind = grid.boundary(face);
+    if (kind == BoundaryKind::kPeriodic) continue;
+
+    const int axis = grid::face_axis(face);
+    const int n = axis == 0 ? grid.nx() : axis == 1 ? grid.ny() : grid.nz();
+    const bool low = grid::face_dir(face) < 0;
+    const int wall = low ? 1 : n + 1;
+
+    if (kind == BoundaryKind::kPec) {
+      pec_faces_.emplace_back(axis, wall);
+      continue;
+    }
+
+    // Absorbing (first-order Mur).
+    MV_REQUIRE(n >= 2, "Mur boundary needs at least two cells along axis "
+                           << axis);
+    MurFace mf;
+    mf.face = face;
+    mf.axis = axis;
+    mf.wall = wall;
+    mf.inner = low ? 2 : n;
+    const double h = axis == 0 ? grid.dx() : axis == 1 ? grid.dy() : grid.dz();
+    mf.coef = (grid.dt() - h) / (grid.dt() + h);
+    const auto ext = face_extents(grid, axis);
+    const std::size_t plane = std::size_t(ext[0]) * ext[1];
+    for (auto& comp_planes : mf.saved)
+      for (auto& p : comp_planes) p.assign(plane, 0);
+    mur_faces_.push_back(std::move(mf));
+  }
+}
+
+void FieldBoundary::save_face(const grid::FieldArray& f, MurFace& mf) const {
+  const auto comps = tangential_components(mf.axis);
+  const auto ext = face_extents(*grid_, mf.axis);
+  for (int c = 0; c < 2; ++c) {
+    const grid::real* data = grid::component_data(f, comps[std::size_t(c)]);
+    std::size_t m = 0;
+    for (int v = 0; v < ext[1]; ++v) {
+      for (int u = 0; u < ext[0]; ++u, ++m) {
+        const auto wall_c = face_coords(mf.axis, mf.wall, u, v);
+        const auto in_c = face_coords(mf.axis, mf.inner, u, v);
+        mf.saved[std::size_t(c)][0][m] = data[f.idx(wall_c[0], wall_c[1], wall_c[2])];
+        mf.saved[std::size_t(c)][1][m] = data[f.idx(in_c[0], in_c[1], in_c[2])];
+      }
+    }
+  }
+}
+
+void FieldBoundary::mur_face(grid::FieldArray& f, MurFace& mf) const {
+  const auto comps = tangential_components(mf.axis);
+  const auto ext = face_extents(*grid_, mf.axis);
+  for (int c = 0; c < 2; ++c) {
+    grid::real* data = grid::component_data(f, comps[std::size_t(c)]);
+    std::size_t m = 0;
+    for (int v = 0; v < ext[1]; ++v) {
+      for (int u = 0; u < ext[0]; ++u, ++m) {
+        const auto wall_c = face_coords(mf.axis, mf.wall, u, v);
+        const auto in_c = face_coords(mf.axis, mf.inner, u, v);
+        const auto wall_i = f.idx(wall_c[0], wall_c[1], wall_c[2]);
+        const auto in_i = f.idx(in_c[0], in_c[1], in_c[2]);
+        // First-order Mur: Ew^{n+1} = Ei^n + coef (Ei^{n+1} - Ew^n).
+        data[wall_i] = grid::real(mf.saved[std::size_t(c)][1][m] +
+                                  mf.coef * (data[in_i] -
+                                             mf.saved[std::size_t(c)][0][m]));
+      }
+    }
+  }
+  save_face(f, mf);
+}
+
+void FieldBoundary::pec_face(grid::FieldArray& f, int axis, int wall) const {
+  const auto comps = tangential_components(axis);
+  const auto ext = face_extents(*grid_, axis);
+  for (const auto comp : comps) {
+    grid::real* data = grid::component_data(f, comp);
+    for (int v = 0; v < ext[1]; ++v) {
+      for (int u = 0; u < ext[0]; ++u) {
+        const auto c = face_coords(axis, wall, u, v);
+        data[f.idx(c[0], c[1], c[2])] = 0;
+      }
+    }
+  }
+}
+
+void FieldBoundary::capture(const grid::FieldArray& f) {
+  for (auto& mf : mur_faces_) save_face(f, mf);
+  captured_ = true;
+}
+
+void FieldBoundary::apply(grid::FieldArray& f) {
+  MV_REQUIRE(mur_faces_.empty() || captured_,
+             "FieldBoundary::capture() must be called before the first step "
+             "when absorbing boundaries are present");
+  for (const auto& [axis, wall] : pec_faces_) pec_face(f, axis, wall);
+  for (auto& mf : mur_faces_) mur_face(f, mf);
+}
+
+}  // namespace minivpic::field

@@ -1,0 +1,56 @@
+// Wall boundary conditions for the tangential electric field on global
+// domain faces: PEC (tangential E = 0) and first-order Mur absorbing
+// boundaries. Periodic faces and rank-interior faces are handled by the
+// halo exchange, not here.
+//
+// Geometry reminder: the low wall of an axis passes through interior plane
+// index 1 (tangential E components with that plane index sit exactly on the
+// wall); the high wall passes through ghost plane index n+1.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "grid/fields.hpp"
+#include "grid/halo.hpp"
+
+namespace minivpic::field {
+
+class FieldBoundary {
+ public:
+  explicit FieldBoundary(const grid::LocalGrid& grid);
+
+  /// Captures the current wall-region field values as the "previous step"
+  /// state the Mur update needs. Call once after field initialization and
+  /// after checkpoint restore.
+  void capture(const grid::FieldArray& f);
+
+  /// Applies wall conditions to tangential E on every global face this rank
+  /// touches. Call immediately after the interior E update of a step.
+  void apply(grid::FieldArray& f);
+
+ private:
+  struct MurFace {
+    grid::Face face;
+    int axis;              ///< face normal axis
+    int wall, inner;       ///< plane indices along the normal axis
+    double coef;           ///< (dt - h) / (dt + h)
+    // Saved previous-step planes for the two tangential components:
+    // [comp][0] = wall plane, [comp][1] = inner plane.
+    std::array<std::array<std::vector<grid::real>, 2>, 2> saved;
+  };
+
+  void pec_face(grid::FieldArray& f, int axis, int wall) const;
+  void mur_face(grid::FieldArray& f, MurFace& mf) const;
+  void save_face(const grid::FieldArray& f, MurFace& mf) const;
+
+  /// The two tangential E components for a face of given normal axis.
+  static std::array<grid::Component, 2> tangential_components(int axis);
+
+  const grid::LocalGrid* grid_;
+  std::vector<MurFace> mur_faces_;
+  std::vector<std::pair<int, int>> pec_faces_;  ///< (axis, wall plane)
+  bool captured_ = false;
+};
+
+}  // namespace minivpic::field

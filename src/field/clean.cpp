@@ -1,0 +1,149 @@
+#include "field/clean.hpp"
+
+#include <cmath>
+
+namespace minivpic::field {
+
+using grid::real;
+
+DivergenceCleaner::DivergenceCleaner(const grid::LocalGrid& grid,
+                                     grid::Halo* halo)
+    : grid_(&grid), halo_(halo), err_(std::size_t(grid.num_voxels())) {
+  MV_REQUIRE(halo != nullptr, "divergence cleaner needs a halo exchanger");
+  const double inv2 = 1.0 / (grid.dx() * grid.dx()) +
+                      1.0 / (grid.dy() * grid.dy()) +
+                      1.0 / (grid.dz() * grid.dz());
+  // Explicit diffusion stability bound is 1/(2*inv2); stay at half of it.
+  diff_ = 0.25 / inv2;
+}
+
+void DivergenceCleaner::compute_e_error(const grid::FieldArray& f) {
+  const auto& g = *grid_;
+  const real rx = real(1.0 / g.dx());
+  const real ry = real(1.0 / g.dy());
+  const real rz = real(1.0 / g.dz());
+  err_.zero();
+  // div E - rho on nodes [1..n+1]^3 (reads reach ghost index 0 only).
+  for (int k = 1; k <= g.nz() + 1; ++k) {
+    for (int j = 1; j <= g.ny() + 1; ++j) {
+      for (int i = 1; i <= g.nx() + 1; ++i) {
+        err_[std::size_t(f.idx(i, j, k))] =
+            rx * (f.ex(i, j, k) - f.ex(i - 1, j, k)) +
+            ry * (f.ey(i, j, k) - f.ey(i, j - 1, k)) +
+            rz * (f.ez(i, j, k) - f.ez(i, j, k - 1)) - f.rhof(i, j, k);
+      }
+    }
+  }
+}
+
+void DivergenceCleaner::compute_b_error(const grid::FieldArray& f) {
+  const auto& g = *grid_;
+  const real rx = real(1.0 / g.dx());
+  const real ry = real(1.0 / g.dy());
+  const real rz = real(1.0 / g.dz());
+  err_.zero();
+  // div B on cells [0..n]^3 (reads reach ghost index n+1 only).
+  for (int k = 0; k <= g.nz(); ++k) {
+    for (int j = 0; j <= g.ny(); ++j) {
+      for (int i = 0; i <= g.nx(); ++i) {
+        err_[std::size_t(f.idx(i, j, k))] =
+            rx * (f.cbx(i + 1, j, k) - f.cbx(i, j, k)) +
+            ry * (f.cby(i, j + 1, k) - f.cby(i, j, k)) +
+            rz * (f.cbz(i, j, k + 1) - f.cbz(i, j, k));
+      }
+    }
+  }
+}
+
+void DivergenceCleaner::clean_e(grid::FieldArray& f, int passes) {
+  const auto& g = *grid_;
+  const real cx = real(diff_ / g.dx());
+  const real cy = real(diff_ / g.dy());
+  const real cz = real(diff_ / g.dz());
+  for (int pass = 0; pass < passes; ++pass) {
+    compute_e_error(f);
+    for (int k = 1; k <= g.nz(); ++k) {
+      for (int j = 1; j <= g.ny(); ++j) {
+        for (int i = 1; i <= g.nx(); ++i) {
+          const auto e = [&](int a, int b, int c) {
+            return err_[std::size_t(f.idx(a, b, c))];
+          };
+          f.ex(i, j, k) += cx * (e(i + 1, j, k) - e(i, j, k));
+          f.ey(i, j, k) += cy * (e(i, j + 1, k) - e(i, j, k));
+          f.ez(i, j, k) += cz * (e(i, j, k + 1) - e(i, j, k));
+        }
+      }
+    }
+    halo_->refresh(
+        f, {grid::Component::kEx, grid::Component::kEy, grid::Component::kEz});
+  }
+}
+
+void DivergenceCleaner::clean_b(grid::FieldArray& f, int passes) {
+  const auto& g = *grid_;
+  const real cx = real(diff_ / g.dx());
+  const real cy = real(diff_ / g.dy());
+  const real cz = real(diff_ / g.dz());
+  for (int pass = 0; pass < passes; ++pass) {
+    compute_b_error(f);
+    for (int k = 1; k <= g.nz(); ++k) {
+      for (int j = 1; j <= g.ny(); ++j) {
+        for (int i = 1; i <= g.nx(); ++i) {
+          const auto e = [&](int a, int b, int c) {
+            return err_[std::size_t(f.idx(a, b, c))];
+          };
+          f.cbx(i, j, k) += cx * (e(i, j, k) - e(i - 1, j, k));
+          f.cby(i, j, k) += cy * (e(i, j, k) - e(i, j - 1, k));
+          f.cbz(i, j, k) += cz * (e(i, j, k) - e(i, j, k - 1));
+        }
+      }
+    }
+    halo_->refresh(f, {grid::Component::kCbx, grid::Component::kCby,
+                       grid::Component::kCbz});
+  }
+}
+
+double DivergenceCleaner::div_e_error_rms(const grid::FieldArray& f) const {
+  const auto& g = *grid_;
+  const real rx = real(1.0 / g.dx());
+  const real ry = real(1.0 / g.dy());
+  const real rz = real(1.0 / g.dz());
+  double sum2 = 0;
+  std::int64_t n = 0;
+  for (int k = 1; k <= g.nz(); ++k) {
+    for (int j = 1; j <= g.ny(); ++j) {
+      for (int i = 1; i <= g.nx(); ++i) {
+        const double err = rx * (f.ex(i, j, k) - f.ex(i - 1, j, k)) +
+                           ry * (f.ey(i, j, k) - f.ey(i, j - 1, k)) +
+                           rz * (f.ez(i, j, k) - f.ez(i, j, k - 1)) -
+                           f.rhof(i, j, k);
+        sum2 += err * err;
+        ++n;
+      }
+    }
+  }
+  return std::sqrt(sum2 / double(n));
+}
+
+double DivergenceCleaner::div_b_error_rms(const grid::FieldArray& f) const {
+  const auto& g = *grid_;
+  const real rx = real(1.0 / g.dx());
+  const real ry = real(1.0 / g.dy());
+  const real rz = real(1.0 / g.dz());
+  double sum2 = 0;
+  std::int64_t n = 0;
+  for (int k = 1; k <= g.nz(); ++k) {
+    for (int j = 1; j <= g.ny(); ++j) {
+      for (int i = 1; i <= g.nx(); ++i) {
+        const double err = rx * (f.cbx(i + 1, j, k) - f.cbx(i, j, k)) +
+                           ry * (f.cby(i, j + 1, k) - f.cby(i, j, k)) +
+                           rz * (f.cbz(i, j, k + 1) - f.cbz(i, j, k));
+        sum2 += err * err;
+        ++n;
+      }
+    }
+  }
+  return std::sqrt(sum2 / double(n));
+}
+
+}  // namespace minivpic::field

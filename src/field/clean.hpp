@@ -1,0 +1,41 @@
+// Marder divergence cleaning, as used by VPIC to control the slow
+// accumulation of div E - rho and div B errors from single-precision
+// round-off. One pass applies a diffusion step
+//     E += d * grad(div E - rho),      B += d * grad(div B)
+// with d chosen at the explicit-diffusion stability limit.
+#pragma once
+
+#include "grid/fields.hpp"
+#include "grid/halo.hpp"
+#include "util/aligned.hpp"
+
+namespace minivpic::field {
+
+class DivergenceCleaner {
+ public:
+  DivergenceCleaner(const grid::LocalGrid& grid, grid::Halo* halo);
+
+  /// Marder passes on E. Requires fresh E ghosts and reduced rho;
+  /// refreshes E ghosts afterwards.
+  void clean_e(grid::FieldArray& f, int passes = 1);
+
+  /// Marder passes on B. Requires fresh B ghosts; refreshes B afterwards.
+  void clean_b(grid::FieldArray& f, int passes = 1);
+
+  /// RMS of (div E - rho) over this rank's interior nodes.
+  double div_e_error_rms(const grid::FieldArray& f) const;
+
+  /// RMS of div B over this rank's interior cells.
+  double div_b_error_rms(const grid::FieldArray& f) const;
+
+ private:
+  void compute_e_error(const grid::FieldArray& f);
+  void compute_b_error(const grid::FieldArray& f);
+
+  const grid::LocalGrid* grid_;
+  grid::Halo* halo_;
+  double diff_;  ///< Marder diffusion coefficient
+  AlignedBuffer<grid::real> err_;
+};
+
+}  // namespace minivpic::field

@@ -1,0 +1,67 @@
+#include "field/energy.hpp"
+
+namespace minivpic::field {
+
+FieldEnergy field_energy(const grid::FieldArray& f) {
+  const auto& g = f.grid();
+  FieldEnergy e;
+  for (int k = 1; k <= g.nz(); ++k) {
+    for (int j = 1; j <= g.ny(); ++j) {
+      for (int i = 1; i <= g.nx(); ++i) {
+        e.ex += double(f.ex(i, j, k)) * f.ex(i, j, k);
+        e.ey += double(f.ey(i, j, k)) * f.ey(i, j, k);
+        e.ez += double(f.ez(i, j, k)) * f.ez(i, j, k);
+        e.bx += double(f.cbx(i, j, k)) * f.cbx(i, j, k);
+        e.by += double(f.cby(i, j, k)) * f.cby(i, j, k);
+        e.bz += double(f.cbz(i, j, k)) * f.cbz(i, j, k);
+      }
+    }
+  }
+  const double half_dv = 0.5 * g.cell_volume();
+  e.ex *= half_dv;
+  e.ey *= half_dv;
+  e.ez *= half_dv;
+  e.bx *= half_dv;
+  e.by *= half_dv;
+  e.bz *= half_dv;
+  return e;
+}
+
+double poynting_flux_x(const grid::FieldArray& f, int i) {
+  const auto& g = f.grid();
+  MV_REQUIRE(i >= 1 && i <= g.nx(), "plane index out of interior range");
+  double s = 0;
+  for (int k = 1; k <= g.nz(); ++k) {
+    for (int j = 1; j <= g.ny(); ++j) {
+      // Co-locate the x-staggered B components at the E positions; without
+      // this the half-cell phase offset contaminates the flux at short
+      // wavelengths.
+      const double cbz = 0.5 * (double(f.cbz(i - 1, j, k)) + f.cbz(i, j, k));
+      const double cby = 0.5 * (double(f.cby(i - 1, j, k)) + f.cby(i, j, k));
+      s += double(f.ey(i, j, k)) * cbz - double(f.ez(i, j, k)) * cby;
+    }
+  }
+  return s * g.dy() * g.dz();
+}
+
+std::pair<double, double> wave_power_x(const grid::FieldArray& f, int i) {
+  const auto& g = f.grid();
+  MV_REQUIRE(i >= 1 && i <= g.nx(), "plane index out of interior range");
+  double fwd = 0, bwd = 0;
+  for (int k = 1; k <= g.nz(); ++k) {
+    for (int j = 1; j <= g.ny(); ++j) {
+      const double ey = f.ey(i, j, k), ez = f.ez(i, j, k);
+      // x-average co-locates cB at the E positions (see poynting_flux_x).
+      const double cbz = 0.5 * (double(f.cbz(i - 1, j, k)) + f.cbz(i, j, k));
+      const double cby = 0.5 * (double(f.cby(i - 1, j, k)) + f.cby(i, j, k));
+      const double af1 = 0.5 * (ey + cbz), ab1 = 0.5 * (ey - cbz);
+      const double af2 = 0.5 * (ez - cby), ab2 = 0.5 * (ez + cby);
+      fwd += af1 * af1 + af2 * af2;
+      bwd += ab1 * ab1 + ab2 * ab2;
+    }
+  }
+  const double norm = 1.0 / (double(g.ny()) * g.nz());
+  return {fwd * norm, bwd * norm};
+}
+
+}  // namespace minivpic::field

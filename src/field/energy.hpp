@@ -1,0 +1,40 @@
+// Field energy accounting and Poynting-flux diagnostics, including the
+// forward/backward wave decomposition the reflectivity measurement uses.
+#pragma once
+
+#include <utility>
+
+#include "grid/fields.hpp"
+
+namespace minivpic::field {
+
+/// Per-component field energy on this rank's interior, in code units
+/// (energy density E^2/2 + B^2/2 integrated over volume). Doubles: these
+/// are diagnostics accumulated across many single-precision voxels.
+struct FieldEnergy {
+  double ex = 0, ey = 0, ez = 0;
+  double bx = 0, by = 0, bz = 0;
+
+  double electric() const { return ex + ey + ez; }
+  double magnetic() const { return bx + by + bz; }
+  double total() const { return electric() + magnetic(); }
+};
+
+/// Computes this rank's field energy (reduce over ranks for the global sum).
+FieldEnergy field_energy(const grid::FieldArray& f);
+
+/// Poynting flux S_x integrated over the local part of x-plane `i`
+/// (positive = energy flowing toward +x). Staggered components are read at
+/// the plane without interpolation — a diagnostic-grade approximation.
+double poynting_flux_x(const grid::FieldArray& f, int i);
+
+/// Forward/backward electromagnetic wave power (plane-averaged a^2) at
+/// x-plane `i`, for light propagating along x with (Ey, cBz) + (Ez, -cBy)
+/// polarizations combined:
+///   forward amplitude^2  = ((Ey + cBz)/2)^2 + ((Ez - cBy)/2)^2
+///   backward amplitude^2 = ((Ey - cBz)/2)^2 + ((Ez + cBy)/2)^2
+/// The reflectivity diagnostic time-averages backward/forward at a plane
+/// between the antenna and the plasma.
+std::pair<double, double> wave_power_x(const grid::FieldArray& f, int i);
+
+}  // namespace minivpic::field

@@ -1,0 +1,67 @@
+#include "field/solver.hpp"
+
+namespace minivpic::field {
+
+using grid::real;
+
+FieldSolver::FieldSolver(const grid::LocalGrid& grid, grid::Halo* halo)
+    : grid_(&grid), halo_(halo), boundary_(grid) {
+  MV_REQUIRE(halo != nullptr, "field solver needs a halo exchanger");
+}
+
+void FieldSolver::advance_b(grid::FieldArray& f, double frac) {
+  const int nx = grid_->nx(), ny = grid_->ny(), nz = grid_->nz();
+  const real px = real(frac * grid_->dt() / grid_->dx());
+  const real py = real(frac * grid_->dt() / grid_->dy());
+  const real pz = real(frac * grid_->dt() / grid_->dz());
+
+  for (int k = 1; k <= nz; ++k) {
+    for (int j = 1; j <= ny; ++j) {
+      for (int i = 1; i <= nx; ++i) {
+        // dB/dt = -curl E on the Yee faces (fields store cB; c = 1).
+        f.cbx(i, j, k) -= py * (f.ez(i, j + 1, k) - f.ez(i, j, k)) -
+                          pz * (f.ey(i, j, k + 1) - f.ey(i, j, k));
+        f.cby(i, j, k) -= pz * (f.ex(i, j, k + 1) - f.ex(i, j, k)) -
+                          px * (f.ez(i + 1, j, k) - f.ez(i, j, k));
+        f.cbz(i, j, k) -= px * (f.ey(i + 1, j, k) - f.ey(i, j, k)) -
+                          py * (f.ex(i, j + 1, k) - f.ex(i, j, k));
+      }
+    }
+  }
+  halo_->refresh(f, {grid::Component::kCbx, grid::Component::kCby,
+                     grid::Component::kCbz});
+}
+
+void FieldSolver::advance_e(grid::FieldArray& f) {
+  const int nx = grid_->nx(), ny = grid_->ny(), nz = grid_->nz();
+  const real dt = real(grid_->dt());
+  const real px = real(grid_->dt() / grid_->dx());
+  const real py = real(grid_->dt() / grid_->dy());
+  const real pz = real(grid_->dt() / grid_->dz());
+
+  for (int k = 1; k <= nz; ++k) {
+    for (int j = 1; j <= ny; ++j) {
+      for (int i = 1; i <= nx; ++i) {
+        // dE/dt = curl cB - J (eps0 = 1).
+        f.ex(i, j, k) += py * (f.cbz(i, j, k) - f.cbz(i, j - 1, k)) -
+                         pz * (f.cby(i, j, k) - f.cby(i, j, k - 1)) -
+                         dt * f.jfx(i, j, k);
+        f.ey(i, j, k) += pz * (f.cbx(i, j, k) - f.cbx(i, j, k - 1)) -
+                         px * (f.cbz(i, j, k) - f.cbz(i - 1, j, k)) -
+                         dt * f.jfy(i, j, k);
+        f.ez(i, j, k) += px * (f.cby(i, j, k) - f.cby(i - 1, j, k)) -
+                         py * (f.cbx(i, j, k) - f.cbx(i, j - 1, k)) -
+                         dt * f.jfz(i, j, k);
+      }
+    }
+  }
+  boundary_.apply(f);
+  halo_->refresh(
+      f, {grid::Component::kEx, grid::Component::kEy, grid::Component::kEz});
+}
+
+void FieldSolver::refresh_all(grid::FieldArray& f) {
+  halo_->refresh(f, grid::em_components());
+}
+
+}  // namespace minivpic::field

@@ -1,0 +1,51 @@
+// Explicit FDTD field advance on the Yee mesh (the VPIC field solver).
+//
+// Leapfrog schedule used by the simulation loop (E, B at integer steps;
+// particle momenta at half steps):
+//   1. particles: interpolate E,B(t), push, deposit J(t+dt/2)
+//   2. advance_b(0.5)   — B to t+dt/2 using E(t)
+//   3. advance_e()      — E to t+dt using B(t+dt/2) and J(t+dt/2)
+//   4. advance_b(0.5)   — B to t+dt using E(t+dt)
+// Each advance refreshes the ghost planes it invalidated, so on entry to
+// every stage the stencils may read ghosts freely.
+#pragma once
+
+#include "field/boundary_ops.hpp"
+#include "grid/fields.hpp"
+#include "grid/halo.hpp"
+
+namespace minivpic::field {
+
+class FieldSolver {
+ public:
+  /// `halo` must outlive the solver.
+  FieldSolver(const grid::LocalGrid& grid, grid::Halo* halo);
+
+  /// cB -= frac*dt * curl E over the interior; refreshes B ghosts.
+  void advance_b(grid::FieldArray& f, double frac);
+
+  /// E += dt * (curl cB - J) over the interior, applies wall boundary
+  /// conditions (PEC / Mur) on global faces, refreshes E ghosts.
+  void advance_e(grid::FieldArray& f);
+
+  /// Ghost refresh for both E and B — call once after initializing fields
+  /// (and after checkpoint restore) so stencils see consistent ghosts.
+  void refresh_all(grid::FieldArray& f);
+
+  FieldBoundary& boundary() { return boundary_; }
+
+  /// Flop count per interior voxel of one advance_b(frac) + advance_e()
+  /// + advance_b(frac) field update (for the performance model).
+  static constexpr double flops_per_voxel() {
+    // advance_b: 3 comps x (2 diff + 2 scale + 1 fma) x 2 half steps,
+    // advance_e: 3 comps x (2 diff + 2 scale + 1 J term + 1 add).
+    return 2 * 3 * 7 + 3 * 8;
+  }
+
+ private:
+  const grid::LocalGrid* grid_;
+  grid::Halo* halo_;
+  FieldBoundary boundary_;
+};
+
+}  // namespace minivpic::field

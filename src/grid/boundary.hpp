@@ -1,0 +1,48 @@
+// Boundary condition descriptors for the six faces of a simulation domain.
+#pragma once
+
+#include <array>
+
+namespace minivpic::grid {
+
+/// What happens at a *global* domain face. Faces interior to the rank
+/// decomposition are always handled by ghost exchange, regardless of these.
+enum class BoundaryKind {
+  kPeriodic,   ///< wraps to the opposite face
+  kPec,        ///< perfect electric conductor: tangential E = 0 on the wall
+  kAbsorbing,  ///< first-order Mur outgoing-wave boundary
+};
+
+/// Face order used throughout: (-x, +x, -y, +y, -z, +z).
+enum Face : int {
+  kFaceXLo = 0,
+  kFaceXHi = 1,
+  kFaceYLo = 2,
+  kFaceYHi = 3,
+  kFaceZLo = 4,
+  kFaceZHi = 5,
+};
+
+using BoundarySpec = std::array<BoundaryKind, 6>;
+
+/// All-periodic boundary, the default for physics test problems.
+constexpr BoundarySpec periodic_boundaries() {
+  return {BoundaryKind::kPeriodic, BoundaryKind::kPeriodic,
+          BoundaryKind::kPeriodic, BoundaryKind::kPeriodic,
+          BoundaryKind::kPeriodic, BoundaryKind::kPeriodic};
+}
+
+/// Laser-plasma slab: absorbing in x (laser axis), periodic transversely.
+constexpr BoundarySpec lpi_boundaries() {
+  return {BoundaryKind::kAbsorbing, BoundaryKind::kAbsorbing,
+          BoundaryKind::kPeriodic,  BoundaryKind::kPeriodic,
+          BoundaryKind::kPeriodic,  BoundaryKind::kPeriodic};
+}
+
+constexpr int face_axis(Face f) { return static_cast<int>(f) / 2; }
+constexpr int face_dir(Face f) { return (static_cast<int>(f) % 2) ? +1 : -1; }
+constexpr Face face_of(int axis, int dir) {
+  return static_cast<Face>(2 * axis + (dir > 0 ? 1 : 0));
+}
+
+}  // namespace minivpic::grid

@@ -1,0 +1,41 @@
+#include "grid/fields.hpp"
+
+namespace minivpic::grid {
+
+FieldArray::FieldArray(const LocalGrid& grid)
+    : grid_(&grid),
+      sy_(grid.sy()),
+      sz_(grid.sz()),
+      ex_(std::size_t(grid.num_voxels())),
+      ey_(std::size_t(grid.num_voxels())),
+      ez_(std::size_t(grid.num_voxels())),
+      cbx_(std::size_t(grid.num_voxels())),
+      cby_(std::size_t(grid.num_voxels())),
+      cbz_(std::size_t(grid.num_voxels())),
+      jfx_(std::size_t(grid.num_voxels())),
+      jfy_(std::size_t(grid.num_voxels())),
+      jfz_(std::size_t(grid.num_voxels())),
+      rhof_(std::size_t(grid.num_voxels())) {}
+
+void FieldArray::clear_sources() {
+  jfx_.zero();
+  jfy_.zero();
+  jfz_.zero();
+  rhof_.zero();
+}
+
+void FieldArray::clear_all() {
+  ex_.zero();
+  ey_.zero();
+  ez_.zero();
+  cbx_.zero();
+  cby_.zero();
+  cbz_.zero();
+  clear_sources();
+}
+
+std::int64_t FieldArray::bytes() const {
+  return std::int64_t(sizeof(real)) * grid_->num_voxels() * 10;
+}
+
+}  // namespace minivpic::grid

@@ -1,0 +1,89 @@
+// Field state on the local Yee mesh: E, cB, free current J and bound charge
+// density rho, stored as aligned structure-of-arrays in single precision
+// (the paper's s.p. claim is about exactly these arrays).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/geometry.hpp"
+#include "util/aligned.hpp"
+
+namespace minivpic::grid {
+
+/// Single-precision field real type, as in VPIC.
+using real = float;
+
+/// All field components on one rank's padded mesh. Component (i,j,k)
+/// accessors take voxel coordinates in [0, n+1]; see geometry.hpp for the
+/// staggering conventions.
+class FieldArray {
+ public:
+  explicit FieldArray(const LocalGrid& grid);
+
+  const LocalGrid& grid() const { return *grid_; }
+
+  // Component accessors (mutable + const).
+  real& ex(int i, int j, int k) { return ex_[idx(i, j, k)]; }
+  real& ey(int i, int j, int k) { return ey_[idx(i, j, k)]; }
+  real& ez(int i, int j, int k) { return ez_[idx(i, j, k)]; }
+  real& cbx(int i, int j, int k) { return cbx_[idx(i, j, k)]; }
+  real& cby(int i, int j, int k) { return cby_[idx(i, j, k)]; }
+  real& cbz(int i, int j, int k) { return cbz_[idx(i, j, k)]; }
+  real& jfx(int i, int j, int k) { return jfx_[idx(i, j, k)]; }
+  real& jfy(int i, int j, int k) { return jfy_[idx(i, j, k)]; }
+  real& jfz(int i, int j, int k) { return jfz_[idx(i, j, k)]; }
+  real& rhof(int i, int j, int k) { return rhof_[idx(i, j, k)]; }
+
+  real ex(int i, int j, int k) const { return ex_[idx(i, j, k)]; }
+  real ey(int i, int j, int k) const { return ey_[idx(i, j, k)]; }
+  real ez(int i, int j, int k) const { return ez_[idx(i, j, k)]; }
+  real cbx(int i, int j, int k) const { return cbx_[idx(i, j, k)]; }
+  real cby(int i, int j, int k) const { return cby_[idx(i, j, k)]; }
+  real cbz(int i, int j, int k) const { return cbz_[idx(i, j, k)]; }
+  real jfx(int i, int j, int k) const { return jfx_[idx(i, j, k)]; }
+  real jfy(int i, int j, int k) const { return jfy_[idx(i, j, k)]; }
+  real jfz(int i, int j, int k) const { return jfz_[idx(i, j, k)]; }
+  real rhof(int i, int j, int k) const { return rhof_[idx(i, j, k)]; }
+
+  // Flat-array views, for kernels that stream whole components.
+  std::span<real> ex_span() { return ex_.span(); }
+  std::span<real> ey_span() { return ey_.span(); }
+  std::span<real> ez_span() { return ez_.span(); }
+  std::span<real> cbx_span() { return cbx_.span(); }
+  std::span<real> cby_span() { return cby_.span(); }
+  std::span<real> cbz_span() { return cbz_.span(); }
+  std::span<real> jfx_span() { return jfx_.span(); }
+  std::span<real> jfy_span() { return jfy_.span(); }
+  std::span<real> jfz_span() { return jfz_.span(); }
+  std::span<real> rhof_span() { return rhof_.span(); }
+  std::span<const real> ex_span() const { return ex_.span(); }
+  std::span<const real> ey_span() const { return ey_.span(); }
+  std::span<const real> ez_span() const { return ez_.span(); }
+  std::span<const real> cbx_span() const { return cbx_.span(); }
+  std::span<const real> cby_span() const { return cby_.span(); }
+  std::span<const real> cbz_span() const { return cbz_.span(); }
+
+  /// Flat voxel index from padded coordinates.
+  std::int32_t idx(int i, int j, int k) const {
+    return std::int32_t(i) + sy_ * j + sz_ * k;
+  }
+
+  /// Clears the current and charge accumulation arrays (start of a step).
+  void clear_sources();
+
+  /// Clears every component.
+  void clear_all();
+
+  /// Bytes of field state per rank (for the data-motion accounting).
+  std::int64_t bytes() const;
+
+ private:
+  const LocalGrid* grid_;
+  std::int32_t sy_, sz_;
+  AlignedBuffer<real> ex_, ey_, ez_;
+  AlignedBuffer<real> cbx_, cby_, cbz_;
+  AlignedBuffer<real> jfx_, jfy_, jfz_;
+  AlignedBuffer<real> rhof_;
+};
+
+}  // namespace minivpic::grid

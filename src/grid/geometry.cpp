@@ -1,0 +1,131 @@
+#include "grid/geometry.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic::grid {
+
+double GlobalGrid::courant_dt() const {
+  const double inv2 =
+      1.0 / (dx * dx) + 1.0 / (dy * dy) + 1.0 / (dz * dz);
+  return cfl / std::sqrt(inv2);
+}
+
+namespace {
+
+/// Even split of n cells over p slabs: slab r gets base + (r < rem).
+void split(int n, int p, int r, int* count, int* offset) {
+  const int base = n / p;
+  const int rem = n % p;
+  *count = base + (r < rem ? 1 : 0);
+  *offset = r * base + std::min(r, rem);
+}
+
+}  // namespace
+
+LocalGrid::LocalGrid(const GlobalGrid& global, const vmpi::CartTopology& topo,
+                     int rank) {
+  MV_REQUIRE(global.nx >= 1 && global.ny >= 1 && global.nz >= 1,
+             "grid must have at least one cell per axis");
+  MV_REQUIRE(global.dx > 0 && global.dy > 0 && global.dz > 0,
+             "cell sizes must be positive");
+  MV_REQUIRE(global.cfl > 0 && global.cfl < 1.0,
+             "Courant fraction must be in (0,1), got " << global.cfl);
+
+  gnx_ = global.nx;
+  gny_ = global.ny;
+  gnz_ = global.nz;
+  x0_ = global.x0;
+  y0_ = global.y0;
+  z0_ = global.z0;
+  dx_ = global.dx;
+  dy_ = global.dy;
+  dz_ = global.dz;
+  dt_ = global.dt > 0 ? global.dt : global.courant_dt();
+  MV_REQUIRE(dt_ < global.courant_dt() / global.cfl,
+             "timestep " << dt_ << " exceeds the Courant limit");
+  boundary_ = global.boundary;
+  rank_ = rank;
+  nranks_ = topo.nranks();
+
+  const auto coords = topo.coords_of(rank);
+  const auto dims = topo.dims();
+  MV_REQUIRE(dims[0] <= global.nx && dims[1] <= global.ny &&
+                 dims[2] <= global.nz,
+             "more ranks than cells along an axis");
+  split(global.nx, dims[0], coords[0], &nx_, &ox_);
+  split(global.ny, dims[1], coords[1], &ny_, &oy_);
+  split(global.nz, dims[2], coords[2], &nz_, &oz_);
+
+  // Periodicity of an axis follows from its two global boundary kinds; a
+  // periodic spec must be periodic on both faces of the axis.
+  for (int axis = 0; axis < 3; ++axis) {
+    const bool lo =
+        global.boundary[2 * axis] == BoundaryKind::kPeriodic;
+    const bool hi =
+        global.boundary[2 * axis + 1] == BoundaryKind::kPeriodic;
+    MV_REQUIRE(lo == hi, "periodic boundary must apply to both faces of axis "
+                             << axis);
+  }
+
+  init_neighbors(global, topo);
+}
+
+LocalGrid::LocalGrid(const GlobalGrid& global)
+    : LocalGrid(global,
+                vmpi::CartTopology(
+                    {1, 1, 1},
+                    {global.boundary[0] == BoundaryKind::kPeriodic,
+                     global.boundary[2] == BoundaryKind::kPeriodic,
+                     global.boundary[4] == BoundaryKind::kPeriodic}),
+                0) {}
+
+void LocalGrid::init_neighbors(const GlobalGrid& global,
+                               const vmpi::CartTopology& topo) {
+  const auto coords = topo.coords_of(rank_);
+  const auto dims = topo.dims();
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int dir : {-1, +1}) {
+      const Face face = face_of(axis, dir);
+      const bool at_edge =
+          dir < 0 ? coords[axis] == 0 : coords[axis] == dims[axis] - 1;
+      on_global_[face] = at_edge;
+      const bool periodic =
+          global.boundary[face] == BoundaryKind::kPeriodic;
+      if (at_edge && !periodic) {
+        neighbor_[face] = kNoNeighbor;
+      } else {
+        auto c = coords;
+        c[axis] += dir;
+        // Wrap for periodic axes regardless of the topology's own flags.
+        c[axis] = (c[axis] + dims[axis]) % dims[axis];
+        neighbor_[face] = topo.rank_of(c);
+      }
+    }
+  }
+}
+
+std::array<int, 3> LocalGrid::voxel_coords(std::int32_t v) const {
+  MV_ASSERT(v >= 0 && v < num_voxels());
+  const int sx = nx_ + 2;
+  const int sy = ny_ + 2;
+  return {int(v % sx), int((v / sx) % sy), int(v / (sx * sy))};
+}
+
+int LocalGrid::cell_of_x(double x) const {
+  const int i = 1 + int(std::floor((x - node_x(1)) / dx_));
+  return (i >= 1 && i <= nx_) ? i : -1;
+}
+
+int LocalGrid::cell_of_y(double y) const {
+  const int j = 1 + int(std::floor((y - node_y(1)) / dy_));
+  return (j >= 1 && j <= ny_) ? j : -1;
+}
+
+int LocalGrid::cell_of_z(double z) const {
+  const int k = 1 + int(std::floor((z - node_z(1)) / dz_));
+  return (k >= 1 && k <= nz_) ? k : -1;
+}
+
+}  // namespace minivpic::grid

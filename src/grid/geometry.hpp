@@ -1,0 +1,138 @@
+// Yee-mesh geometry: global extents, the local slab owned by this rank, and
+// the voxel indexing used by every field and particle kernel.
+//
+// Conventions (identical to VPIC):
+//  * Local arrays span (nx+2) x (ny+2) x (nz+2) voxels; interior cells are
+//    1..nx (1-based), index 0 and nx+1 are one-deep ghost layers.
+//  * Voxel index: v = ix + (nx+2) * (iy + (ny+2) * iz)  — x fastest.
+//  * Node (i,j,k) is the lower corner of cell (i,j,k); Yee staggering:
+//      Ex(i,j,k) at (i+1/2, j,     k    )   x-edge
+//      Ey(i,j,k) at (i,     j+1/2, k    )   y-edge
+//      Ez(i,j,k) at (i,     j,     k+1/2)   z-edge
+//      cBx(i,j,k) at (i,    j+1/2, k+1/2)   x-face
+//      cBy(i,j,k) at (i+1/2, j,    k+1/2)   y-face
+//      cBz(i,j,k) at (i+1/2, j+1/2, k   )   z-face
+//  * Units: c = eps0 = mu0 = 1; dt, dx in 1/omega_pe and c/omega_pe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "grid/boundary.hpp"
+#include "vmpi/cart.hpp"
+
+namespace minivpic::grid {
+
+/// Global problem description, identical on every rank.
+struct GlobalGrid {
+  int nx = 1, ny = 1, nz = 1;          ///< global cell counts
+  double x0 = 0, y0 = 0, z0 = 0;       ///< global lower corner
+  double dx = 1, dy = 1, dz = 1;       ///< cell sizes (skin depths)
+  double dt = 0;                       ///< timestep; 0 = derive from CFL
+  double cfl = 0.99;                   ///< Courant fraction when dt == 0
+  BoundarySpec boundary = periodic_boundaries();
+
+  double lx() const { return nx * dx; }
+  double ly() const { return ny * dy; }
+  double lz() const { return nz * dz; }
+
+  /// Courant-limited timestep for the 3-D Yee scheme.
+  double courant_dt() const;
+};
+
+/// This rank's slab of the global grid plus everything kernels need to index
+/// it. Immutable after construction.
+class LocalGrid {
+ public:
+  /// Decomposes `global` over `topo`, taking the slab of `rank`.
+  /// Cells are split as evenly as possible; earlier ranks get the remainder.
+  LocalGrid(const GlobalGrid& global, const vmpi::CartTopology& topo, int rank);
+
+  /// Single-rank convenience.
+  explicit LocalGrid(const GlobalGrid& global);
+
+  // -- sizes -------------------------------------------------------------
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  /// Stride helpers for the padded (ghosted) array.
+  int sx() const { return 1; }
+  int sy() const { return nx_ + 2; }
+  int sz() const { return (nx_ + 2) * (ny_ + 2); }
+  /// Total padded voxel count = (nx+2)(ny+2)(nz+2).
+  std::int64_t num_voxels() const {
+    return std::int64_t(nx_ + 2) * (ny_ + 2) * (nz_ + 2);
+  }
+  std::int64_t num_cells() const { return std::int64_t(nx_) * ny_ * nz_; }
+
+  /// Voxel index of (ix, iy, iz), each in [0, n+1].
+  std::int32_t voxel(int ix, int iy, int iz) const {
+    return std::int32_t(ix + (nx_ + 2) * (iy + std::int64_t(ny_ + 2) * iz));
+  }
+  /// Inverse of voxel().
+  std::array<int, 3> voxel_coords(std::int32_t v) const;
+
+  /// True if voxel coordinates refer to an interior (owned) cell.
+  bool is_interior(int ix, int iy, int iz) const {
+    return ix >= 1 && ix <= nx_ && iy >= 1 && iy <= ny_ && iz >= 1 && iz <= nz_;
+  }
+
+  // -- spacing / time ----------------------------------------------------
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double dz() const { return dz_; }
+  double dt() const { return dt_; }
+  double cell_volume() const { return dx_ * dy_ * dz_; }
+
+  // -- position of this slab in the global grid ---------------------------
+  /// Global index of local interior cell 1 (per axis).
+  int offset_x() const { return ox_; }
+  int offset_y() const { return oy_; }
+  int offset_z() const { return oz_; }
+  int global_nx() const { return gnx_; }
+  int global_ny() const { return gny_; }
+  int global_nz() const { return gnz_; }
+
+  /// Physical coordinate of node (ix, iy, iz) (lower corner of that cell).
+  double node_x(int ix) const { return x0_ + (ox_ + ix - 1) * dx_; }
+  double node_y(int iy) const { return y0_ + (oy_ + iy - 1) * dy_; }
+  double node_z(int iz) const { return z0_ + (oz_ + iz - 1) * dz_; }
+
+  /// Local interior cell containing global position, or -1 if outside.
+  int cell_of_x(double x) const;
+  int cell_of_y(double y) const;
+  int cell_of_z(double z) const;
+
+  // -- neighbours / boundaries --------------------------------------------
+  /// Rank owning the slab across `face`, or kNoNeighbor if that face is a
+  /// global non-periodic boundary. For single-rank periodic axes this is the
+  /// rank itself.
+  int neighbor(Face face) const { return neighbor_[face]; }
+  static constexpr int kNoNeighbor = vmpi::CartTopology::kNoRank;
+
+  /// Boundary kind applying at `face` of this *local* slab: faces interior
+  /// to the decomposition report kPeriodic-like exchange via neighbor();
+  /// this returns the *global* spec only when the face touches the global
+  /// domain edge.
+  bool on_global_boundary(Face face) const { return on_global_[face]; }
+  BoundaryKind boundary(Face face) const { return boundary_[face]; }
+
+  int rank() const { return rank_; }
+  int nranks() const { return nranks_; }
+
+ private:
+  void init_neighbors(const GlobalGrid& global, const vmpi::CartTopology& topo);
+
+  int nx_, ny_, nz_;
+  int gnx_, gny_, gnz_;
+  int ox_, oy_, oz_;
+  double x0_, y0_, z0_;
+  double dx_, dy_, dz_, dt_;
+  int rank_ = 0;
+  int nranks_ = 1;
+  std::array<int, 6> neighbor_{};
+  std::array<bool, 6> on_global_{};
+  BoundarySpec boundary_{};
+};
+
+}  // namespace minivpic::grid

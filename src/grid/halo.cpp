@@ -1,0 +1,240 @@
+#include "grid/halo.hpp"
+
+namespace minivpic::grid {
+
+namespace {
+
+/// Tag layout for halo traffic: disambiguates axis and message kind so the
+/// two faces of an axis cannot cross even when both neighbors are the same
+/// rank (2-rank periodic axes).
+constexpr int kHaloTagBase = 1 << 20;
+enum Kind : int { kFillLoGhost = 0, kFillHiGhost = 1, kReduceHi = 2 };
+
+int halo_tag(int axis, Kind kind) { return kHaloTagBase + axis * 4 + kind; }
+
+}  // namespace
+
+std::vector<Component> em_components() {
+  return {Component::kEx,  Component::kEy,  Component::kEz,
+          Component::kCbx, Component::kCby, Component::kCbz};
+}
+
+std::vector<Component> source_components() {
+  return {Component::kJfx, Component::kJfy, Component::kJfz, Component::kRhof};
+}
+
+real* component_data(FieldArray& f, Component c) {
+  switch (c) {
+    case Component::kEx: return f.ex_span().data();
+    case Component::kEy: return f.ey_span().data();
+    case Component::kEz: return f.ez_span().data();
+    case Component::kCbx: return f.cbx_span().data();
+    case Component::kCby: return f.cby_span().data();
+    case Component::kCbz: return f.cbz_span().data();
+    case Component::kJfx: return f.jfx_span().data();
+    case Component::kJfy: return f.jfy_span().data();
+    case Component::kJfz: return f.jfz_span().data();
+    case Component::kRhof: return f.rhof_span().data();
+  }
+  MV_ASSERT(false);
+  return nullptr;
+}
+
+const real* component_data(const FieldArray& f, Component c) {
+  return component_data(const_cast<FieldArray&>(f), c);
+}
+
+Halo::Halo(const LocalGrid& grid, vmpi::Comm* comm)
+    : grid_(&grid), comm_(comm) {
+  if (comm_ == nullptr) {
+    MV_REQUIRE(grid.nranks() == 1,
+               "multi-rank grid requires a communicator for halo exchange");
+  } else {
+    MV_REQUIRE(comm_->size() == grid.nranks(),
+               "communicator size " << comm_->size()
+                                    << " does not match grid rank count "
+                                    << grid.nranks());
+  }
+}
+
+std::size_t Halo::plane_size(int axis) const {
+  const int px = grid_->nx() + 2;
+  const int py = grid_->ny() + 2;
+  const int pz = grid_->nz() + 2;
+  switch (axis) {
+    case 0: return std::size_t(py) * pz;
+    case 1: return std::size_t(px) * pz;
+    default: return std::size_t(px) * py;
+  }
+}
+
+void Halo::pack_plane(const FieldArray& f, Component c, int axis, int index,
+                      real* out) const {
+  const real* data = component_data(f, c);
+  const int px = grid_->nx() + 2;
+  const int py = grid_->ny() + 2;
+  const int pz = grid_->nz() + 2;
+  std::size_t m = 0;
+  switch (axis) {
+    case 0:
+      for (int k = 0; k < pz; ++k)
+        for (int j = 0; j < py; ++j) out[m++] = data[f.idx(index, j, k)];
+      break;
+    case 1:
+      for (int k = 0; k < pz; ++k)
+        for (int i = 0; i < px; ++i) out[m++] = data[f.idx(i, index, k)];
+      break;
+    default:
+      for (int j = 0; j < py; ++j)
+        for (int i = 0; i < px; ++i) out[m++] = data[f.idx(i, j, index)];
+      break;
+  }
+}
+
+void Halo::unpack_plane(FieldArray& f, Component c, int axis, int index,
+                        const real* in, bool add) const {
+  real* data = component_data(f, c);
+  const int px = grid_->nx() + 2;
+  const int py = grid_->ny() + 2;
+  const int pz = grid_->nz() + 2;
+  std::size_t m = 0;
+  auto apply = [&](std::int32_t v) {
+    if (add) {
+      data[v] += in[m++];
+    } else {
+      data[v] = in[m++];
+    }
+  };
+  switch (axis) {
+    case 0:
+      for (int k = 0; k < pz; ++k)
+        for (int j = 0; j < py; ++j) apply(f.idx(index, j, k));
+      break;
+    case 1:
+      for (int k = 0; k < pz; ++k)
+        for (int i = 0; i < px; ++i) apply(f.idx(i, index, k));
+      break;
+    default:
+      for (int j = 0; j < py; ++j)
+        for (int i = 0; i < px; ++i) apply(f.idx(i, j, index));
+      break;
+  }
+}
+
+void Halo::exchange_axis_refresh(FieldArray& f,
+                                 const std::vector<Component>& comps,
+                                 int axis) {
+  const int n = axis == 0 ? grid_->nx() : axis == 1 ? grid_->ny() : grid_->nz();
+  const int lo = grid_->neighbor(face_of(axis, -1));
+  const int hi = grid_->neighbor(face_of(axis, +1));
+  const int self = grid_->rank();
+  const std::size_t plane = plane_size(axis);
+  const std::size_t msg = plane * comps.size();
+  sendbuf_lo_.resize(msg);
+  sendbuf_hi_.resize(msg);
+  recvbuf_.resize(msg);
+
+  // Local periodic wrap (neighbor is this rank itself).
+  if (hi == self) {
+    MV_ASSERT(lo == self);
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+      pack_plane(f, comps[c], axis, n, sendbuf_lo_.data() + c * plane);
+      unpack_plane(f, comps[c], axis, 0, sendbuf_lo_.data() + c * plane, false);
+      pack_plane(f, comps[c], axis, 1, sendbuf_hi_.data() + c * plane);
+      unpack_plane(f, comps[c], axis, n + 1, sendbuf_hi_.data() + c * plane,
+                   false);
+    }
+    return;
+  }
+
+  // Post both buffered sends first, then receive — cannot deadlock.
+  if (hi != LocalGrid::kNoNeighbor) {
+    for (std::size_t c = 0; c < comps.size(); ++c)
+      pack_plane(f, comps[c], axis, n, sendbuf_hi_.data() + c * plane);
+    comm_->send(hi, halo_tag(axis, kFillLoGhost),
+                std::span<const real>(sendbuf_hi_.data(), msg));
+  }
+  if (lo != LocalGrid::kNoNeighbor) {
+    for (std::size_t c = 0; c < comps.size(); ++c)
+      pack_plane(f, comps[c], axis, 1, sendbuf_lo_.data() + c * plane);
+    comm_->send(lo, halo_tag(axis, kFillHiGhost),
+                std::span<const real>(sendbuf_lo_.data(), msg));
+  }
+  if (lo != LocalGrid::kNoNeighbor) {
+    comm_->recv(lo, halo_tag(axis, kFillLoGhost),
+                std::span<real>(recvbuf_.data(), msg));
+    for (std::size_t c = 0; c < comps.size(); ++c)
+      unpack_plane(f, comps[c], axis, 0, recvbuf_.data() + c * plane, false);
+  }
+  if (hi != LocalGrid::kNoNeighbor) {
+    comm_->recv(hi, halo_tag(axis, kFillHiGhost),
+                std::span<real>(recvbuf_.data(), msg));
+    for (std::size_t c = 0; c < comps.size(); ++c)
+      unpack_plane(f, comps[c], axis, n + 1, recvbuf_.data() + c * plane,
+                   false);
+  }
+}
+
+void Halo::exchange_axis_reduce(FieldArray& f,
+                                const std::vector<Component>& comps, int axis) {
+  const int n = axis == 0 ? grid_->nx() : axis == 1 ? grid_->ny() : grid_->nz();
+  const int lo = grid_->neighbor(face_of(axis, -1));
+  const int hi = grid_->neighbor(face_of(axis, +1));
+  const int self = grid_->rank();
+  const std::size_t plane = plane_size(axis);
+  const std::size_t msg = plane * comps.size();
+  sendbuf_hi_.resize(msg);
+  recvbuf_.resize(msg);
+
+  // Deposition only reaches the high-side ghost plane (index n+1); fold it
+  // into the hi neighbor's first interior plane.
+  if (hi == self) {
+    MV_ASSERT(lo == self);
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+      pack_plane(f, comps[c], axis, n + 1, sendbuf_hi_.data() + c * plane);
+      unpack_plane(f, comps[c], axis, 1, sendbuf_hi_.data() + c * plane, true);
+    }
+    return;
+  }
+
+  if (hi != LocalGrid::kNoNeighbor) {
+    for (std::size_t c = 0; c < comps.size(); ++c)
+      pack_plane(f, comps[c], axis, n + 1, sendbuf_hi_.data() + c * plane);
+    comm_->send(hi, halo_tag(axis, kReduceHi),
+                std::span<const real>(sendbuf_hi_.data(), msg));
+  }
+  if (lo != LocalGrid::kNoNeighbor) {
+    comm_->recv(lo, halo_tag(axis, kReduceHi),
+                std::span<real>(recvbuf_.data(), msg));
+    for (std::size_t c = 0; c < comps.size(); ++c)
+      unpack_plane(f, comps[c], axis, 1, recvbuf_.data() + c * plane, true);
+  }
+}
+
+void Halo::refresh(FieldArray& f, const std::vector<Component>& comps) {
+  for (int axis = 0; axis < 3; ++axis) exchange_axis_refresh(f, comps, axis);
+}
+
+void Halo::reduce_sources(FieldArray& f) {
+  const auto comps = source_components();
+  for (int axis = 0; axis < 3; ++axis) exchange_axis_reduce(f, comps, axis);
+  zero_source_ghosts(f);
+}
+
+void Halo::zero_source_ghosts(FieldArray& f) const {
+  const int nx = grid_->nx(), ny = grid_->ny(), nz = grid_->nz();
+  for (Component c : source_components()) {
+    real* data = component_data(f, c);
+    for (int k = 0; k <= nz + 1; ++k) {
+      for (int j = 0; j <= ny + 1; ++j) {
+        for (int i = 0; i <= nx + 1; ++i) {
+          const bool ghost = i == 0 || i == nx + 1 || j == 0 || j == ny + 1 ||
+                             k == 0 || k == nz + 1;
+          if (ghost) data[f.idx(i, j, k)] = 0;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace minivpic::grid

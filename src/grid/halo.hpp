@@ -1,0 +1,77 @@
+// Ghost-cell operations: refresh (copy neighbor interior planes into my
+// ghost layer, for E/B before interpolation and curl stencils) and source
+// reduction (fold ghost-deposited J/rho back into the owning interior,
+// after particle deposition).
+//
+// Axes are processed sequentially (x, then y, then z) with full padded
+// planes, which makes edge- and corner-ghost values consistent without any
+// dedicated diagonal exchange — the standard halo trick.
+//
+// Works in two modes sharing one code path:
+//  * single-rank / periodic-local: plane copies inside this rank's arrays;
+//  * multi-rank: vmpi sends/recvs with the neighbor ranks of the LocalGrid.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "grid/fields.hpp"
+#include "vmpi/comm.hpp"
+
+namespace minivpic::grid {
+
+/// Field components addressable by the halo machinery.
+enum class Component {
+  kEx, kEy, kEz,
+  kCbx, kCby, kCbz,
+  kJfx, kJfy, kJfz,
+  kRhof,
+};
+
+/// All electromagnetic components (the usual refresh set).
+std::vector<Component> em_components();
+
+/// All source components (the reduce set).
+std::vector<Component> source_components();
+
+class Halo {
+ public:
+  /// `comm` may be null only when the grid spans a single rank.
+  Halo(const LocalGrid& grid, vmpi::Comm* comm);
+
+  /// Fills ghost planes (index 0 and n+1) of the listed components from the
+  /// adjacent interiors. Ghosts on global non-periodic faces are left
+  /// untouched (boundary ops own them).
+  void refresh(FieldArray& f, const std::vector<Component>& comps);
+
+  /// Folds ghost-deposited source contributions (high-side ghost plane
+  /// n+1, the only side deposition reaches) into the owning neighbor's first
+  /// interior plane, then zeroes all source ghosts.
+  void reduce_sources(FieldArray& f);
+
+ private:
+  /// Plane length for an axis (full padded extent of the two other axes).
+  std::size_t plane_size(int axis) const;
+
+  void pack_plane(const FieldArray& f, Component c, int axis, int index,
+                  real* out) const;
+  void unpack_plane(FieldArray& f, Component c, int axis, int index,
+                    const real* in, bool add) const;
+
+  void exchange_axis_refresh(FieldArray& f, const std::vector<Component>& comps,
+                             int axis);
+  void exchange_axis_reduce(FieldArray& f, const std::vector<Component>& comps,
+                            int axis);
+
+  void zero_source_ghosts(FieldArray& f) const;
+
+  const LocalGrid* grid_;
+  vmpi::Comm* comm_;
+  std::vector<real> sendbuf_lo_, sendbuf_hi_, recvbuf_;
+};
+
+/// Raw pointer to a component's flat array (shared by halo and checkpoint).
+real* component_data(FieldArray& f, Component c);
+const real* component_data(const FieldArray& f, Component c);
+
+}  // namespace minivpic::grid

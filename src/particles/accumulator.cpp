@@ -1,0 +1,34 @@
+#include "particles/accumulator.hpp"
+
+namespace minivpic::particles {
+
+void AccumulatorArray::unload(grid::FieldArray& f) const {
+  const auto& g = f.grid();
+  // Quadrant charge -> current density: each accumulator entry is 4x the
+  // charge through a quadrant of the edge's dual face; divide by 4, the
+  // dual-face area and dt.
+  const float cx = float(0.25 / (g.dy() * g.dz() * g.dt()));
+  const float cy = float(0.25 / (g.dz() * g.dx() * g.dt()));
+  const float cz = float(0.25 / (g.dx() * g.dy() * g.dt()));
+  for (int k = 1; k <= g.nz(); ++k) {
+    for (int j = 1; j <= g.ny(); ++j) {
+      for (int i = 1; i <= g.nx(); ++i) {
+        const CellAccum& a = data_[std::size_t(f.idx(i, j, k))];
+        f.jfx(i, j, k) += cx * a.jx[0];
+        f.jfx(i, j + 1, k) += cx * a.jx[1];
+        f.jfx(i, j, k + 1) += cx * a.jx[2];
+        f.jfx(i, j + 1, k + 1) += cx * a.jx[3];
+        f.jfy(i, j, k) += cy * a.jy[0];
+        f.jfy(i, j, k + 1) += cy * a.jy[1];
+        f.jfy(i + 1, j, k) += cy * a.jy[2];
+        f.jfy(i + 1, j, k + 1) += cy * a.jy[3];
+        f.jfz(i, j, k) += cz * a.jz[0];
+        f.jfz(i + 1, j, k) += cz * a.jz[1];
+        f.jfz(i, j + 1, k) += cz * a.jz[2];
+        f.jfz(i + 1, j + 1, k) += cz * a.jz[3];
+      }
+    }
+  }
+}
+
+}  // namespace minivpic::particles

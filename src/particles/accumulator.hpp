@@ -1,0 +1,48 @@
+// Per-cell current accumulator (VPIC's accumulator array).
+//
+// The push deposits each particle's current into the accumulator of its
+// cell — a compact, cache-resident write target — and the accumulated
+// quadrant fluxes are unloaded onto the Yee J mesh once per step. Each
+// entry stores, per component, 4 x the physical charge that crossed the
+// corresponding edge quadrant during the step (VPIC's convention):
+//   jx[0] edge (i, j,   k  ),  jx[1] edge (i, j+1, k  ),
+//   jx[2] edge (i, j,   k+1), jx[3] edge (i, j+1, k+1)
+// and cyclically for jy (k, i offsets) and jz (i, j offsets).
+#pragma once
+
+#include <span>
+
+#include "grid/fields.hpp"
+#include "util/aligned.hpp"
+
+namespace minivpic::particles {
+
+struct CellAccum {
+  float jx[4] = {0, 0, 0, 0};
+  float jy[4] = {0, 0, 0, 0};
+  float jz[4] = {0, 0, 0, 0};
+  float pad[4] = {0, 0, 0, 0};  ///< pad to 64 bytes (one cache line)
+};
+static_assert(sizeof(CellAccum) == 64, "accumulator layout");
+
+class AccumulatorArray {
+ public:
+  explicit AccumulatorArray(const grid::LocalGrid& grid)
+      : data_(std::size_t(grid.num_voxels())) {}
+
+  CellAccum* data() { return data_.data(); }
+  const CellAccum* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  void clear() { data_.zero(); }
+
+  /// Adds the accumulated quadrant charges onto the mesh free-current
+  /// arrays (jfx += ...). Deposits reach voxel index n+1 along each axis;
+  /// run the halo source reduction afterwards. Does not clear.
+  void unload(grid::FieldArray& f) const;
+
+ private:
+  AlignedBuffer<CellAccum> data_;
+};
+
+}  // namespace minivpic::particles

@@ -1,0 +1,182 @@
+#include "particles/collisions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace minivpic::particles {
+
+namespace {
+
+/// Scatters the pair (a, b) through a Takizuka–Abe random angle. `dt_eff`
+/// is the effective collision interval; `n_field` the density of the field
+/// population in code units. Returns how many particles changed.
+int scatter_pair(Particle& a, double ma, Particle& b, double mb,
+                 double nu_scale, double n_field, double dt_eff, Rng& rng) {
+  // Relative velocity (non-relativistic: u ~ v for the thermal bulk).
+  const double ux = double(a.ux) - b.ux;
+  const double uy = double(a.uy) - b.uy;
+  const double uz = double(a.uz) - b.uz;
+  const double u2 = ux * ux + uy * uy + uz * uz;
+  if (u2 == 0.0) return 0;
+  const double u = std::sqrt(u2);
+  const double uperp = std::sqrt(ux * ux + uy * uy);
+
+  // tan(theta/2) ~ Normal(0, sigma); theta from the TA half-angle form.
+  const double sigma2 = nu_scale * n_field * dt_eff / (u2 * u);
+  const double delta = rng.normal(0.0, std::sqrt(sigma2));
+  const double denom = 1.0 + delta * delta;
+  const double sin_t = 2.0 * delta / denom;
+  const double one_minus_cos = 2.0 * delta * delta / denom;
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double sp = std::sin(phi), cp = std::cos(phi);
+
+  // Change of the relative velocity (Takizuka & Abe eq. (4)).
+  double dx, dy, dz;
+  if (uperp > 1e-12 * u) {
+    dx = (ux / uperp) * uz * sin_t * cp - (uy / uperp) * u * sin_t * sp -
+         ux * one_minus_cos;
+    dy = (uy / uperp) * uz * sin_t * cp + (ux / uperp) * u * sin_t * sp -
+         uy * one_minus_cos;
+    dz = -uperp * sin_t * cp - uz * one_minus_cos;
+  } else {
+    // u along z: the perpendicular frame is degenerate.
+    dx = u * sin_t * cp;
+    dy = u * sin_t * sp;
+    dz = -uz * one_minus_cos;
+  }
+
+  // Momentum-conserving split by reduced mass; Nanbu rejection keeps
+  // unequal-weight pairs statistically correct.
+  const double mr = ma * mb / (ma + mb);
+  const double wmax = std::max(double(a.w), double(b.w));
+  int changed = 0;
+  if (rng.uniform() * wmax <= double(b.w)) {
+    a.ux = float(a.ux + (mr / ma) * dx);
+    a.uy = float(a.uy + (mr / ma) * dy);
+    a.uz = float(a.uz + (mr / ma) * dz);
+    ++changed;
+  }
+  if (rng.uniform() * wmax <= double(a.w)) {
+    b.ux = float(b.ux - (mr / mb) * dx);
+    b.uy = float(b.uy - (mr / mb) * dy);
+    b.uz = float(b.uz - (mr / mb) * dz);
+    ++changed;
+  }
+  return changed;
+}
+
+/// Finds [begin, end) index ranges per voxel in a sorted species.
+struct CellRange {
+  std::int32_t voxel;
+  std::size_t begin, end;
+};
+
+std::vector<CellRange> cell_ranges(const Species& sp) {
+  std::vector<CellRange> out;
+  const auto parts = sp.particles();
+  std::size_t i = 0;
+  while (i < parts.size()) {
+    std::size_t j = i + 1;
+    while (j < parts.size() && parts[j].i == parts[i].i) {
+      MV_ASSERT_MSG(parts[j].i >= parts[i].i,
+                    "species must be sorted before collisions");
+      ++j;
+    }
+    out.push_back({parts[i].i, i, j});
+    i = j;
+  }
+  return out;
+}
+
+double cell_density(const Species& sp, const CellRange& r, double inv_dv) {
+  double w = 0;
+  for (std::size_t n = r.begin; n < r.end; ++n) w += sp[n].w;
+  return w * inv_dv;
+}
+
+}  // namespace
+
+CollisionStats collide_intraspecies(Species& sp, const grid::LocalGrid& grid,
+                                    double nu_scale, double dt,
+                                    std::uint64_t seed, std::int64_t step) {
+  MV_REQUIRE(nu_scale >= 0 && dt > 0, "bad collision parameters");
+  CollisionStats stats;
+  if (nu_scale == 0 || sp.size() < 2) return stats;
+
+  const double inv_dv = 1.0 / grid.cell_volume();
+  const auto ranges = cell_ranges(sp);
+  std::vector<std::size_t> idx;
+  for (const auto& r : ranges) {
+    const std::size_t n = r.end - r.begin;
+    if (n < 2) continue;
+    Rng rng(seed, hash_combine(std::uint64_t(r.voxel),
+                               std::uint64_t(step) * 2 + 0));
+    idx.resize(n);
+    for (std::size_t k = 0; k < n; ++k) idx[k] = r.begin + k;
+    for (std::size_t k = n; k > 1; --k)
+      std::swap(idx[k - 1], idx[std::size_t(rng.uniform_u64(k))]);
+
+    const double density = cell_density(sp, r, inv_dv);
+    std::size_t first = 0;
+    if (n % 2 == 1) {
+      // Odd count: TA triple, each pair for dt/2.
+      Particle& p0 = sp[idx[0]];
+      Particle& p1 = sp[idx[1]];
+      Particle& p2 = sp[idx[2]];
+      stats.scattered += scatter_pair(p0, sp.m(), p1, sp.m(), nu_scale,
+                                      density, 0.5 * dt, rng);
+      stats.scattered += scatter_pair(p1, sp.m(), p2, sp.m(), nu_scale,
+                                      density, 0.5 * dt, rng);
+      stats.scattered += scatter_pair(p2, sp.m(), p0, sp.m(), nu_scale,
+                                      density, 0.5 * dt, rng);
+      stats.pairs += 3;
+      first = 3;
+    }
+    for (std::size_t k = first; k + 1 < n; k += 2) {
+      stats.scattered += scatter_pair(sp[idx[k]], sp.m(), sp[idx[k + 1]],
+                                      sp.m(), nu_scale, density, dt, rng);
+      ++stats.pairs;
+    }
+  }
+  return stats;
+}
+
+CollisionStats collide_interspecies(Species& a, Species& b,
+                                    const grid::LocalGrid& grid,
+                                    double nu_scale, double dt,
+                                    std::uint64_t seed, std::int64_t step) {
+  MV_REQUIRE(nu_scale >= 0 && dt > 0, "bad collision parameters");
+  MV_REQUIRE(&a != &b, "use collide_intraspecies for self-collisions");
+  CollisionStats stats;
+  if (nu_scale == 0 || a.empty() || b.empty()) return stats;
+
+  const double inv_dv = 1.0 / grid.cell_volume();
+  const auto ra = cell_ranges(a);
+  const auto rb = cell_ranges(b);
+  // Walk the two sorted range lists in lockstep.
+  std::size_t ib = 0;
+  for (const auto& range_a : ra) {
+    while (ib < rb.size() && rb[ib].voxel < range_a.voxel) ++ib;
+    if (ib == rb.size()) break;
+    if (rb[ib].voxel != range_a.voxel) continue;
+    const auto& range_b = rb[ib];
+    Rng rng(seed, hash_combine(std::uint64_t(range_a.voxel),
+                               std::uint64_t(step) * 2 + 1));
+    const double density_b = cell_density(b, range_b, inv_dv);
+    const std::size_t nb = range_b.end - range_b.begin;
+    for (std::size_t k = range_a.begin; k < range_a.end; ++k) {
+      const std::size_t partner =
+          range_b.begin + std::size_t(rng.uniform_u64(nb));
+      stats.scattered += scatter_pair(a[k], a.m(), b[partner], b.m(),
+                                      nu_scale, density_b, dt, rng);
+      ++stats.pairs;
+    }
+  }
+  return stats;
+}
+
+}  // namespace minivpic::particles

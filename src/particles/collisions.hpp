@@ -1,0 +1,52 @@
+// Binary Coulomb collisions: the Takizuka–Abe (J. Comput. Phys. 25, 205
+// (1977)) Monte-Carlo pairing operator, as shipped with production VPIC.
+// Hohlraum plasmas are weakly collisional; collisionality sets the Landau
+// damping recovery time of the SRS daughter wave, so LPI studies toggle
+// this operator on for the longest runs.
+//
+// Each collision step, particles within one cell are randomly paired and
+// each pair's relative velocity is rotated by a random angle whose variance
+// follows the Coulomb collision integral:
+//     <delta^2> = nu_scale * n_cell * dt / |u_rel|^3,
+// with delta = tan(theta/2). The rotation conserves momentum exactly and
+// kinetic energy exactly (non-relativistic scatter on u = gamma v ~ v;
+// valid for the thermal bulks this is applied to — documented limitation).
+//
+// `nu_scale` absorbs the physical prefactor q_a^2 q_b^2 ln(Lambda) /
+// (8 pi eps0^2 m_ab^2): in normalized PIC units the Coulomb logarithm and
+// the number of particles per Debye cube are not independently meaningful,
+// so the collisionality is an input knob, exactly as in VPIC decks.
+//
+// Odd particle counts use Takizuka & Abe's triple: the first three
+// particles form pairs (1,2), (2,3), (3,1), each colliding for dt/2.
+// Unequal weights are handled with Nanbu-style rejection: each partner is
+// scattered with probability w_other / max(w_a, w_b).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/geometry.hpp"
+#include "particles/species.hpp"
+
+namespace minivpic::particles {
+
+struct CollisionStats {
+  std::int64_t pairs = 0;
+  std::int64_t scattered = 0;  ///< individual particles whose u changed
+};
+
+/// Intra-species collisions (e.g. electron-electron). The species MUST be
+/// sorted by voxel (Species::sort) before the call.
+CollisionStats collide_intraspecies(Species& sp, const grid::LocalGrid& grid,
+                                    double nu_scale, double dt,
+                                    std::uint64_t seed, std::int64_t step);
+
+/// Inter-species collisions (e.g. electron-ion). Both species MUST be
+/// sorted by voxel. Particles of `a` are paired with randomly chosen
+/// particles of `b` in the same cell (the standard unequal-count pairing).
+CollisionStats collide_interspecies(Species& a, Species& b,
+                                    const grid::LocalGrid& grid,
+                                    double nu_scale, double dt,
+                                    std::uint64_t seed, std::int64_t step);
+
+}  // namespace minivpic::particles

@@ -1,0 +1,73 @@
+#include "particles/interpolator.hpp"
+
+namespace minivpic::particles {
+
+void InterpolatorArray::load(const grid::FieldArray& f) {
+  const auto& g = f.grid();
+  constexpr float fourth = 0.25f;
+  constexpr float half = 0.5f;
+  for (int k = 1; k <= g.nz(); ++k) {
+    for (int j = 1; j <= g.ny(); ++j) {
+      for (int i = 1; i <= g.nx(); ++i) {
+        Interpolator& ip = data_[std::size_t(f.idx(i, j, k))];
+
+        // Ex on the four x-edges of the cell (varying in y, z).
+        {
+          const float w0 = f.ex(i, j, k);
+          const float w1 = f.ex(i, j + 1, k);
+          const float w2 = f.ex(i, j, k + 1);
+          const float w3 = f.ex(i, j + 1, k + 1);
+          ip.ex = fourth * (w3 + w0 + w1 + w2);
+          ip.dexdy = fourth * ((w3 + w1) - (w0 + w2));
+          ip.dexdz = fourth * ((w3 + w2) - (w0 + w1));
+          ip.d2exdydz = fourth * ((w3 + w0) - (w1 + w2));
+        }
+        // Ey on the four y-edges (varying in z, x).
+        {
+          const float w0 = f.ey(i, j, k);
+          const float w1 = f.ey(i, j, k + 1);
+          const float w2 = f.ey(i + 1, j, k);
+          const float w3 = f.ey(i + 1, j, k + 1);
+          ip.ey = fourth * (w3 + w0 + w1 + w2);
+          ip.deydz = fourth * ((w3 + w1) - (w0 + w2));
+          ip.deydx = fourth * ((w3 + w2) - (w0 + w1));
+          ip.d2eydzdx = fourth * ((w3 + w0) - (w1 + w2));
+        }
+        // Ez on the four z-edges (varying in x, y).
+        {
+          const float w0 = f.ez(i, j, k);
+          const float w1 = f.ez(i + 1, j, k);
+          const float w2 = f.ez(i, j + 1, k);
+          const float w3 = f.ez(i + 1, j + 1, k);
+          ip.ez = fourth * (w3 + w0 + w1 + w2);
+          ip.dezdx = fourth * ((w3 + w1) - (w0 + w2));
+          ip.dezdy = fourth * ((w3 + w2) - (w0 + w1));
+          ip.d2ezdxdy = fourth * ((w3 + w0) - (w1 + w2));
+        }
+        // cB on opposing face pairs (linear along the face normal).
+        ip.cbx = half * (f.cbx(i + 1, j, k) + f.cbx(i, j, k));
+        ip.dcbxdx = half * (f.cbx(i + 1, j, k) - f.cbx(i, j, k));
+        ip.cby = half * (f.cby(i, j + 1, k) + f.cby(i, j, k));
+        ip.dcbydy = half * (f.cby(i, j + 1, k) - f.cby(i, j, k));
+        ip.cbz = half * (f.cbz(i, j, k + 1) + f.cbz(i, j, k));
+        ip.dcbzdz = half * (f.cbz(i, j, k + 1) - f.cbz(i, j, k));
+      }
+    }
+  }
+}
+
+InterpolatorArray::Fields InterpolatorArray::evaluate(std::int32_t voxel,
+                                                      float dx, float dy,
+                                                      float dz) const {
+  const Interpolator& ip = data_[std::size_t(voxel)];
+  Fields out;
+  out.ex = (ip.ex + dy * ip.dexdy) + dz * (ip.dexdz + dy * ip.d2exdydz);
+  out.ey = (ip.ey + dz * ip.deydz) + dx * (ip.deydx + dz * ip.d2eydzdx);
+  out.ez = (ip.ez + dx * ip.dezdx) + dy * (ip.dezdy + dx * ip.d2ezdxdy);
+  out.cbx = ip.cbx + dx * ip.dcbxdx;
+  out.cby = ip.cby + dy * ip.dcbydy;
+  out.cbz = ip.cbz + dz * ip.dcbzdz;
+  return out;
+}
+
+}  // namespace minivpic::particles

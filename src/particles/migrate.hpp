@@ -1,0 +1,32 @@
+// Inter-rank particle migration (VPIC's boundary_p): particles that leave a
+// rank mid-move are shipped to the neighbor across the face they crossed,
+// which finishes their move (depositing the remaining current locally).
+// Corner trajectories can hop ranks more than once per step, so exchange
+// rounds repeat until no rank holds emigrants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "particles/push.hpp"
+#include "vmpi/comm.hpp"
+
+namespace minivpic::particles {
+
+struct MigrateStats {
+  std::int64_t sent = 0;
+  std::int64_t received = 0;
+  std::int64_t absorbed = 0;  ///< absorbed at walls while completing moves
+  int rounds = 0;
+};
+
+/// Ships `emigrants` (from Pusher::advance) to their destination ranks,
+/// receives immigrants, and completes their moves on this rank (appending
+/// survivors to `sp`, depositing into `acc`). Collective: every rank must
+/// call it each step, even with no emigrants. Single-rank grids accept an
+/// empty emigrant list without a communicator.
+MigrateStats migrate_particles(std::vector<Emigrant> emigrants, Species& sp,
+                               const Pusher& pusher, AccumulatorArray& acc,
+                               const grid::LocalGrid& grid, vmpi::Comm* comm);
+
+}  // namespace minivpic::particles

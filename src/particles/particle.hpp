@@ -1,0 +1,64 @@
+// Particle data types, in VPIC's exact 32-byte layout.
+//
+// A particle stores the voxel index of its cell and *offsets* within that
+// cell in [-1, 1] (so offset 0 is the cell center and the offset coordinate
+// advances by 2 per cell). Momentum is u = gamma v / c. This layout is the
+// basis of the paper's performance numbers: position/momentum fit one
+// 32-byte slot, and the cell index makes field gathers a single
+// interpolator load instead of a 3-D stencil gather.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "grid/boundary.hpp"
+
+namespace minivpic::particles {
+
+struct Particle {
+  float dx = 0, dy = 0, dz = 0;  ///< cell offsets in [-1, 1]
+  std::int32_t i = 0;            ///< voxel index of the containing cell
+  float ux = 0, uy = 0, uz = 0;  ///< normalized momentum gamma*v/c
+  float w = 0;                   ///< statistical weight (particles per macro)
+};
+static_assert(sizeof(Particle) == 32, "VPIC particle layout must be 32 bytes");
+
+/// Remaining displacement of a particle mid-move, in cell units
+/// (displacement/cell-size; the cell *offset* advances by twice this).
+struct Mover {
+  float dispx = 0, dispy = 0, dispz = 0;
+};
+
+/// A particle leaving this rank mid-move: its state frozen exactly on the
+/// departing face, the unfinished displacement, and the face it left by.
+struct Emigrant {
+  Particle p;  ///< p.i is the *sender's* voxel index of the cell it left
+  Mover rem;
+  std::int32_t face = 0;  ///< grid::Face it crossed
+};
+
+/// What happens to particles at a *global* domain face.
+enum class ParticleBc {
+  kPeriodic,
+  kReflect,  ///< specular: normal momentum and displacement flip
+  kAbsorb,   ///< particle is removed at the wall
+  kReflux,   ///< re-emitted from the wall with a fresh thermal momentum
+             ///< (VPIC's maxwellian_reflux: models contact with a thermal
+             ///< reservoir so bounded plasmas do not drain)
+};
+
+using ParticleBcSpec = std::array<ParticleBc, 6>;
+
+constexpr ParticleBcSpec periodic_particles() {
+  return {ParticleBc::kPeriodic, ParticleBc::kPeriodic, ParticleBc::kPeriodic,
+          ParticleBc::kPeriodic, ParticleBc::kPeriodic, ParticleBc::kPeriodic};
+}
+
+/// LPI slab: absorb along the laser axis, periodic transversely.
+constexpr ParticleBcSpec lpi_particles() {
+  return {ParticleBc::kAbsorb,   ParticleBc::kAbsorb,
+          ParticleBc::kPeriodic, ParticleBc::kPeriodic,
+          ParticleBc::kPeriodic, ParticleBc::kPeriodic};
+}
+
+}  // namespace minivpic::particles

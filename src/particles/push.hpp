@@ -1,0 +1,90 @@
+// The particle advance — VPIC's inner loop, the kernel behind the paper's
+// 0.488 Pflop/s claim.
+//
+// One advance per particle per step:
+//   1. gather E, cB from the cached per-cell interpolator,
+//   2. relativistic Boris momentum update (half E kick, B rotation with the
+//      7th-order tan(theta/2)/(theta/2) correction, half E kick),
+//   3. position update by v*dt,
+//   4. charge-conserving current deposition into the per-cell accumulator;
+//      cell crossings split the trajectory segment-by-segment (move_p).
+//
+// Displacements are handled in "cell units" (physical displacement divided
+// by the cell size); cell *offsets* span [-1, 1] and therefore advance by
+// twice the cell-unit displacement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "particles/accumulator.hpp"
+#include "particles/interpolator.hpp"
+#include "particles/species.hpp"
+#include "util/rng.hpp"
+
+namespace minivpic::particles {
+
+class Pusher {
+ public:
+  /// `reflux_uth` is the thermal momentum spread of the wall reservoir for
+  /// kReflux faces (must be > 0 when a reflux face is actually hit).
+  /// Refluxed momenta are drawn from a flux-weighted Maxwellian pointing
+  /// into the domain. The spread is species-specific: set it before each
+  /// species' advance with set_reflux_uth().
+  Pusher(const grid::LocalGrid& grid, const ParticleBcSpec& bc,
+         double reflux_uth = 0.0, std::uint64_t reflux_seed = 31415);
+
+  /// Wall reservoir temperature for the next advance() (per species).
+  void set_reflux_uth(double uth) { reflux_uth_ = uth; }
+
+  struct Result {
+    std::int64_t pushed = 0;      ///< particles advanced
+    std::int64_t crossings = 0;   ///< cell-face crossings handled by move_p
+    std::int64_t absorbed = 0;    ///< particles removed at absorbing walls
+    std::int64_t reflected = 0;   ///< wall reflections
+    std::int64_t refluxed = 0;    ///< wall thermal re-emissions
+    std::vector<Emigrant> emigrants;  ///< particles leaving this rank
+  };
+
+  /// Advances every particle of `sp` one step, depositing current into
+  /// `acc`. Emigrants and absorbed particles are removed from `sp`.
+  Result advance(Species& sp, const InterpolatorArray& interp,
+                 AccumulatorArray& acc) const;
+
+  enum class MoveStatus { kDone, kEmigrated, kAbsorbed };
+
+  /// Completes the move of an immigrant received from a neighbor rank
+  /// (momentum already updated by the sender). `p.i` must already be this
+  /// rank's voxel. On kEmigrated, `*out` describes the next hop.
+  MoveStatus continue_move(Particle& p, Mover& m, float macro_charge,
+                           AccumulatorArray& acc, Emigrant* out,
+                           Result* stats) const;
+
+  const ParticleBcSpec& bc() const { return bc_; }
+
+  /// Floating-point operations per particle advance for the common in-cell
+  /// case, counted from the kernel source (see push.cpp); used by the
+  /// performance model and benches.
+  static constexpr double flops_per_particle() { return 182.0; }
+
+ private:
+  MoveStatus move_p(Particle& p, Mover& m, float macro_charge, CellAccum* acc,
+                    Emigrant* out, Result* stats) const;
+
+  const grid::LocalGrid* grid_;
+  ParticleBcSpec bc_;
+  double reflux_uth_;
+  mutable Rng reflux_rng_;  ///< wall-reservoir draws (one rank = one thread)
+};
+
+/// Sets up leapfrog time-centering: pulls momenta back from t to t-dt/2
+/// using the fields at t. Call once after loading, before the first step.
+void uncenter_p(Species& sp, const InterpolatorArray& interp,
+                const grid::LocalGrid& grid);
+
+/// Inverse of uncenter_p (momenta from t-dt/2 to t), for diagnostics and
+/// checkpointing that want time-centered momenta.
+void center_p(Species& sp, const InterpolatorArray& interp,
+              const grid::LocalGrid& grid);
+
+}  // namespace minivpic::particles

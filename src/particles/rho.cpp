@@ -1,0 +1,28 @@
+#include "particles/rho.hpp"
+
+namespace minivpic::particles {
+
+void accumulate_rho(const Species& sp, grid::FieldArray& f) {
+  const auto& g = f.grid();
+  const float r8v = float(sp.q() / (8.0 * g.cell_volume()));
+  const int sy = g.sy(), sz = g.sz();
+  grid::real* rho = f.rhof_span().data();
+  for (const Particle& p : sp.particles()) {
+    const float q = r8v * p.w;
+    // Trilinear node weights from offsets in [-1, 1].
+    const float lx = 1.0f - p.dx, hx = 1.0f + p.dx;
+    const float ly = 1.0f - p.dy, hy = 1.0f + p.dy;
+    const float lz = 1.0f - p.dz, hz = 1.0f + p.dz;
+    grid::real* n000 = rho + p.i;
+    n000[0] += q * lx * ly * lz;
+    n000[1] += q * hx * ly * lz;
+    n000[sy] += q * lx * hy * lz;
+    n000[sy + 1] += q * hx * hy * lz;
+    n000[sz] += q * lx * ly * hz;
+    n000[sz + 1] += q * hx * ly * hz;
+    n000[sz + sy] += q * lx * hy * hz;
+    n000[sz + sy + 1] += q * hx * hy * hz;
+  }
+}
+
+}  // namespace minivpic::particles

@@ -1,0 +1,15 @@
+// Charge-density deposition (trilinear to mesh nodes), used by the Marder
+// divergence cleaner and the charge-conservation diagnostics.
+#pragma once
+
+#include "grid/fields.hpp"
+#include "particles/species.hpp"
+
+namespace minivpic::particles {
+
+/// Adds this species' charge density to f.rhof (node-centered, units of
+/// charge / volume so that div E = rho with eps0 = 1). Deposits reach the
+/// high ghost planes; run the halo source reduction afterwards.
+void accumulate_rho(const Species& sp, grid::FieldArray& f);
+
+}  // namespace minivpic::particles

@@ -1,0 +1,82 @@
+#include "particles/species.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace minivpic::particles {
+
+Species::Species(std::string name, double q, double m, std::size_t capacity)
+    : name_(std::move(name)), q_(q), m_(m), storage_(std::max<std::size_t>(capacity, 1)) {
+  MV_REQUIRE(m > 0, "species mass must be positive");
+  MV_REQUIRE(!name_.empty(), "species needs a name");
+}
+
+void Species::reserve(std::size_t n) {
+  if (n <= storage_.size()) return;
+  AlignedBuffer<Particle> grown(std::max(n, storage_.size() * 2));
+  std::copy_n(storage_.data(), np_, grown.data());
+  storage_ = std::move(grown);
+  scratch_ = AlignedBuffer<Particle>();  // re-sized lazily by sort()
+}
+
+void Species::add(const Particle& p) {
+  if (np_ == storage_.size()) reserve(np_ + 1);
+  storage_[np_++] = p;
+}
+
+void Species::remove(std::size_t idx) {
+  MV_ASSERT(idx < np_);
+  storage_[idx] = storage_[--np_];
+}
+
+double Species::kinetic_energy() const {
+  double e = 0;
+  for (std::size_t n = 0; n < np_; ++n) {
+    const Particle& p = storage_[n];
+    e += double(p.w) * (gamma_of_u(p.ux, p.uy, p.uz) - 1.0);
+  }
+  return e * m_;
+}
+
+std::array<double, 3> Species::momentum() const {
+  std::array<double, 3> mom{0, 0, 0};
+  for (std::size_t n = 0; n < np_; ++n) {
+    const Particle& p = storage_[n];
+    mom[0] += double(p.w) * p.ux;
+    mom[1] += double(p.w) * p.uy;
+    mom[2] += double(p.w) * p.uz;
+  }
+  mom[0] *= m_;
+  mom[1] *= m_;
+  mom[2] *= m_;
+  return mom;
+}
+
+double Species::charge() const {
+  double c = 0;
+  for (std::size_t n = 0; n < np_; ++n) c += storage_[n].w;
+  return c * q_;
+}
+
+void Species::sort(const grid::LocalGrid& grid) {
+  if (np_ < 2) return;
+  const std::size_t nv = std::size_t(grid.num_voxels());
+  std::vector<std::int32_t> count(nv + 1, 0);
+  for (std::size_t n = 0; n < np_; ++n) {
+    const std::int32_t v = storage_[n].i;
+    MV_ASSERT_MSG(v >= 0 && std::size_t(v) < nv,
+                  "particle " << n << " has invalid voxel " << v);
+    ++count[std::size_t(v) + 1];
+  }
+  for (std::size_t v = 1; v <= nv; ++v) count[v] += count[v - 1];
+  if (scratch_.size() < storage_.size())
+    scratch_ = AlignedBuffer<Particle>(storage_.size());
+  for (std::size_t n = 0; n < np_; ++n)
+    scratch_[std::size_t(count[std::size_t(storage_[n].i)]++)] = storage_[n];
+  storage_.swap(scratch_);
+}
+
+}  // namespace minivpic::particles

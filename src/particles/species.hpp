@@ -1,0 +1,72 @@
+// A plasma species: charge, mass, and its particle list.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "grid/geometry.hpp"
+#include "particles/particle.hpp"
+#include "util/aligned.hpp"
+
+namespace minivpic::particles {
+
+class Species {
+ public:
+  /// `q` and `m` are per *physical* particle in code units (electron:
+  /// q = -1, m = 1); a macroparticle carries q*w charge and m*w mass.
+  Species(std::string name, double q, double m, std::size_t capacity = 1024);
+
+  const std::string& name() const { return name_; }
+  double q() const { return q_; }
+  double m() const { return m_; }
+
+  std::size_t size() const { return np_; }
+  std::size_t capacity() const { return storage_.size(); }
+  bool empty() const { return np_ == 0; }
+
+  Particle* data() { return storage_.data(); }
+  const Particle* data() const { return storage_.data(); }
+  std::span<Particle> particles() { return {storage_.data(), np_}; }
+  std::span<const Particle> particles() const { return {storage_.data(), np_}; }
+
+  Particle& operator[](std::size_t i) { return storage_[i]; }
+  const Particle& operator[](std::size_t i) const { return storage_[i]; }
+
+  /// Appends a particle, growing storage if needed.
+  void add(const Particle& p);
+
+  /// Removes particle `idx` by swapping the last one into its slot.
+  void remove(std::size_t idx);
+
+  void clear() { np_ = 0; }
+
+  /// Ensures room for at least n particles.
+  void reserve(std::size_t n);
+
+  // -- diagnostics ---------------------------------------------------------
+  /// Total kinetic energy: sum of w m (gamma - 1) (c = 1).
+  double kinetic_energy() const;
+
+  /// Total momentum: sum of w m u.
+  std::array<double, 3> momentum() const;
+
+  /// Total charge: sum of q w.
+  double charge() const;
+
+  /// Bytes of particle storage in use (for data-motion accounting).
+  std::int64_t bytes() const { return std::int64_t(np_) * sizeof(Particle); }
+
+  /// In-place counting sort by voxel index — the locality optimization the
+  /// paper's inner-loop rate depends on. Stable.
+  void sort(const grid::LocalGrid& grid);
+
+ private:
+  std::string name_;
+  double q_, m_;
+  std::size_t np_ = 0;
+  AlignedBuffer<Particle> storage_;
+  AlignedBuffer<Particle> scratch_;  ///< sort double-buffer
+};
+
+}  // namespace minivpic::particles

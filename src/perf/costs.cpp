@@ -1,0 +1,65 @@
+#include "perf/costs.hpp"
+
+#include "field/solver.hpp"
+#include "particles/push.hpp"
+
+namespace minivpic::perf {
+
+double KernelCosts::push_flops_per_particle() {
+  return particles::Pusher::flops_per_particle();
+}
+
+double KernelCosts::push_bytes_per_particle(double particles_per_cell) {
+  // Particle read + write (32 B each), accumulator 12 floats RMW (96 B),
+  // interpolator 80 B read amortized across the cell's particles.
+  const double amortized = particles_per_cell > 0
+                               ? (80.0 + 64.0) / particles_per_cell
+                               : 80.0 + 64.0;
+  return 32.0 + 32.0 + 96.0 + amortized;
+}
+
+double KernelCosts::field_flops_per_voxel() {
+  return field::FieldSolver::flops_per_voxel();
+}
+
+double KernelCosts::field_bytes_per_voxel() {
+  // Read E, cB, J (9 floats), write E, cB (6 floats), plus stencil
+  // neighbor reuse assumed cached: ~15 floats of unique traffic.
+  return 15.0 * 4.0;
+}
+
+double KernelCosts::interp_flops_per_voxel() {
+  // 3 E components x ~10 ops + 3 B components x 3 ops (see
+  // interpolator.cpp).
+  return 3 * 10 + 3 * 3;
+}
+
+double KernelCosts::unload_flops_per_voxel() {
+  // 12 scaled adds (see accumulator.cpp).
+  return 12 * 2;
+}
+
+double KernelCosts::sgemm_flops(std::int64_t n) {
+  return 2.0 * double(n) * double(n) * double(n);
+}
+
+double KernelCosts::sgemm_bytes(std::int64_t n) {
+  // Minimum traffic: read A, B once, write C once (cache-blocked ideal).
+  return 3.0 * double(n) * double(n) * 4.0;
+}
+
+double KernelCosts::nbody_flops(std::int64_t n) {
+  // ~20 flops per pair interaction (dx, r2, rsqrt, force, accumulate).
+  return 20.0 * double(n) * double(n);
+}
+
+double KernelCosts::nbody_bytes(std::int64_t n) {
+  // Positions read once, forces written once (inner loop cache-resident).
+  return double(n) * (16.0 + 16.0);
+}
+
+double KernelCosts::montecarlo_flops_per_sample() { return 7.0; }
+
+double KernelCosts::montecarlo_bytes_per_sample() { return 0.0; }
+
+}  // namespace minivpic::perf

@@ -1,0 +1,51 @@
+// Central flop and byte accounting for every hot kernel — the numbers the
+// performance model and the data-motion analysis are built on. Flop counts
+// are static (counted from the kernel source); byte counts are the
+// algorithmic memory traffic per unit of work.
+#pragma once
+
+#include <cstdint>
+
+namespace minivpic::perf {
+
+struct KernelCosts {
+  // -- particle advance (the paper's inner loop) ---------------------------
+  /// Flops per particle per step, common in-cell case (see push.cpp).
+  static double push_flops_per_particle();
+
+  /// Algorithmic bytes moved per particle per step when particles are
+  /// sorted (VPIC's operating point): the 32 B particle is read and written,
+  /// the 12 accumulator floats are read-modify-written, and the 80 B
+  /// interpolator load is amortized over the particles sharing a cell.
+  static double push_bytes_per_particle(double particles_per_cell);
+
+  // -- field solve ---------------------------------------------------------
+  /// Flops per voxel for one full B/E/B field update.
+  static double field_flops_per_voxel();
+
+  /// Bytes per voxel for the field update: E, B, J read; E, B written.
+  static double field_bytes_per_voxel();
+
+  // -- interpolator / accumulator maintenance ------------------------------
+  /// Flops per voxel to rebuild the interpolator.
+  static double interp_flops_per_voxel();
+
+  /// Flops per voxel to unload the accumulator.
+  static double unload_flops_per_voxel();
+
+  // -- comparison microkernels (data-motion study, DESIGN.md F6) -----------
+  /// Dense single-precision matrix multiply: flops and minimum algorithmic
+  /// traffic for an n x n problem.
+  static double sgemm_flops(std::int64_t n);
+  static double sgemm_bytes(std::int64_t n);
+
+  /// All-pairs MD-style N-body step.
+  static double nbody_flops(std::int64_t n);
+  static double nbody_bytes(std::int64_t n);
+
+  /// Monte-Carlo sampling (per sample).
+  static double montecarlo_flops_per_sample();
+  static double montecarlo_bytes_per_sample();
+};
+
+}  // namespace minivpic::perf

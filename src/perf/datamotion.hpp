@@ -1,0 +1,38 @@
+// Measured microkernels for the data-motion comparison (DESIGN.md F6): the
+// abstract's claim is that PIC requires more data motion per flop than the
+// kernels usually used to demonstrate supercomputer performance — dense
+// matrix multiply, MD N-body, and Monte Carlo. Each kernel reports its
+// measured time together with its analytic flop and byte counts, so the
+// bench can print arithmetic intensities side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace minivpic::perf {
+
+struct KernelReport {
+  std::string name;
+  double seconds = 0;
+  double flops = 0;       ///< analytic flop count of the work performed
+  double bytes = 0;       ///< analytic algorithmic memory traffic
+  double checksum = 0;    ///< defeats dead-code elimination; value arbitrary
+
+  double gflops() const { return flops / seconds / 1e9; }
+  double flops_per_byte() const { return bytes > 0 ? flops / bytes : 1e9; }
+};
+
+/// Naive-blocked single-precision n x n matrix multiply.
+KernelReport run_sgemm(std::int64_t n);
+
+/// All-pairs gravitational N-body acceleration pass (single precision).
+KernelReport run_nbody(std::int64_t n);
+
+/// Monte-Carlo pi estimation over `samples` draws.
+KernelReport run_montecarlo(std::int64_t samples);
+
+/// The VPIC particle advance on a sorted uniform plasma of `particles`
+/// macroparticles (ppc controls interpolator amortization).
+KernelReport run_pic_push(std::int64_t particles, int ppc);
+
+}  // namespace minivpic::perf

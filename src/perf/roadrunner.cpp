@@ -1,0 +1,90 @@
+#include "perf/roadrunner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic::perf {
+
+RoadrunnerModel::RoadrunnerModel(const RoadrunnerConfig& cfg) : cfg_(cfg) {
+  MV_REQUIRE(cfg.connected_units > 0 && cfg.triblades_per_cu > 0 &&
+                 cfg.cells_per_triblade > 0,
+             "machine must have at least one Cell");
+  MV_REQUIRE(cfg.spe_push_efficiency > 0 && cfg.spe_push_efficiency <= 1,
+             "efficiency must be in (0,1]");
+  MV_REQUIRE(cfg.flops_per_particle > 0 && cfg.bytes_per_particle > 0,
+             "workload costs must be positive");
+  MV_REQUIRE(cfg.sort_period >= 1, "sort period must be >= 1");
+}
+
+int RoadrunnerModel::total_cells() const {
+  return cfg_.connected_units * cfg_.triblades_per_cu *
+         cfg_.cells_per_triblade;
+}
+
+int RoadrunnerModel::total_spes() const {
+  return total_cells() * cfg_.spes_per_cell;
+}
+
+double RoadrunnerModel::peak_sp_flops() const {
+  return double(total_spes()) * cfg_.clock_hz * cfg_.sp_flops_per_spe_clock;
+}
+
+RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
+                                              int cells_used) const {
+  MV_REQUIRE(particles > 0 && voxels > 0, "workload must be non-empty");
+  const int chips = cells_used < 0 ? total_cells() : cells_used;
+  MV_REQUIRE(chips >= 1 && chips <= total_cells(),
+             "cells_used out of range: " << cells_used);
+
+  RoadrunnerPrediction out;
+  const double chip_flops =
+      cfg_.spes_per_cell * cfg_.clock_hz * cfg_.sp_flops_per_spe_clock;
+  out.peak_sp_flops = double(chips) * chip_flops;
+
+  const double np = particles / chips;  // particles per Cell chip
+  const double nv = voxels / chips;     // voxels per Cell chip
+
+  // Particle advance roofline.
+  const double t_compute = np * cfg_.flops_per_particle /
+                           (chip_flops * cfg_.spe_push_efficiency);
+  const double t_memory = np * cfg_.bytes_per_particle / cfg_.mem_bw_per_cell;
+  out.t_push = std::max(t_compute, t_memory);
+  out.memory_bound = t_memory >= t_compute;
+
+  // Occasional counting sort: stream the particle array out and back.
+  out.t_sort = np * (32.0 * 2 * 2) / cfg_.mem_bw_per_cell /
+               double(cfg_.sort_period);
+
+  // Field update: bandwidth-bound over the mesh (plus its modest flops).
+  out.t_field = std::max(
+      nv * cfg_.field_bytes_per_voxel / cfg_.mem_bw_per_cell,
+      nv * cfg_.field_flops_per_voxel / (chip_flops * 0.05));
+
+  // Inter-node exchange: ghost planes of ~6 components on the 6 faces of a
+  // near-cubic per-chip block, plus migrating particles (~ the surface
+  // layer's worth each step at thermal speeds), over the triblade IB link
+  // shared by its 4 Cells.
+  const double side = std::cbrt(std::max(nv, 1.0));
+  const double ghost_bytes = 6.0 * side * side * 6.0 * 4.0;  // 6 faces x 6 comps x 4 B
+  // ~1.5% of the particles in the one-cell surface shell cross a rank face
+  // per step at hohlraum thermal speeds (u_th dt/dx ~ a few percent).
+  const double surface_fraction = std::min(1.0, 6.0 * side * side / nv * 0.015);
+  const double migrate_bytes = np * surface_fraction * 56.0;
+  const double link_bw = cfg_.ib_bw_per_triblade / cfg_.cells_per_triblade;
+  out.t_comm = (ghost_bytes + migrate_bytes) / link_bw + 6.0 * cfg_.ib_latency;
+
+  // Host (Opteron) staging over PCIe/DaCS — the hybrid-architecture tax the
+  // paper engineered around; calibrated residual fraction.
+  out.t_host = cfg_.host_overhead_fraction * out.t_push;
+
+  out.t_step =
+      out.t_push + out.t_sort + out.t_field + out.t_comm + out.t_host;
+  out.inner_loop_flops = particles * cfg_.flops_per_particle / out.t_push;
+  out.sustained_flops = particles * cfg_.flops_per_particle / out.t_step;
+  out.particles_per_second = particles / out.t_step;
+  return out;
+}
+
+}  // namespace minivpic::perf

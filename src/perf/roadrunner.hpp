@@ -1,0 +1,85 @@
+// Analytic performance model of the LANL Roadrunner machine running VPIC —
+// the substitution for the hardware we cannot have (DESIGN.md §2, F3).
+//
+// Machine facts (public): 17 connected units x 180 triblades; each triblade
+// carries 4 PowerXCell 8i chips (2 QS22 blades) plus one dual-socket
+// dual-core Opteron LS21; 12,240 Cells / 97,920 SPEs total; 3.2 GHz SPEs at
+// 8 SP flops/clock (25.6 Gflop/s each, 204.8 Gflop/s per chip) giving a
+// 2.51 Pflop/s single-precision Cell-side peak; ~25.6 GB/s memory bandwidth
+// per Cell; 4x DDR InfiniBand fat-tree (~2 GB/s per triblade link).
+//
+// The model is a roofline plus overheads:
+//   t_push  = max(flops/particle / compute-rate, bytes/particle / mem-bw)
+//   t_sort  = streaming read+write of the particle array / sort period
+//   t_field = field-update traffic / mem-bw
+//   t_comm  = ghost surface + migration bytes / IB bandwidth (+ latency)
+//   t_host  = DaCS/PCIe staging, a calibrated fraction of t_push
+// Key insight it encodes (and the paper's own point): at the paper's scale
+// the particle advance sits on the *memory* side of the roofline — PIC
+// moves more bytes per flop than the usual supercomputer demo kernels, so
+// 0.488 Pflop/s in the inner loop means the DMA engines are saturated.
+#pragma once
+
+#include <cstdint>
+
+namespace minivpic::perf {
+
+struct RoadrunnerConfig {
+  int connected_units = 17;
+  int triblades_per_cu = 180;
+  int cells_per_triblade = 4;
+  int spes_per_cell = 8;
+  double clock_hz = 3.2e9;
+  double sp_flops_per_spe_clock = 8.0;
+  double mem_bw_per_cell = 25.6e9;     ///< bytes/s
+  double ib_bw_per_triblade = 2.0e9;   ///< bytes/s per direction
+  double ib_latency = 2e-6;            ///< seconds per exchange phase
+
+  // Workload cost parameters (paper flop-counting convention — slightly
+  // richer than our portable kernel's 182-flop arithmetic core because it
+  // includes the mover/boundary handling work; see EXPERIMENTS.md):
+  double flops_per_particle = 250.0;
+  double bytes_per_particle = 160.0;   ///< sorted-stream traffic (costs.hpp)
+  double field_flops_per_voxel = 66.0;
+  double field_bytes_per_voxel = 60.0;
+
+  // Calibrated efficiencies:
+  double spe_push_efficiency = 0.30;   ///< compute-side ceiling, frac of peak
+  double host_overhead_fraction = 0.18;  ///< DaCS/PCIe staging vs t_push
+  int sort_period = 20;
+};
+
+struct RoadrunnerPrediction {
+  double peak_sp_flops = 0;        ///< machine SP peak (Cell side)
+  double t_push = 0;               ///< seconds/step in the particle advance
+  double t_sort = 0;
+  double t_field = 0;
+  double t_comm = 0;
+  double t_host = 0;
+  double t_step = 0;
+  double inner_loop_flops = 0;     ///< sustained Pflop/s of the inner loop
+  double sustained_flops = 0;      ///< sustained Pflop/s whole code
+  double particles_per_second = 0;
+  bool memory_bound = false;       ///< inner loop limited by memory, not SPEs
+};
+
+class RoadrunnerModel {
+ public:
+  explicit RoadrunnerModel(const RoadrunnerConfig& cfg = {});
+
+  const RoadrunnerConfig& config() const { return cfg_; }
+
+  int total_cells() const;
+  int total_spes() const;
+  double peak_sp_flops() const;
+
+  /// Predicts one step of a run with `particles` macroparticles on `voxels`
+  /// cells, spread over `cells_used` Cell chips (default: whole machine).
+  RoadrunnerPrediction predict(double particles, double voxels,
+                               int cells_used = -1) const;
+
+ private:
+  RoadrunnerConfig cfg_;
+};
+
+}  // namespace minivpic::perf

@@ -1,0 +1,158 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "grid/halo.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::sim {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D56434Bu;  // "MVCK"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::int32_t rank = 0, nranks = 0;
+  std::int32_t nx = 0, ny = 0, nz = 0;
+  std::int32_t num_species = 0;
+  std::int64_t step = 0;
+  double time = 0;
+};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof *v);
+  MV_REQUIRE(is.good(), "checkpoint truncated while reading "
+                            << sizeof *v << " bytes");
+}
+
+void write_bytes(std::ostream& os, const void* data, std::size_t bytes) {
+  os.write(reinterpret_cast<const char*>(data), std::streamsize(bytes));
+}
+
+void read_bytes(std::istream& is, void* data, std::size_t bytes) {
+  is.read(reinterpret_cast<char*>(data), std::streamsize(bytes));
+  MV_REQUIRE(is.good(), "checkpoint truncated while reading " << bytes
+                                                              << " bytes");
+}
+
+std::string rank_path(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank);
+}
+
+const std::vector<grid::Component>& all_components() {
+  static const std::vector<grid::Component> comps = [] {
+    auto c = grid::em_components();
+    const auto src = grid::source_components();
+    c.insert(c.end(), src.begin(), src.end());
+    return c;
+  }();
+  return comps;
+}
+
+}  // namespace
+
+void Checkpoint::save(const Simulation& sim, const std::string& prefix) {
+  const auto& g = sim.grid_;
+  std::ofstream os(rank_path(prefix, g.rank()), std::ios::binary);
+  MV_REQUIRE(os.good(), "cannot open checkpoint for writing: "
+                            << rank_path(prefix, g.rank()));
+  Header h;
+  h.rank = g.rank();
+  h.nranks = g.nranks();
+  h.nx = g.nx();
+  h.ny = g.ny();
+  h.nz = g.nz();
+  h.num_species = std::int32_t(sim.species_.size());
+  h.step = sim.step_;
+  h.time = sim.time_;
+  write_pod(os, h);
+
+  const std::size_t nvox = std::size_t(g.num_voxels());
+  for (const grid::Component c : all_components()) {
+    write_bytes(os, grid::component_data(sim.fields_, c),
+                nvox * sizeof(grid::real));
+  }
+
+  for (const auto& sp : sim.species_) {
+    const std::uint32_t name_len = std::uint32_t(sp->name().size());
+    write_pod(os, name_len);
+    write_bytes(os, sp->name().data(), name_len);
+    write_pod(os, sp->q());
+    write_pod(os, sp->m());
+    const std::uint64_t np = sp->size();
+    write_pod(os, np);
+    write_bytes(os, sp->data(), np * sizeof(particles::Particle));
+  }
+  MV_REQUIRE(os.good(), "checkpoint write failed");
+}
+
+void Checkpoint::restore(Simulation& sim, const std::string& prefix) {
+  MV_REQUIRE(!sim.initialized_, "restore into an initialized simulation");
+  const auto& g = sim.grid_;
+  std::ifstream is(rank_path(prefix, g.rank()), std::ios::binary);
+  MV_REQUIRE(is.good(), "cannot open checkpoint: "
+                            << rank_path(prefix, g.rank()));
+  Header h;
+  read_pod(is, &h);
+  MV_REQUIRE(h.magic == kMagic, "not a minivpic checkpoint");
+  MV_REQUIRE(h.version == kVersion, "unsupported checkpoint version "
+                                        << h.version);
+  MV_REQUIRE(h.rank == g.rank() && h.nranks == g.nranks(),
+             "checkpoint rank layout mismatch");
+  MV_REQUIRE(h.nx == g.nx() && h.ny == g.ny() && h.nz == g.nz(),
+             "checkpoint grid shape mismatch");
+  MV_REQUIRE(h.num_species == std::int32_t(sim.species_.size()),
+             "checkpoint species count mismatch");
+
+  const std::size_t nvox = std::size_t(g.num_voxels());
+  for (const grid::Component c : all_components()) {
+    read_bytes(is, grid::component_data(sim.fields_, c),
+               nvox * sizeof(grid::real));
+  }
+
+  for (auto& sp : sim.species_) {
+    std::uint32_t name_len = 0;
+    read_pod(is, &name_len);
+    MV_REQUIRE(name_len < 4096, "implausible species name length");
+    std::string name(name_len, '\0');
+    read_bytes(is, name.data(), name_len);
+    double q = 0, m = 0;
+    read_pod(is, &q);
+    read_pod(is, &m);
+    MV_REQUIRE(name == sp->name() && q == sp->q() && m == sp->m(),
+               "checkpoint species '" << name
+                                      << "' does not match deck species '"
+                                      << sp->name() << "'");
+    std::uint64_t np = 0;
+    read_pod(is, &np);
+    sp->clear();
+    sp->reserve(np);
+    std::vector<particles::Particle> buf(np);
+    read_bytes(is, buf.data(), np * sizeof(particles::Particle));
+    for (const auto& p : buf) {
+      const auto c = g.voxel_coords(p.i);
+      MV_REQUIRE(g.is_interior(c[0], c[1], c[2]),
+                 "checkpoint particle in non-interior voxel " << p.i);
+      sp->add(p);
+    }
+  }
+
+  sim.step_ = h.step;
+  sim.time_ = h.time;
+  sim.solver_.refresh_all(sim.fields_);
+  sim.solver_.boundary().capture(sim.fields_);
+  sim.initialized_ = true;
+}
+
+}  // namespace minivpic::sim

@@ -1,0 +1,28 @@
+// Checkpoint / restart: binary per-rank snapshots of the full simulation
+// state (fields, particles, step counter).
+//
+// Restore contract: construct a Simulation from the same deck and rank
+// decomposition, then call Checkpoint::restore() *instead of* initialize().
+// Mur boundary history is re-captured from the restored fields (a one-step
+// transient at absorbing walls, documented and negligible in practice).
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace minivpic::sim {
+
+class Checkpoint {
+ public:
+  /// Writes `<prefix>.rank<R>` for this rank.
+  static void save(const Simulation& sim, const std::string& prefix);
+
+  /// Restores this rank's state from `<prefix>.rank<R>`. The simulation
+  /// must be freshly constructed (not initialized). Validates grid shape,
+  /// rank layout and species identity against the deck; throws on mismatch
+  /// or a corrupt/truncated file.
+  static void restore(Simulation& sim, const std::string& prefix);
+};
+
+}  // namespace minivpic::sim

@@ -1,0 +1,90 @@
+// Input decks: the complete description of a simulation, plus the canned
+// decks used by the examples, tests and paper-reproduction benches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "field/antenna.hpp"
+#include "grid/geometry.hpp"
+#include "particles/loader.hpp"
+#include "particles/particle.hpp"
+
+namespace minivpic::sim {
+
+struct SpeciesConfig {
+  std::string name;
+  double q = -1.0;
+  double m = 1.0;
+  particles::LoadConfig load;
+  bool mobile = true;  ///< immobile species contribute rho but are not pushed
+  /// Wall reservoir temperature for kReflux particle boundaries; < 0 means
+  /// "use load.uth".
+  double reflux_uth = -1.0;
+};
+
+/// Binary Coulomb collisions between two species (equal names =
+/// intra-species). Applied every `period` steps with the accumulated
+/// collision interval period*dt; see particles/collisions.hpp for the
+/// meaning of nu_scale.
+struct CollisionSpec {
+  std::string species_a;
+  std::string species_b;
+  double nu_scale = 0;
+  int period = 10;
+};
+
+struct Deck {
+  grid::GlobalGrid grid;
+  particles::ParticleBcSpec particle_bc = particles::periodic_particles();
+  std::vector<SpeciesConfig> species;
+  std::optional<field::LaserConfig> laser;
+  std::vector<CollisionSpec> collisions;
+
+  int sort_period = 20;   ///< steps between particle sorts (0 = never)
+  int clean_period = 0;   ///< steps between Marder cleanings (0 = never)
+  int clean_passes = 2;   ///< Marder passes per cleaning
+  /// Marder relaxation passes applied at initialization to settle E toward
+  /// the sampled charge density (a cheap Poisson-solve substitute that
+  /// removes the E=0-vs-noisy-rho startup transient). 0 disables.
+  int init_settle_passes = 0;
+  std::uint64_t collision_seed = 777;
+};
+
+// -- canned physics decks ----------------------------------------------------
+
+/// Cold plasma (Langmuir) oscillation: a neutral e/ion plasma with a small
+/// sinusoidal electron velocity perturbation along x; oscillates at omega_pe.
+Deck plasma_oscillation_deck(int cells = 16, int ppc = 32,
+                             double perturbation = 0.01);
+
+/// Two-stream instability: counter-streaming electron beams (+-u_drift along
+/// x) over a neutralizing ion background.
+Deck two_stream_deck(int cells = 32, int ppc = 32, double u_drift = 0.2);
+
+/// Weibel instability: temperature-anisotropic electrons (hot along z, cold
+/// in the plane) over neutralizing ions; magnetic filaments grow.
+Deck weibel_deck(int cells = 16, int ppc = 64, double uth_hot = 0.3,
+                 double uth_cold = 0.03);
+
+/// Laser-plasma interaction slab (the paper's science problem): a laser of
+/// normalized amplitude a0 and frequency omega0/omega_pe = 1/sqrt(n/n_c)
+/// launched along x into a uniform plasma slab at temperature te_kev, with
+/// absorbing x walls and a vacuum gap on each side of the plasma.
+struct LpiParams {
+  double a0 = 0.05;
+  double n_over_nc = 0.1;
+  double te_kev = 2.6;
+  int nx = 192, ny = 4, nz = 4;
+  double dx = 0.25;        ///< cell size (c/omega_pe)
+  int ppc = 64;
+  double vacuum_cells = 24;  ///< vacuum gap at each x end
+  double laser_ramp = 10.0;
+  double ion_mass = 1836.0;
+  bool mobile_ions = false;  ///< SRS timescales: ions usually frozen
+  std::uint64_t seed = 2008;
+};
+Deck lpi_deck(const LpiParams& p);
+
+}  // namespace minivpic::sim

@@ -1,0 +1,252 @@
+#include "sim/deck_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace minivpic::sim {
+
+namespace {
+
+struct Section {
+  std::string header;  ///< e.g. "grid", "species electron"
+  std::map<std::string, std::string> values;
+  int line = 0;
+};
+
+std::string trim(const std::string& s) {
+  const auto a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  const auto b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+std::vector<Section> tokenize(std::istream& in) {
+  std::vector<Section> sections;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      MV_REQUIRE(line.back() == ']',
+                 "deck line " << lineno << ": unterminated section header");
+      sections.push_back({trim(line.substr(1, line.size() - 2)), {}, lineno});
+      MV_REQUIRE(!sections.back().header.empty(),
+                 "deck line " << lineno << ": empty section header");
+      continue;
+    }
+    MV_REQUIRE(!sections.empty(),
+               "deck line " << lineno << ": key before any [section]");
+    // Multiple `key = value` pairs per line: split on '=' with the key
+    // being the last token before it and the value the first after it.
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ss >> tok) {
+      // Normalize "k=v", "k =v", "k= v" into separate tokens.
+      std::string cur;
+      for (char c : tok) {
+        if (c == '=') {
+          if (!cur.empty()) tokens.push_back(cur);
+          tokens.push_back("=");
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+      if (!cur.empty()) tokens.push_back(cur);
+    }
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      if (tokens[t] != "=") continue;
+      MV_REQUIRE(t > 0 && t + 1 < tokens.size() && tokens[t - 1] != "=" &&
+                     tokens[t + 1] != "=",
+                 "deck line " << lineno << ": malformed key = value");
+      sections.back().values[tokens[t - 1]] = tokens[t + 1];
+    }
+  }
+  return sections;
+}
+
+double to_double(const Section& s, const std::string& key, double fallback,
+                 bool* used = nullptr) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) return fallback;
+  if (used != nullptr) *used = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  MV_REQUIRE(end != nullptr && *end == '\0',
+             "deck [" << s.header << "] " << key << ": not a number: "
+                      << it->second);
+  return v;
+}
+
+int to_int(const Section& s, const std::string& key, int fallback) {
+  const double v = to_double(s, key, fallback);
+  MV_REQUIRE(v == std::int64_t(v),
+             "deck [" << s.header << "] " << key << ": expected an integer");
+  return int(v);
+}
+
+bool to_bool(const Section& s, const std::string& key, bool fallback) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes")
+    return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no")
+    return false;
+  MV_REQUIRE(false, "deck [" << s.header << "] " << key
+                             << ": not a boolean: " << it->second);
+  return fallback;
+}
+
+grid::BoundaryKind field_bc(const Section& s, const std::string& key) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) return grid::BoundaryKind::kPeriodic;
+  if (it->second == "periodic") return grid::BoundaryKind::kPeriodic;
+  if (it->second == "pec") return grid::BoundaryKind::kPec;
+  if (it->second == "absorbing") return grid::BoundaryKind::kAbsorbing;
+  MV_REQUIRE(false, "deck [grid] " << key << ": unknown boundary '"
+                                   << it->second << "'");
+  return grid::BoundaryKind::kPeriodic;
+}
+
+particles::ParticleBc particle_bc(const Section& s, const std::string& key) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) return particles::ParticleBc::kPeriodic;
+  if (it->second == "periodic") return particles::ParticleBc::kPeriodic;
+  if (it->second == "reflect") return particles::ParticleBc::kReflect;
+  if (it->second == "absorb") return particles::ParticleBc::kAbsorb;
+  if (it->second == "reflux") return particles::ParticleBc::kReflux;
+  MV_REQUIRE(false, "deck [grid] " << key << ": unknown particle BC '"
+                                   << it->second << "'");
+  return particles::ParticleBc::kPeriodic;
+}
+
+void check_known(const Section& s, std::initializer_list<const char*> keys) {
+  for (const auto& [key, value] : s.values) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : keys) ok |= (key == k);
+    MV_REQUIRE(ok, "deck [" << s.header << "]: unknown key '" << key << "'");
+  }
+}
+
+}  // namespace
+
+Deck parse_deck(std::istream& in) {
+  Deck deck;
+  bool have_grid = false;
+  for (const Section& s : tokenize(in)) {
+    std::istringstream hs(s.header);
+    std::string kind;
+    hs >> kind;
+    if (kind == "grid") {
+      check_known(s, {"nx", "ny", "nz", "dx", "dy", "dz", "x0", "y0", "z0",
+                      "dt", "cfl", "boundary_x", "boundary_y", "boundary_z",
+                      "particle_bc_x", "particle_bc_y", "particle_bc_z"});
+      have_grid = true;
+      deck.grid.nx = to_int(s, "nx", 1);
+      deck.grid.ny = to_int(s, "ny", 1);
+      deck.grid.nz = to_int(s, "nz", 1);
+      deck.grid.dx = to_double(s, "dx", 1.0);
+      deck.grid.dy = to_double(s, "dy", deck.grid.dx);
+      deck.grid.dz = to_double(s, "dz", deck.grid.dx);
+      deck.grid.x0 = to_double(s, "x0", 0.0);
+      deck.grid.y0 = to_double(s, "y0", 0.0);
+      deck.grid.z0 = to_double(s, "z0", 0.0);
+      deck.grid.dt = to_double(s, "dt", 0.0);
+      deck.grid.cfl = to_double(s, "cfl", 0.99);
+      for (int axis = 0; axis < 3; ++axis) {
+        const std::string suffix(1, char('x' + axis));
+        const auto kind_bc = field_bc(s, "boundary_" + suffix);
+        deck.grid.boundary[std::size_t(2 * axis)] = kind_bc;
+        deck.grid.boundary[std::size_t(2 * axis + 1)] = kind_bc;
+        const auto pbc = particle_bc(s, "particle_bc_" + suffix);
+        deck.particle_bc[std::size_t(2 * axis)] = pbc;
+        deck.particle_bc[std::size_t(2 * axis + 1)] = pbc;
+      }
+    } else if (kind == "species") {
+      check_known(s, {"q", "m", "ppc", "density", "uth", "uth_x", "uth_y",
+                      "uth_z", "drift_x", "drift_y", "drift_z", "seed",
+                      "mobile", "reflux_uth", "slab_x0", "slab_x1"});
+      SpeciesConfig sc;
+      hs >> sc.name;
+      MV_REQUIRE(!sc.name.empty(),
+                 "deck line " << s.line << ": species needs a name");
+      sc.q = to_double(s, "q", -1.0);
+      sc.m = to_double(s, "m", 1.0);
+      sc.load.ppc = to_int(s, "ppc", 8);
+      sc.load.density = to_double(s, "density", 1.0);
+      sc.load.uth = to_double(s, "uth", 0.0);
+      sc.load.uth3 = {to_double(s, "uth_x", 0.0), to_double(s, "uth_y", 0.0),
+                      to_double(s, "uth_z", 0.0)};
+      sc.load.drift = {to_double(s, "drift_x", 0.0),
+                       to_double(s, "drift_y", 0.0),
+                       to_double(s, "drift_z", 0.0)};
+      sc.load.seed = std::uint64_t(to_double(s, "seed", 12345));
+      sc.mobile = to_bool(s, "mobile", true);
+      sc.reflux_uth = to_double(s, "reflux_uth", -1.0);
+      bool has_slab = false;
+      const double x0 = to_double(s, "slab_x0", 0.0, &has_slab);
+      const double x1 = to_double(s, "slab_x1", 0.0, &has_slab);
+      if (has_slab) {
+        MV_REQUIRE(x1 > x0, "deck species " << sc.name
+                                            << ": slab_x1 must exceed slab_x0");
+        sc.load.profile = [x0, x1](double x, double, double) {
+          return (x >= x0 && x < x1) ? 1.0 : 0.0;
+        };
+      }
+      deck.species.push_back(std::move(sc));
+    } else if (kind == "laser") {
+      check_known(s, {"omega0", "a0", "ramp", "duration", "plane",
+                      "polarize_z"});
+      field::LaserConfig lc;
+      lc.omega0 = to_double(s, "omega0", 3.0);
+      lc.a0 = to_double(s, "a0", 0.01);
+      lc.ramp = to_double(s, "ramp", 10.0);
+      lc.duration = to_double(s, "duration", -1.0);
+      lc.global_plane = to_int(s, "plane", 2);
+      lc.polarize_z = to_bool(s, "polarize_z", false);
+      deck.laser = lc;
+    } else if (kind == "control") {
+      check_known(s, {"sort_period", "clean_period", "clean_passes",
+                      "init_settle_passes", "collision_seed"});
+      deck.sort_period = to_int(s, "sort_period", 20);
+      deck.clean_period = to_int(s, "clean_period", 0);
+      deck.clean_passes = to_int(s, "clean_passes", 2);
+      deck.init_settle_passes = to_int(s, "init_settle_passes", 0);
+      deck.collision_seed = std::uint64_t(to_double(s, "collision_seed", 777));
+    } else if (kind == "collision") {
+      check_known(s, {"nu_scale", "period"});
+      CollisionSpec cs;
+      hs >> cs.species_a >> cs.species_b;
+      MV_REQUIRE(!cs.species_a.empty() && !cs.species_b.empty(),
+                 "deck line " << s.line
+                              << ": [collision <a> <b>] needs two species");
+      cs.nu_scale = to_double(s, "nu_scale", 0.0);
+      cs.period = to_int(s, "period", 10);
+      deck.collisions.push_back(std::move(cs));
+    } else {
+      MV_REQUIRE(false, "deck line " << s.line << ": unknown section ["
+                                     << s.header << "]");
+    }
+  }
+  MV_REQUIRE(have_grid, "deck has no [grid] section");
+  MV_REQUIRE(!deck.species.empty(), "deck has no [species ...] sections");
+  return deck;
+}
+
+Deck load_deck_file(const std::string& path) {
+  std::ifstream in(path);
+  MV_REQUIRE(in.good(), "cannot open deck file: " << path);
+  return parse_deck(in);
+}
+
+}  // namespace minivpic::sim

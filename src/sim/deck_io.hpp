@@ -1,0 +1,46 @@
+// Text deck files: run parameter studies without recompiling, VPIC-deck
+// style. The format is INI-like sections of `key = value` lines:
+//
+//   # LPI slab, comments start with '#'
+//   [grid]
+//   nx = 480          ny = 1            nz = 1
+//   dx = 0.2          cfl = 0.99
+//   boundary_x = absorbing      # periodic | pec | absorbing
+//   boundary_y = periodic
+//   boundary_z = periodic
+//   particle_bc_x = absorb      # periodic | reflect | absorb | reflux
+//
+//   [species electron]
+//   q = -1            m = 1
+//   ppc = 128         uth = 0.0626
+//   drift_x = 0       mobile = true
+//   slab_x0 = 6.0     slab_x1 = 90.0    # optional density slab along x
+//
+//   [laser]
+//   omega0 = 3.162    a0 = 0.1          ramp = 10     plane = 2
+//
+//   [control]
+//   sort_period = 20  clean_period = 50
+//
+//   [collision electron electron]
+//   nu_scale = 1e-4   period = 10
+//
+// One `key = value` pair per whitespace-separated token group; multiple
+// pairs may share a line. Unknown keys are errors (catch typos early).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/deck.hpp"
+
+namespace minivpic::sim {
+
+/// Parses a deck from a stream; throws minivpic::Error with a line number
+/// on malformed input.
+Deck parse_deck(std::istream& in);
+
+/// Loads a deck file from disk.
+Deck load_deck_file(const std::string& path);
+
+}  // namespace minivpic::sim

@@ -1,0 +1,102 @@
+#include "sim/diagnostics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace minivpic::sim {
+
+ReflectivityProbe::ReflectivityProbe(Simulation& sim, int global_plane)
+    : sim_(&sim) {
+  const auto& g = sim.local_grid();
+  MV_REQUIRE(global_plane >= 1 && global_plane <= g.global_nx(),
+             "probe plane outside the global grid");
+  const int li = global_plane - g.offset_x();
+  if (li >= 1 && li <= g.nx()) {
+    local_plane_ = li;
+    area_weight_ = double(g.ny()) * g.nz() /
+                   (double(g.global_ny()) * g.global_nz());
+  }
+}
+
+void ReflectivityProbe::sample(double warmup_time) {
+  if (local_plane_ > 0) {
+    const auto& f = sim_->fields();
+    const auto [fwd, bwd] = field::wave_power_x(f, local_plane_);
+    if (sim_->time() >= warmup_time) {
+      fwd_sum_ += fwd * area_weight_;
+      bwd_sum_ += bwd * area_weight_;
+    }
+    // Backward field amplitude at the first owned transverse point
+    // (co-located cBz as in wave_power_x).
+    const double cbz =
+        0.5 * (double(f.cbz(local_plane_ - 1, 1, 1)) + f.cbz(local_plane_, 1, 1));
+    series_.push_back(0.5 * (double(f.ey(local_plane_, 1, 1)) - cbz));
+  }
+  if (sim_->time() >= warmup_time) ++samples_;
+}
+
+double ReflectivityProbe::forward_power() const {
+  double v = samples_ > 0 ? fwd_sum_ / double(samples_) : 0.0;
+  if (sim_->comm() != nullptr) v = sim_->comm()->allreduce_value(v, vmpi::Op::kSum);
+  return v;
+}
+
+double ReflectivityProbe::backward_power() const {
+  double v = samples_ > 0 ? bwd_sum_ / double(samples_) : 0.0;
+  if (sim_->comm() != nullptr) v = sim_->comm()->allreduce_value(v, vmpi::Op::kSum);
+  return v;
+}
+
+double ReflectivityProbe::reflectivity() const {
+  const double fwd = forward_power();
+  const double bwd = backward_power();
+  return fwd > 0 ? bwd / fwd : 0.0;
+}
+
+ParticleSpectrum::ParticleSpectrum(double e_min, double e_max,
+                                   std::size_t bins, bool log_bins)
+    : e_min_(e_min), e_max_(e_max), log_(log_bins), counts_(bins, 0.0) {
+  MV_REQUIRE(bins > 0, "spectrum needs at least one bin");
+  MV_REQUIRE(e_max > e_min, "empty energy range");
+  if (log_) MV_REQUIRE(e_min > 0, "log-binned spectrum needs e_min > 0");
+}
+
+void ParticleSpectrum::build(Simulation& sim, const particles::Species& sp) {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  total_ = 0;
+  const double lo = log_ ? std::log(e_min_) : e_min_;
+  const double hi = log_ ? std::log(e_max_) : e_max_;
+  for (const particles::Particle& p : sp.particles()) {
+    const double e = (gamma_of_u(p.ux, p.uy, p.uz) - 1.0) * sp.m();
+    total_ += p.w;
+    double x = log_ ? (e > 0 ? std::log(e) : lo - 1) : e;
+    const double f = (x - lo) / (hi - lo) * double(counts_.size());
+    const long long b = (long long)std::floor(f);
+    if (b >= 0 && b < (long long)counts_.size())
+      counts_[std::size_t(b)] += p.w;
+  }
+  if (sim.comm() != nullptr) {
+    sim.comm()->allreduce(std::span<double>(counts_), vmpi::Op::kSum);
+    total_ = sim.comm()->allreduce_value(total_, vmpi::Op::kSum);
+  }
+}
+
+double ParticleSpectrum::bin_center(std::size_t b) const {
+  const double lo = log_ ? std::log(e_min_) : e_min_;
+  const double hi = log_ ? std::log(e_max_) : e_max_;
+  const double x = lo + (hi - lo) * (double(b) + 0.5) / double(counts_.size());
+  return log_ ? std::exp(x) : x;
+}
+
+double ParticleSpectrum::fraction_above(double energy) const {
+  if (total_ <= 0) return 0.0;
+  double above = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (bin_center(b) >= energy) above += counts_[b];
+  }
+  return above / total_;
+}
+
+}  // namespace minivpic::sim

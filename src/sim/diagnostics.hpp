@@ -1,0 +1,71 @@
+// Science diagnostics: the laser reflectivity probe (the paper's parameter
+// -study observable), particle energy spectra (trapping / hot-electron
+// diagnostics) and field probes for spectral analysis.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace minivpic::sim {
+
+/// Measures laser reflectivity at a fixed x-plane: time-averaged
+/// backward-going wave power over forward-going wave power. Place the plane
+/// in the vacuum gap between the antenna and the plasma. Collective across
+/// ranks (every rank calls sample()/reflectivity(), including ranks not
+/// owning the plane).
+class ReflectivityProbe {
+ public:
+  ReflectivityProbe(Simulation& sim, int global_plane);
+
+  /// Samples the current fields; call once per step (after sim.step()).
+  /// Samples taken before `warmup_time` are excluded from the averages.
+  void sample(double warmup_time = 0.0);
+
+  /// Backward/forward time-averaged power ratio (globally reduced).
+  double reflectivity() const;
+  double forward_power() const;   ///< time-averaged, globally reduced
+  double backward_power() const;
+
+  /// Time series of the backward-going field amplitude (Ey - cBz)/2 at one
+  /// point of the plane — FFT it to find the backscatter spectrum. Only
+  /// meaningful on the rank owning the probe point (empty elsewhere).
+  const std::vector<double>& backward_series() const { return series_; }
+  bool owns_plane() const { return local_plane_ > 0; }
+
+ private:
+  Simulation* sim_;
+  int local_plane_ = -1;
+  double area_weight_ = 0;  ///< local transverse cells / global
+  double fwd_sum_ = 0, bwd_sum_ = 0;
+  std::int64_t samples_ = 0;
+  std::vector<double> series_;
+};
+
+/// Kinetic-energy spectrum of a species, globally reduced. Energies in
+/// units of m_e c^2 (i.e. gamma - 1).
+class ParticleSpectrum {
+ public:
+  ParticleSpectrum(double e_min, double e_max, std::size_t bins,
+                   bool log_bins = false);
+
+  /// Builds the (weighted) spectrum for one species, reduced over ranks.
+  void build(Simulation& sim, const particles::Species& sp);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  double bin_center(std::size_t b) const;
+  double count(std::size_t b) const { return counts_[b]; }
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Fraction of particles above an energy threshold (weighted).
+  double fraction_above(double energy) const;
+
+ private:
+  double e_min_, e_max_;
+  bool log_;
+  std::vector<double> counts_;
+  double total_ = 0;
+};
+
+}  // namespace minivpic::sim

@@ -1,0 +1,75 @@
+#include "sim/history.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic::sim {
+
+EnergyHistory::EnergyHistory(Simulation& sim) : sim_(&sim) {
+  per_species_.resize(sim.num_species());
+}
+
+void EnergyHistory::sample() {
+  const auto rep = sim_->energies();
+  time_.push_back(sim_->time());
+  field_.push_back(rep.field.total());
+  kinetic_.push_back(rep.kinetic_total);
+  total_.push_back(rep.total);
+  for (std::size_t s = 0; s < per_species_.size(); ++s)
+    per_species_[s].push_back(rep.species_kinetic[s]);
+}
+
+const std::vector<double>& EnergyHistory::species_kinetic(std::size_t s) const {
+  MV_REQUIRE(s < per_species_.size(), "species index out of range");
+  return per_species_[s];
+}
+
+double EnergyHistory::worst_relative_drift() const {
+  if (total_.empty() || total_[0] == 0) return 0.0;
+  double worst = 0;
+  for (double t : total_)
+    worst = std::max(worst, std::abs(t - total_[0]) / std::abs(total_[0]));
+  return worst;
+}
+
+Table EnergyHistory::to_table() const {
+  std::vector<std::string> cols{"time", "field", "kinetic", "total"};
+  for (std::size_t s = 0; s < per_species_.size(); ++s)
+    cols.push_back("KE[" + sim_->species(s).name() + "]");
+  Table table(cols);
+  for (std::size_t n = 0; n < time_.size(); ++n) {
+    std::vector<Cell> row{time_[n], field_[n], kinetic_[n], total_[n]};
+    for (const auto& sk : per_species_) row.push_back(sk[n]);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void EnergyHistory::write_csv(const std::string& path) const {
+  to_table().write_csv_file(path);
+}
+
+FieldProbe::FieldProbe(Simulation& sim, grid::Component component, int gi,
+                       int gj, int gk)
+    : sim_(&sim), component_(component) {
+  const auto& g = sim.local_grid();
+  MV_REQUIRE(gi >= 1 && gi <= g.global_nx() && gj >= 1 &&
+                 gj <= g.global_ny() && gk >= 1 && gk <= g.global_nz(),
+             "probe point (" << gi << "," << gj << "," << gk
+                             << ") outside the global grid");
+  const int li = gi - g.offset_x();
+  const int lj = gj - g.offset_y();
+  const int lk = gk - g.offset_z();
+  if (g.is_interior(li, lj, lk)) local_ = {li, lj, lk};
+}
+
+void FieldProbe::sample() {
+  if (!owns_point()) return;
+  const auto& f = sim_->fields();
+  const grid::real* data = grid::component_data(f, component_);
+  series_.push_back(data[f.idx(local_[0], local_[1], local_[2])]);
+  time_.push_back(sim_->time());
+}
+
+}  // namespace minivpic::sim

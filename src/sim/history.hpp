@@ -1,0 +1,65 @@
+// Time-series recorders: the energy history every production PIC campaign
+// logs, and point field probes for spectral analysis, with CSV output for
+// plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/csv.hpp"
+
+namespace minivpic::sim {
+
+/// Records the global energy budget over time. Collective: every rank must
+/// call sample() each time.
+class EnergyHistory {
+ public:
+  explicit EnergyHistory(Simulation& sim);
+
+  /// Appends the current energies. Call at whatever cadence you like.
+  void sample();
+
+  std::size_t size() const { return time_.size(); }
+  const std::vector<double>& time() const { return time_; }
+  const std::vector<double>& field_energy() const { return field_; }
+  const std::vector<double>& kinetic_energy() const { return kinetic_; }
+  const std::vector<double>& total_energy() const { return total_; }
+  /// Kinetic energy history of one species (deck order).
+  const std::vector<double>& species_kinetic(std::size_t s) const;
+
+  /// Maximum |total(t) - total(0)| / total(0) over the recorded history.
+  double worst_relative_drift() const;
+
+  /// Full history as a table (one row per sample).
+  Table to_table() const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  Simulation* sim_;
+  std::vector<double> time_, field_, kinetic_, total_;
+  std::vector<std::vector<double>> per_species_;
+};
+
+/// Records one field component at a fixed global cell each sample — feed
+/// the series to fft::power_spectrum to identify mode frequencies. Works
+/// on any rank layout; series() is non-empty only on the owning rank.
+class FieldProbe {
+ public:
+  FieldProbe(Simulation& sim, grid::Component component, int gi, int gj,
+             int gk);
+
+  void sample();
+
+  bool owns_point() const { return local_[0] > 0; }
+  const std::vector<double>& series() const { return series_; }
+  const std::vector<double>& time() const { return time_; }
+
+ private:
+  Simulation* sim_;
+  grid::Component component_;
+  std::array<int, 3> local_{-1, -1, -1};
+  std::vector<double> series_, time_;
+};
+
+}  // namespace minivpic::sim

@@ -1,0 +1,265 @@
+#include "sim/simulation.hpp"
+
+#include <cmath>
+
+#include "particles/collisions.hpp"
+#include "particles/rho.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::sim {
+
+namespace {
+
+grid::LocalGrid make_local(const Deck& deck, vmpi::Comm* comm,
+                           const vmpi::CartTopology* topo) {
+  if (comm == nullptr) {
+    MV_REQUIRE(topo == nullptr || topo->nranks() == 1,
+               "multi-rank topology without a communicator");
+    return grid::LocalGrid(deck.grid);
+  }
+  MV_REQUIRE(topo != nullptr, "multi-rank simulation needs a topology");
+  MV_REQUIRE(topo->nranks() == comm->size(),
+             "topology rank count " << topo->nranks()
+                                    << " != communicator size "
+                                    << comm->size());
+  return grid::LocalGrid(deck.grid, *topo, comm->rank());
+}
+
+}  // namespace
+
+Simulation::Simulation(const Deck& deck, vmpi::Comm* comm,
+                       const vmpi::CartTopology* topo)
+    : deck_(deck),
+      comm_(comm),
+      grid_(make_local(deck, comm, topo)),
+      fields_(grid_),
+      halo_(grid_, comm),
+      solver_(grid_, &halo_),
+      cleaner_(grid_, &halo_),
+      interp_(grid_),
+      acc_(grid_),
+      pusher_(grid_, deck.particle_bc) {
+  MV_REQUIRE(!deck.species.empty(), "deck has no species");
+  MV_REQUIRE(deck.sort_period >= 0 && deck.clean_period >= 0 &&
+                 deck.clean_passes >= 1,
+             "invalid cadence settings");
+  for (const SpeciesConfig& sc : deck.species) {
+    species_.push_back(
+        std::make_unique<particles::Species>(sc.name, sc.q, sc.m));
+    mobile_.push_back(sc.mobile);
+  }
+  if (deck.laser) {
+    antenna_ = std::make_unique<field::LaserAntenna>(grid_, *deck.laser);
+  }
+  for (const CollisionSpec& cs : deck.collisions) {
+    MV_REQUIRE(cs.nu_scale >= 0 && cs.period >= 1,
+               "invalid collision spec for " << cs.species_a);
+    ResolvedCollision rc;
+    rc.nu_scale = cs.nu_scale;
+    rc.period = cs.period;
+    bool found_a = false, found_b = false;
+    for (std::size_t s = 0; s < species_.size(); ++s) {
+      if (species_[s]->name() == cs.species_a) {
+        rc.a = s;
+        found_a = true;
+      }
+      if (species_[s]->name() == cs.species_b) {
+        rc.b = s;
+        found_b = true;
+      }
+    }
+    MV_REQUIRE(found_a && found_b, "collision spec names unknown species '"
+                                       << cs.species_a << "'/'"
+                                       << cs.species_b << "'");
+    collisions_.push_back(rc);
+  }
+}
+
+particles::Species* Simulation::find_species(const std::string& name) {
+  for (auto& sp : species_) {
+    if (sp->name() == name) return sp.get();
+  }
+  return nullptr;
+}
+
+void Simulation::initialize() {
+  MV_REQUIRE(!initialized_, "initialize() called twice");
+  for (std::size_t s = 0; s < species_.size(); ++s) {
+    particles::load_uniform(*species_[s], grid_, deck_.species[s].load);
+  }
+  solver_.refresh_all(fields_);
+  if (deck_.init_settle_passes > 0) {
+    // Relax E toward the sampled rho (cheap Poisson substitute): removes
+    // the E = 0 vs noisy-rho startup transient.
+    auto rho = fields_.rhof_span();
+    std::fill(rho.begin(), rho.end(), grid::real{0});
+    for (auto& sp : species_) particles::accumulate_rho(*sp, fields_);
+    halo_.reduce_sources(fields_);
+    cleaner_.clean_e(fields_, deck_.init_settle_passes);
+  }
+  solver_.boundary().capture(fields_);
+  // Leapfrog setup: momenta loaded at t=0 are pulled back to t=-dt/2 using
+  // the initial fields (zero here unless a restart seeded them).
+  interp_.load(fields_);
+  for (std::size_t s = 0; s < species_.size(); ++s) {
+    if (mobile_[s]) particles::uncenter_p(*species_[s], interp_, grid_);
+  }
+  initialized_ = true;
+}
+
+void Simulation::step() {
+  MV_REQUIRE(initialized_, "initialize() must be called before step()");
+
+  {
+    ScopedLap lap(timings_.interpolate);
+    interp_.load(fields_);
+  }
+
+  acc_.clear();
+  fields_.clear_sources();
+  if (antenna_) antenna_->deposit(fields_, time_);
+
+  const bool clean_now =
+      deck_.clean_period > 0 && (step_ + 1) % deck_.clean_period == 0;
+  const bool sort_now =
+      deck_.sort_period > 0 && (step_ + 1) % deck_.sort_period == 0;
+
+  for (std::size_t s = 0; s < species_.size(); ++s) {
+    if (!mobile_[s]) continue;
+    const double ruth = deck_.species[s].reflux_uth >= 0
+                            ? deck_.species[s].reflux_uth
+                            : deck_.species[s].load.uth;
+    pusher_.set_reflux_uth(ruth);
+    particles::Pusher::Result res;
+    {
+      ScopedLap lap(timings_.push);
+      res = pusher_.advance(*species_[s], interp_, acc_);
+    }
+    stats_.pushed += res.pushed;
+    stats_.crossings += res.crossings;
+    stats_.absorbed += res.absorbed;
+    stats_.reflected += res.reflected;
+    stats_.refluxed += res.refluxed;
+    {
+      ScopedLap lap(timings_.migrate);
+      const auto m = particles::migrate_particles(
+          std::move(res.emigrants), *species_[s], pusher_, acc_, grid_, comm_);
+      stats_.migrated += m.sent;
+      stats_.absorbed += m.absorbed;
+    }
+  }
+
+  bool collide_now = false;
+  for (const auto& rc : collisions_) {
+    if ((step_ + 1) % rc.period == 0) collide_now = true;
+  }
+
+  if (sort_now || collide_now) {
+    ScopedLap lap(timings_.sort);
+    for (std::size_t s = 0; s < species_.size(); ++s) {
+      if (mobile_[s]) species_[s]->sort(grid_);
+    }
+  }
+
+  if (collide_now) {
+    ScopedLap lap(timings_.collide);
+    for (const auto& rc : collisions_) {
+      if ((step_ + 1) % rc.period != 0) continue;
+      const double dt_coll = rc.period * grid_.dt();
+      particles::CollisionStats cs;
+      if (rc.a == rc.b) {
+        // Immobile species are never sorted above; sort on demand.
+        if (!mobile_[rc.a]) species_[rc.a]->sort(grid_);
+        cs = particles::collide_intraspecies(*species_[rc.a], grid_,
+                                             rc.nu_scale, dt_coll,
+                                             deck_.collision_seed, step_);
+      } else {
+        if (!mobile_[rc.a]) species_[rc.a]->sort(grid_);
+        if (!mobile_[rc.b]) species_[rc.b]->sort(grid_);
+        cs = particles::collide_interspecies(*species_[rc.a], *species_[rc.b],
+                                             grid_, rc.nu_scale, dt_coll,
+                                             deck_.collision_seed, step_);
+      }
+      stats_.collision_pairs += cs.pairs;
+    }
+  }
+
+  {
+    ScopedLap lap(timings_.sources);
+    acc_.unload(fields_);
+    if (clean_now) {
+      for (auto& sp : species_) particles::accumulate_rho(*sp, fields_);
+    }
+    halo_.reduce_sources(fields_);
+  }
+
+  {
+    ScopedLap lap(timings_.field);
+    solver_.advance_b(fields_, 0.5);
+    solver_.advance_e(fields_);
+    solver_.advance_b(fields_, 0.5);
+  }
+
+  if (clean_now) {
+    ScopedLap lap(timings_.clean);
+    cleaner_.clean_e(fields_, deck_.clean_passes);
+    cleaner_.clean_b(fields_, 1);
+  }
+
+  ++step_;
+  time_ += grid_.dt();
+}
+
+void Simulation::run(int nsteps) {
+  for (int s = 0; s < nsteps; ++s) step();
+}
+
+template <typename T>
+T Simulation::reduce_sum(T v) const {
+  if (comm_ == nullptr) return v;
+  return comm_->allreduce_value(v, vmpi::Op::kSum);
+}
+
+EnergyReport Simulation::energies() const {
+  EnergyReport rep;
+  rep.field = field::field_energy(fields_);
+  rep.field.ex = reduce_sum(rep.field.ex);
+  rep.field.ey = reduce_sum(rep.field.ey);
+  rep.field.ez = reduce_sum(rep.field.ez);
+  rep.field.bx = reduce_sum(rep.field.bx);
+  rep.field.by = reduce_sum(rep.field.by);
+  rep.field.bz = reduce_sum(rep.field.bz);
+  for (const auto& sp : species_) {
+    rep.species_kinetic.push_back(reduce_sum(sp->kinetic_energy()));
+    rep.kinetic_total += rep.species_kinetic.back();
+  }
+  rep.total = rep.field.total() + rep.kinetic_total;
+  return rep;
+}
+
+std::int64_t Simulation::global_particle_count() const {
+  std::int64_t n = 0;
+  for (const auto& sp : species_) n += std::int64_t(sp->size());
+  return reduce_sum(n);
+}
+
+void Simulation::deposit_rho() {
+  auto rho = fields_.rhof_span();
+  std::fill(rho.begin(), rho.end(), grid::real{0});
+  for (auto& sp : species_) particles::accumulate_rho(*sp, fields_);
+  // Fold ghost deposits. reduce_sources also folds J ghosts, which are
+  // empty outside the step, so this is safe mid-diagnostic.
+  halo_.reduce_sources(fields_);
+}
+
+double Simulation::gauss_error() {
+  deposit_rho();
+  const double local = cleaner_.div_e_error_rms(fields_);
+  if (comm_ == nullptr) return local;
+  // Combine RMS across ranks (weighted by node counts, all equal enough).
+  const double sum2 = reduce_sum(local * local * double(grid_.num_cells()));
+  const double n = reduce_sum(double(grid_.num_cells()));
+  return std::sqrt(sum2 / n);
+}
+
+}  // namespace minivpic::sim

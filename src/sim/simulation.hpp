@@ -1,0 +1,146 @@
+// The simulation driver: owns the per-rank state of one deck and advances
+// it with the VPIC main-loop schedule.
+//
+// Per step (fields E,B at integer time t; particle momenta at t - dt/2):
+//   1. rebuild the interpolator from E,B(t)
+//   2. laser antenna deposits its sheet current
+//   3. particle advance (momenta -> t+dt/2, positions -> t+dt, current into
+//      the accumulators), inter-rank migration, optional sort
+//   4. accumulator unload + halo source reduction
+//   5. B half-advance, E advance, B half-advance (+ optional Marder clean)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "field/antenna.hpp"
+#include "field/clean.hpp"
+#include "field/energy.hpp"
+#include "field/solver.hpp"
+#include "particles/accumulator.hpp"
+#include "particles/interpolator.hpp"
+#include "particles/migrate.hpp"
+#include "particles/push.hpp"
+#include "sim/deck.hpp"
+#include "util/timer.hpp"
+#include "vmpi/cart.hpp"
+#include "vmpi/comm.hpp"
+
+namespace minivpic::sim {
+
+/// Wall-clock cost of each phase of the steps taken so far.
+struct StepTimings {
+  Stopwatch interpolate;  ///< interpolator load
+  Stopwatch push;         ///< particle advance (the paper's inner loop)
+  Stopwatch migrate;      ///< inter-rank particle exchange
+  Stopwatch sort;         ///< particle sorts
+  Stopwatch sources;      ///< accumulator unload + halo source reduction
+  Stopwatch field;        ///< B/E advances incl. halo refresh
+  Stopwatch clean;        ///< Marder passes
+  Stopwatch collide;      ///< binary collision operator
+
+  double total_seconds() const {
+    return interpolate.total_seconds() + push.total_seconds() +
+           migrate.total_seconds() + sort.total_seconds() +
+           sources.total_seconds() + field.total_seconds() +
+           clean.total_seconds() + collide.total_seconds();
+  }
+};
+
+/// Per-step particle statistics (summed since construction).
+struct ParticleStats {
+  std::int64_t pushed = 0;
+  std::int64_t crossings = 0;
+  std::int64_t absorbed = 0;
+  std::int64_t reflected = 0;
+  std::int64_t migrated = 0;
+  std::int64_t refluxed = 0;
+  std::int64_t collision_pairs = 0;
+};
+
+/// Globally reduced energy accounting.
+struct EnergyReport {
+  field::FieldEnergy field;            ///< global field energies
+  std::vector<double> species_kinetic; ///< per species, deck order
+  double kinetic_total = 0;
+  double total = 0;
+};
+
+class Simulation {
+ public:
+  /// Multi-rank: `comm` and `topo` describe the decomposition (the topology
+  /// must match comm->size()). Single-rank: pass nullptr for both.
+  Simulation(const Deck& deck, vmpi::Comm* comm = nullptr,
+             const vmpi::CartTopology* topo = nullptr);
+
+  /// Loads particles, zeroes fields, sets up leapfrog centering. Must be
+  /// called exactly once before step().
+  void initialize();
+
+  /// Advances one step.
+  void step();
+
+  /// Convenience: run n steps.
+  void run(int nsteps);
+
+  std::int64_t step_index() const { return step_; }
+  double time() const { return time_; }
+
+  // -- state access -----------------------------------------------------
+  const grid::LocalGrid& local_grid() const { return grid_; }
+  grid::FieldArray& fields() { return fields_; }
+  const grid::FieldArray& fields() const { return fields_; }
+  std::size_t num_species() const { return species_.size(); }
+  particles::Species& species(std::size_t s) { return *species_[s]; }
+  const particles::Species& species(std::size_t s) const { return *species_[s]; }
+  particles::Species* find_species(const std::string& name);
+  const Deck& deck() const { return deck_; }
+  vmpi::Comm* comm() { return comm_; }
+
+  // -- diagnostics --------------------------------------------------------
+  EnergyReport energies() const;          ///< globally reduced
+  std::int64_t global_particle_count() const;
+  const StepTimings& timings() const { return timings_; }
+  const ParticleStats& particle_stats() const { return stats_; }
+  /// Deposits rho for the current particle positions (into fields().rhof).
+  void deposit_rho();
+  /// RMS Gauss-law residual (div E - rho) over the global interior; calls
+  /// deposit_rho() internally.
+  double gauss_error();
+
+  // -- checkpointing (see checkpoint.hpp) ----------------------------------
+  friend class Checkpoint;
+
+ private:
+  template <typename T>
+  T reduce_sum(T v) const;
+
+  Deck deck_;
+  vmpi::Comm* comm_;
+  grid::LocalGrid grid_;
+  grid::FieldArray fields_;
+  grid::Halo halo_;
+  field::FieldSolver solver_;
+  field::DivergenceCleaner cleaner_;
+  particles::InterpolatorArray interp_;
+  particles::AccumulatorArray acc_;
+  particles::Pusher pusher_;
+  std::unique_ptr<field::LaserAntenna> antenna_;
+  std::vector<std::unique_ptr<particles::Species>> species_;
+  std::vector<bool> mobile_;
+  /// Resolved collision pairs: indices into species_ (a == b allowed).
+  struct ResolvedCollision {
+    std::size_t a, b;
+    double nu_scale;
+    int period;
+  };
+  std::vector<ResolvedCollision> collisions_;
+
+  std::int64_t step_ = 0;
+  double time_ = 0;
+  bool initialized_ = false;
+  StepTimings timings_;
+  ParticleStats stats_;
+};
+
+}  // namespace minivpic::sim

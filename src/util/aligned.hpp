@@ -1,0 +1,114 @@
+// Cache-line / SIMD aligned storage for hot arrays.
+//
+// VPIC keeps every per-cell and per-particle array aligned so the inner
+// loops stream predictably (Core Guidelines Per.16/Per.19). AlignedBuffer is
+// the single owner of such storage; views are handed out as raw pointers or
+// std::span, never as owning pointers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace minivpic {
+
+/// Default alignment for hot arrays: one x86 cache line, also enough for
+/// any SSE/AVX vector width we might compile to.
+inline constexpr std::size_t kHotAlignment = 64;
+
+/// Fixed-capacity, aligned, zero-initialised array of trivially copyable T.
+///
+/// Intentionally minimal: no push_back-style growth, because PIC arrays are
+/// sized once per deck and growth in an inner loop would be a bug.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is for POD-style hot data only");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n, std::size_t alignment = kHotAlignment)
+      : size_(n), alignment_(alignment) {
+    MV_ASSERT((alignment & (alignment - 1)) == 0);
+    if (n == 0) return;
+    const std::size_t bytes = round_up(n * sizeof(T), alignment);
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::fill_n(data_, n, T{});
+  }
+
+  AlignedBuffer(const AlignedBuffer& other)
+      : AlignedBuffer(other.size_, other.alignment_) {
+    if (size_ != 0) std::copy_n(other.data_, size_, data_);
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(alignment_, other.alignment_);
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  std::span<T> span() noexcept { return {data_, size_}; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+
+  /// Sets every element back to T{}.
+  void zero() noexcept {
+    if (size_ != 0) std::fill_n(data_, size_, T{});
+  }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) / a * a;
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t alignment_ = kHotAlignment;
+};
+
+}  // namespace minivpic

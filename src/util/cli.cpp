@@ -1,0 +1,74 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace minivpic {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return options_.count(key) != 0; }
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  MV_REQUIRE(end != nullptr && *end == '\0',
+             "option --" << key << " is not an integer: " << it->second);
+  return v;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  MV_REQUIRE(end != nullptr && *end == '\0',
+             "option --" << key << " is not a number: " << it->second);
+  return v;
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  MV_REQUIRE(false, "option --" << key << " is not a boolean: " << v);
+  return fallback;
+}
+
+void Args::check_known(const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    MV_REQUIRE(std::find(allowed.begin(), allowed.end(), key) != allowed.end(),
+               "unknown option --" << key);
+  }
+}
+
+}  // namespace minivpic

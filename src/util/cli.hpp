@@ -1,0 +1,35 @@
+// Minimal --key=value / --flag command-line parser for examples and benches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace minivpic {
+
+/// Parses `--key=value`, `--key value` and boolean `--flag` arguments.
+/// Positional arguments are collected in order. Unknown keys are kept so the
+/// caller can reject or ignore them.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& options() const { return options_; }
+
+  /// Throws minivpic::Error if any option key is not in `allowed`.
+  void check_known(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace minivpic

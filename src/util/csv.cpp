@@ -1,0 +1,100 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace minivpic {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  MV_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  MV_REQUIRE(cells.size() == columns_.size(),
+             "row has " << cells.size() << " cells, table has "
+                        << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* d = std::get_if<double>(&cell)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    return buf;
+  }
+  return std::to_string(std::get<long long>(cell));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(format(row[c]));
+      width[c] = std::max(width[c], line.back().size());
+    }
+    text.push_back(std::move(line));
+  }
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto pad = [&](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w + 2; ++i) os << ' ';
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) pad(columns_[c], width[c]);
+  os << '\n';
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    pad(std::string(width[c], '-'), width[c]);
+  os << '\n';
+  for (const auto& line : text) {
+    for (std::size_t c = 0; c < line.size(); ++c) pad(line[c], width[c]);
+    os << '\n';
+  }
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(format(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  MV_REQUIRE(os.good(), "cannot open " << path << " for writing");
+  write_csv(os);
+}
+
+}  // namespace minivpic

@@ -1,0 +1,44 @@
+// Structured result tables: benches print the rows/series the paper's
+// tables and figures report, aligned for the console and optionally dumped
+// as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace minivpic {
+
+/// One table cell.
+using Cell = std::variant<std::string, double, long long>;
+
+/// Column-typed result table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends one row; cell count must equal column count.
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Cell>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Pretty-prints with aligned columns and a title banner.
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+  /// Writes RFC-4180-ish CSV (quotes fields containing separators).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+  /// Formats one cell as text (doubles use %.6g).
+  static std::string format(const Cell& cell);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace minivpic

@@ -1,0 +1,67 @@
+// Error handling primitives shared by every minivpic module.
+//
+// Recoverable misuse (bad deck parameters, malformed files, protocol misuse
+// of the vmpi runtime) throws minivpic::Error so tests can assert on it.
+// Internal invariant violations use MV_ASSERT, which is kept enabled in all
+// build types: a PIC step that silently corrupts a particle list is far more
+// expensive to debug than the branch is to execute.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace minivpic {
+
+/// Exception type for all recoverable minivpic errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const std::string& msg,
+                              const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << loc.file_name() << ':'
+     << loc.line();
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace minivpic
+
+/// Invariant check, enabled in every build type. Throws minivpic::Error.
+#define MV_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::minivpic::detail::fail("assertion", #expr, {},                     \
+                               std::source_location::current());            \
+  } while (0)
+
+/// Invariant check with a formatted message streamed after the expression.
+#define MV_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream mv_assert_os;                                      \
+      mv_assert_os << msg;                                                  \
+      ::minivpic::detail::fail("assertion", #expr, mv_assert_os.str(),      \
+                               std::source_location::current());            \
+    }                                                                       \
+  } while (0)
+
+/// Validates user-supplied input (deck parameters, CLI values, file data).
+#define MV_REQUIRE(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream mv_require_os;                                     \
+      mv_require_os << msg;                                                 \
+      ::minivpic::detail::fail("requirement", #expr, mv_require_os.str(),   \
+                               std::source_location::current());            \
+    }                                                                       \
+  } while (0)

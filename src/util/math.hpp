@@ -1,0 +1,80 @@
+// Small constexpr math helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+
+namespace minivpic {
+
+/// Integer power with non-negative exponent.
+template <typename T>
+constexpr T ipow(T base, unsigned exp) {
+  T result = 1;
+  while (exp != 0) {
+    if (exp & 1u) result *= base;
+    base *= base;
+    exp >>= 1u;
+  }
+  return result;
+}
+
+/// Rounds v up to the next multiple of m (m > 0).
+template <typename T>
+constexpr T round_up(T v, T m) {
+  static_assert(std::is_integral_v<T>);
+  return (v + m - 1) / m * m;
+}
+
+/// Ceiling integer division.
+template <typename T>
+constexpr T div_ceil(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Clamps x to [lo, hi].
+template <typename T>
+constexpr T clamp(T x, T lo, T hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Linear interpolation.
+template <typename T>
+constexpr T lerp(T a, T b, T t) {
+  return a + t * (b - a);
+}
+
+/// Relativistic Lorentz factor from normalized momentum u = gamma*v/c.
+inline double gamma_of_u(double ux, double uy, double uz) {
+  return std::sqrt(1.0 + ux * ux + uy * uy + uz * uz);
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,floor).
+inline double rel_diff(double a, double b, double floor = 1e-300) {
+  const double scale = std::max({std::abs(a), std::abs(b), floor});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace minivpic

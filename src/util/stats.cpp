@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, bool clamp_edges)
+    : lo_(lo), hi_(hi), clamp_(clamp_edges), counts_(bins, 0.0) {
+  MV_REQUIRE(hi > lo, "histogram range must be non-empty");
+  MV_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+  const double f = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  long long bin = static_cast<long long>(std::floor(f));
+  if (bin < 0) {
+    if (!clamp_) {
+      underflow_ += weight;
+      return;
+    }
+    bin = 0;
+  }
+  if (bin >= static_cast<long long>(counts_.size())) {
+    if (!clamp_) {
+      overflow_ += weight;
+      return;
+    }
+    bin = static_cast<long long>(counts_.size()) - 1;
+  }
+  counts_[static_cast<std::size_t>(bin)] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / double(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::bin_center(std::size_t i) const {
+  return 0.5 * (bin_lo(i) + bin_hi(i));
+}
+
+double Histogram::total() const {
+  double sum = underflow_ + overflow_;
+  for (double c : counts_) sum += c;
+  return sum;
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  MV_REQUIRE(x.size() == y.size(), "fit_line needs equal-length spans");
+  MV_REQUIRE(x.size() >= 2, "fit_line needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double sst = syy - sy * sy / n;
+  if (sst > 0.0) {
+    double ssr = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+      ssr += e * e;
+    }
+    fit.r2 = 1.0 - ssr / sst;
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+LinearFit fit_exponential_growth(std::span<const double> t,
+                                 std::span<const double> y, std::size_t first,
+                                 std::size_t last) {
+  MV_REQUIRE(t.size() == y.size(), "mismatched series");
+  MV_REQUIRE(first < last && last <= t.size(), "bad fit window");
+  std::vector<double> xs, ys;
+  xs.reserve(last - first);
+  ys.reserve(last - first);
+  for (std::size_t i = first; i < last; ++i) {
+    if (y[i] > 0.0) {
+      xs.push_back(t[i]);
+      ys.push_back(std::log(y[i]));
+    }
+  }
+  MV_REQUIRE(xs.size() >= 2, "fit window has fewer than two positive samples");
+  return fit_line(xs, ys);
+}
+
+}  // namespace minivpic

@@ -1,0 +1,75 @@
+// Statistics helpers for diagnostics: running moments, histograms, and the
+// log-linear fits used to extract instability growth rates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace minivpic {
+
+/// Welford running mean/variance — numerically stable one-pass moments.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram on [lo, hi); out-of-range samples go to the edge bins
+/// when `clamp_edges` is set, otherwise they are counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins, bool clamp_edges = false);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const;
+
+  const std::vector<double>& counts() const { return counts_; }
+
+ private:
+  double lo_, hi_;
+  bool clamp_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+/// Least-squares line y = a + b*x over paired samples.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Fits ln(y) = a + b*x over the index window [first, last); used to measure
+/// exponential growth rates from energy time series. Non-positive samples in
+/// the window are skipped.
+LinearFit fit_exponential_growth(std::span<const double> t,
+                                 std::span<const double> y, std::size_t first,
+                                 std::size_t last);
+
+}  // namespace minivpic

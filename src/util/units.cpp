@@ -1,0 +1,53 @@
+#include "util/units.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic::units {
+
+double a0_from_intensity(double intensity_w_cm2, double lambda_um) {
+  MV_REQUIRE(intensity_w_cm2 >= 0.0, "intensity must be non-negative");
+  MV_REQUIRE(lambda_um > 0.0, "wavelength must be positive");
+  return 8.55e-10 * std::sqrt(intensity_w_cm2) * lambda_um;
+}
+
+double intensity_from_a0(double a0, double lambda_um) {
+  MV_REQUIRE(a0 >= 0.0, "a0 must be non-negative");
+  MV_REQUIRE(lambda_um > 0.0, "wavelength must be positive");
+  const double s = a0 / (8.55e-10 * lambda_um);
+  return s * s;
+}
+
+double critical_density_cm3(double lambda_um) {
+  MV_REQUIRE(lambda_um > 0.0, "wavelength must be positive");
+  return 1.115e21 / (lambda_um * lambda_um);
+}
+
+double omega0_over_omegape(double n_over_nc) {
+  MV_REQUIRE(n_over_nc > 0.0 && n_over_nc <= 1.0,
+             "density must be in (0, 1] of critical");
+  return 1.0 / std::sqrt(n_over_nc);
+}
+
+double uth_from_te_kev(double te_kev) {
+  MV_REQUIRE(te_kev >= 0.0, "temperature must be non-negative");
+  return std::sqrt(te_kev / kElectronRestKeV);
+}
+
+double debye_length_code(double te_kev) { return uth_from_te_kev(te_kev); }
+
+double srs_k_lambda_de(double n_over_nc, double te_kev) {
+  const double w0 = omega0_over_omegape(n_over_nc);
+  MV_REQUIRE(w0 > 2.0, "SRS requires n/n_c < 1/4 (omega0 > 2 omega_pe)");
+  // Matching: omega_s = omega0 - omega_epw with omega_epw ~= omega_pe = 1
+  // (Bohm-Gross correction is O((k lambda_De)^2) and ignored for the
+  // estimate); k_s = sqrt(omega_s^2 - 1); backscatter: k_epw = k0 + k_s.
+  const double k0 = std::sqrt(w0 * w0 - 1.0);
+  const double ws = w0 - 1.0;
+  const double ks = std::sqrt(ws * ws - 1.0);
+  const double k_epw = k0 + ks;
+  return k_epw * debye_length_code(te_kev);
+}
+
+}  // namespace minivpic::units

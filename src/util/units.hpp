@@ -1,0 +1,47 @@
+// Unit system and laser–plasma conversions.
+//
+// minivpic integrates in dimensionless "plasma units": time in 1/ω_pe,
+// length in electron skin depths c/ω_pe, velocity in c, momentum u = γv/c,
+// mass in m_e, charge in e, fields such that the electron equation of
+// motion is du/dt = -(E + v × cB) and Maxwell uses c = ε₀ = μ₀ = 1.
+// The helpers here translate the paper's experimental laser parameters
+// (intensity in W/cm², wavelength in µm, Te in keV, density in units of
+// critical) into those code units, so LPI decks can be written in the same
+// terms the paper's parameter study uses.
+#pragma once
+
+namespace minivpic::units {
+
+/// Electron rest energy in keV.
+inline constexpr double kElectronRestKeV = 510.99895;
+
+/// Normalized laser amplitude a0 = eE/(m_e c ω0) from intensity (W/cm²) and
+/// wavelength (µm), for linear polarization: a0 ≈ 8.55e-10 √(I λ²).
+double a0_from_intensity(double intensity_w_cm2, double lambda_um);
+
+/// Inverse of a0_from_intensity.
+double intensity_from_a0(double a0, double lambda_um);
+
+/// Critical density in cm⁻³ for a laser of wavelength λ (µm):
+/// n_c ≈ 1.115e21 / λ² cm⁻³.
+double critical_density_cm3(double lambda_um);
+
+/// Laser frequency in units of ω_pe given the plasma density as a fraction
+/// of critical: ω0/ω_pe = 1/√(n/n_c).
+double omega0_over_omegape(double n_over_nc);
+
+/// Electron thermal momentum spread u_th = √(Te/m_e c²), Te in keV.
+double uth_from_te_kev(double te_kev);
+
+/// Electron Debye length in code units (skin depths): λ_De = u_th (for
+/// non-relativistic temperatures, λ_De/(c/ω_pe) = v_th/c ≈ u_th).
+double debye_length_code(double te_kev);
+
+/// k λ_De for the SRS electron plasma wave. The backscatter EPW wavenumber
+/// follows from the SRS matching conditions: k_epw ≈ k0 + k_s with
+/// k0 = √(ω0² − 1) (code units, ω_pe = 1) and the scattered light
+/// ω_s ≈ ω0 − ω_epw, ω_epw ≈ 1. Uses the common estimate
+/// k_epw ≈ k0(1 + √(1 − 2/ω0)) ... evaluated exactly from the matching.
+double srs_k_lambda_de(double n_over_nc, double te_kev);
+
+}  // namespace minivpic::units

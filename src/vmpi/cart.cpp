@@ -1,0 +1,97 @@
+#include "vmpi/cart.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace minivpic::vmpi {
+
+namespace {
+
+std::vector<int> prime_factors(int n) {
+  std::vector<int> factors;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+}  // namespace
+
+std::array<int, 3> dims_create(int nranks, std::array<int, 3> hint) {
+  MV_REQUIRE(nranks >= 1, "need at least one rank");
+  std::array<int, 3> dims = hint;
+  int remaining = nranks;
+  int free_axes = 0;
+  for (int a = 0; a < 3; ++a) {
+    if (dims[a] == 0) {
+      ++free_axes;
+      dims[a] = 1;
+    } else {
+      MV_REQUIRE(dims[a] > 0, "dimension hints must be non-negative");
+      MV_REQUIRE(remaining % dims[a] == 0,
+                 "hinted dims do not divide rank count " << nranks);
+      remaining /= dims[a];
+    }
+  }
+  MV_REQUIRE(free_axes > 0 || remaining == 1,
+             "hinted dims product != rank count");
+
+  if (free_axes > 0) {
+    // Distribute prime factors largest-first onto the currently smallest
+    // free axis — yields near-cubic decompositions, which minimise ghost
+    // surface area per rank.
+    std::vector<int> factors = prime_factors(remaining);
+    std::sort(factors.rbegin(), factors.rend());
+    for (int f : factors) {
+      int best = -1;
+      for (int a = 0; a < 3; ++a) {
+        if (hint[a] != 0) continue;  // fixed by caller
+        if (best == -1 || dims[a] < dims[best]) best = a;
+      }
+      dims[best] *= f;
+    }
+  }
+  MV_ASSERT(dims[0] * dims[1] * dims[2] == nranks);
+  return dims;
+}
+
+CartTopology::CartTopology(std::array<int, 3> dims, std::array<bool, 3> periodic)
+    : dims_(dims), periodic_(periodic) {
+  for (int a = 0; a < 3; ++a)
+    MV_REQUIRE(dims_[a] >= 1, "topology dims must be positive");
+}
+
+std::array<int, 3> CartTopology::coords_of(int rank) const {
+  MV_REQUIRE(rank >= 0 && rank < nranks(), "rank out of range: " << rank);
+  std::array<int, 3> c;
+  c[0] = rank % dims_[0];
+  c[1] = (rank / dims_[0]) % dims_[1];
+  c[2] = rank / (dims_[0] * dims_[1]);
+  return c;
+}
+
+int CartTopology::rank_of(std::array<int, 3> coords) const {
+  for (int a = 0; a < 3; ++a) {
+    if (coords[a] < 0 || coords[a] >= dims_[a]) {
+      if (!periodic_[a]) return kNoRank;
+      coords[a] = ((coords[a] % dims_[a]) + dims_[a]) % dims_[a];
+    }
+  }
+  return (coords[2] * dims_[1] + coords[1]) * dims_[0] + coords[0];
+}
+
+int CartTopology::neighbor(int rank, int axis, int dir) const {
+  MV_REQUIRE(axis >= 0 && axis < 3, "axis out of range");
+  MV_REQUIRE(dir == -1 || dir == 1, "direction must be -1 or +1");
+  std::array<int, 3> c = coords_of(rank);
+  c[axis] += dir;
+  return rank_of(c);
+}
+
+}  // namespace minivpic::vmpi

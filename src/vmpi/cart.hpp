@@ -1,0 +1,42 @@
+// 3-D Cartesian rank topology for domain decomposition (MPI_Cart analogue).
+//
+// Ranks are laid out x-fastest (as VPIC does): rank = (cz*ny + cy)*nx + cx.
+#pragma once
+
+#include <array>
+
+namespace minivpic::vmpi {
+
+/// Balanced factorization of `nranks` into 3 dimensions (MPI_Dims_create
+/// analogue). A zero in `hint` means "choose freely"; nonzero entries are
+/// fixed and must divide nranks appropriately. Throws on impossible hints.
+std::array<int, 3> dims_create(int nranks, std::array<int, 3> hint = {0, 0, 0});
+
+/// Immutable description of a 3-D Cartesian rank grid.
+class CartTopology {
+ public:
+  CartTopology(std::array<int, 3> dims, std::array<bool, 3> periodic);
+
+  const std::array<int, 3>& dims() const { return dims_; }
+  const std::array<bool, 3>& periodic() const { return periodic_; }
+  int nranks() const { return dims_[0] * dims_[1] * dims_[2]; }
+
+  /// Cartesian coordinates of a rank.
+  std::array<int, 3> coords_of(int rank) const;
+
+  /// Rank at the given coordinates. Periodic axes wrap; off-grid coordinates
+  /// on non-periodic axes return kNoRank.
+  int rank_of(std::array<int, 3> coords) const;
+
+  /// Neighbor of `rank` along `axis` (0..2) in direction `dir` (-1 or +1);
+  /// kNoRank at a non-periodic edge.
+  int neighbor(int rank, int axis, int dir) const;
+
+  static constexpr int kNoRank = -1;
+
+ private:
+  std::array<int, 3> dims_;
+  std::array<bool, 3> periodic_;
+};
+
+}  // namespace minivpic::vmpi

@@ -1,0 +1,223 @@
+#include "vmpi/comm.hpp"
+
+#include "vmpi/world.hpp"
+
+namespace minivpic::vmpi {
+
+namespace detail {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message* Mailbox::find(int src, int tag) {
+  for (auto& m : queue_) {
+    if (matches(m, src, tag)) return &m;
+  }
+  return nullptr;
+}
+
+Message Mailbox::pop(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (poisoned_) throw Error("vmpi recv aborted: " + poison_reason_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, src, tag)) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::probe(int src, int tag, int* out_src, int* out_tag,
+                    std::size_t* out_bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (poisoned_) throw Error("vmpi probe aborted: " + poison_reason_);
+    if (Message* m = find(src, tag)) {
+      *out_src = m->source;
+      *out_tag = m->tag;
+      *out_bytes = m->payload.size();
+      return;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::iprobe(int src, int tag, int* out_src, int* out_tag,
+                     std::size_t* out_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_) throw Error("vmpi iprobe aborted: " + poison_reason_);
+  if (Message* m = find(src, tag)) {
+    *out_src = m->source;
+    *out_tag = m->tag;
+    *out_bytes = m->payload.size();
+    return true;
+  }
+  return false;
+}
+
+void Mailbox::poison(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = true;
+    poison_reason_ = reason;
+  }
+  cv_.notify_all();
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (poisoned_) throw Error("vmpi barrier aborted: " + poison_reason_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == n_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen || poisoned_; });
+  if (poisoned_) throw Error("vmpi barrier aborted: " + poison_reason_);
+}
+
+void Barrier::poison(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = true;
+    poison_reason_ = reason;
+  }
+  cv_.notify_all();
+}
+
+World::World(int nranks) : barrier_(nranks) {
+  MV_REQUIRE(nranks > 0, "world needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::poison_all(const std::string& reason) {
+  for (auto& mb : mailboxes_) mb->poison(reason);
+  barrier_.poison(reason);
+}
+
+}  // namespace detail
+
+struct Request::Impl {
+  Comm* comm = nullptr;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  void* data = nullptr;
+  std::size_t capacity = 0;
+  bool done = false;
+  Status status;
+};
+
+Comm::Comm(detail::World* world, int rank, int size)
+    : world_(world), rank_(rank), size_(size) {}
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  MV_REQUIRE(dst >= 0 && dst < size_, "send to invalid rank " << dst);
+  MV_REQUIRE(tag >= 0, "user message tags must be non-negative, got " << tag);
+  detail::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes != 0) std::memcpy(msg.payload.data(), data, bytes);
+  world_->mailbox(dst).push(std::move(msg));
+}
+
+Status Comm::recv_bytes(int src, int tag, void* data, std::size_t capacity) {
+  MV_REQUIRE(src == kAnySource || (src >= 0 && src < size_),
+             "recv from invalid rank " << src);
+  detail::Message msg = world_->mailbox(rank_).pop(src, tag);
+  MV_REQUIRE(msg.payload.size() <= capacity,
+             "message of " << msg.payload.size() << " bytes exceeds buffer of "
+                           << capacity);
+  if (!msg.payload.empty())
+    std::memcpy(data, msg.payload.data(), msg.payload.size());
+  return Status{msg.source, msg.tag, msg.payload.size()};
+}
+
+Status Comm::probe(int src, int tag) {
+  Status st;
+  std::size_t bytes = 0;
+  world_->mailbox(rank_).probe(src, tag, &st.source, &st.tag, &bytes);
+  st.bytes = bytes;
+  return st;
+}
+
+bool Comm::iprobe(int src, int tag, Status* status) {
+  Status st;
+  std::size_t bytes = 0;
+  if (!world_->mailbox(rank_).iprobe(src, tag, &st.source, &st.tag, &bytes))
+    return false;
+  st.bytes = bytes;
+  if (status != nullptr) *status = st;
+  return true;
+}
+
+Request Comm::irecv_bytes(int src, int tag, void* data, std::size_t capacity) {
+  Request req;
+  req.impl_ = std::make_shared<Request::Impl>();
+  req.impl_->comm = this;
+  req.impl_->src = src;
+  req.impl_->tag = tag;
+  req.impl_->data = data;
+  req.impl_->capacity = capacity;
+  return req;
+}
+
+Status Comm::wait(Request& request) {
+  MV_REQUIRE(request.impl_ != nullptr, "wait on an empty request");
+  Request::Impl& impl = *request.impl_;
+  MV_REQUIRE(impl.comm == this, "request waited on a different communicator");
+  if (!impl.done) {
+    impl.status = recv_bytes(impl.src, impl.tag, impl.data, impl.capacity);
+    impl.done = true;
+  }
+  return impl.status;
+}
+
+void Comm::barrier() { world_->barrier().arrive_and_wait(); }
+
+void Comm::send_internal(int dst, const void* data, std::size_t bytes) {
+  detail::Message msg;
+  msg.source = rank_;
+  msg.tag = detail::kCollectiveTag;
+  msg.payload.resize(bytes);
+  if (bytes != 0) std::memcpy(msg.payload.data(), data, bytes);
+  world_->mailbox(dst).push(std::move(msg));
+}
+
+void Comm::recv_internal(int src, void* data, std::size_t bytes) {
+  detail::Message msg = world_->mailbox(rank_).pop(src, detail::kCollectiveTag);
+  MV_REQUIRE(msg.payload.size() == bytes,
+             "collective size mismatch: got " << msg.payload.size()
+                                              << ", expected " << bytes
+                                              << " — collectives must be "
+                                                 "called in the same order on "
+                                                 "every rank");
+  if (bytes != 0) std::memcpy(data, msg.payload.data(), bytes);
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  MV_REQUIRE(root >= 0 && root < size_, "bcast from invalid root " << root);
+  if (size_ == 1) return;
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r) {
+      if (r != root) send_internal(r, data, bytes);
+    }
+  } else {
+    recv_internal(root, data, bytes);
+  }
+}
+
+}  // namespace minivpic::vmpi

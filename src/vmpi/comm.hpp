@@ -1,0 +1,239 @@
+// vmpi: an in-process message-passing runtime with MPI semantics.
+//
+// This is the substitution for Roadrunner's MPI layer (see DESIGN.md §2):
+// ranks are threads inside one process, point-to-point messages are buffered
+// byte payloads matched on (source, tag) in FIFO order, and collectives are
+// built on top of point-to-point exactly as a simple MPI implementation
+// would. Application code (ghost exchange, particle migration, reductions)
+// is written against this interface exactly as it would be against MPI, so
+// the algorithmic structure of the paper's code is preserved.
+//
+// Semantics:
+//  * send() is buffered: it copies the payload and returns immediately, so a
+//    matched send/recv pair can never deadlock (like MPI_Bsend).
+//  * recv() blocks until a matching message arrives; matching is FIFO per
+//    (source, tag) with kAnySource / kAnyTag wildcards.
+//  * Collectives must be called by every rank in the same order (as in
+//    MPI). They use a reserved internal tag, which combined with per-source
+//    FIFO ordering makes successive collectives unambiguous.
+//  * If any rank throws, the runtime poisons all mailboxes: blocked calls
+//    throw minivpic::Error instead of hanging.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace minivpic::vmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Metadata for a received message (MPI_Status equivalent).
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+/// Reduction operations for allreduce/reduce.
+enum class Op { kSum, kMin, kMax };
+
+namespace detail {
+class World;  // shared state of one Runtime::run invocation
+/// Tag reserved for collective traffic; user tags must be >= 0.
+inline constexpr int kCollectiveTag = -2;
+}  // namespace detail
+
+/// Handle for a pending nonblocking receive.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return impl_ != nullptr; }
+
+ private:
+  friend class Comm;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Per-rank communicator endpoint. Each rank's thread owns exactly one Comm;
+/// Comm methods are not thread-safe within a rank (as in MPI).
+class Comm {
+ public:
+  Comm(detail::World* world, int rank, int size);
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  // -- point to point (raw bytes) ----------------------------------------
+
+  /// Buffered send of `bytes` bytes to `dst` with non-negative `tag`.
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive matching (src, tag); payload must fit `capacity`.
+  Status recv_bytes(int src, int tag, void* data, std::size_t capacity);
+
+  /// Blocking probe: waits for a matching message and reports its size
+  /// without consuming it.
+  Status probe(int src, int tag);
+
+  /// Nonblocking probe; returns true and fills `status` if a matching
+  /// message is already queued.
+  bool iprobe(int src, int tag, Status* status);
+
+  // -- point to point (typed) ---------------------------------------------
+
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    send(dst, tag, std::span<const T>(&v, 1));
+  }
+
+  /// Receives into `out`; the message length must be exactly out.size().
+  template <typename T>
+  Status recv(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Status st = recv_bytes(src, tag, out.data(), out.size_bytes());
+    MV_REQUIRE(st.bytes == out.size_bytes(),
+               "recv size mismatch: got " << st.bytes << " bytes, expected "
+                                          << out.size_bytes());
+    return st;
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) {
+    T v{};
+    recv(src, tag, std::span<T>(&v, 1));
+    return v;
+  }
+
+  /// Receives a message of unknown length as a vector<T>; the payload length
+  /// must be a multiple of sizeof(T).
+  template <typename T>
+  std::vector<T> recv_any(int src, int tag, Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Status st = probe(src, tag);
+    MV_REQUIRE(st.bytes % sizeof(T) == 0,
+               "message length " << st.bytes
+                                 << " not a multiple of element size");
+    std::vector<T> out(st.bytes / sizeof(T));
+    Status got = recv_bytes(st.source, st.tag, out.data(), st.bytes);
+    MV_ASSERT(got.bytes == st.bytes);
+    if (status != nullptr) *status = got;
+    return out;
+  }
+
+  // -- nonblocking ----------------------------------------------------------
+
+  /// Nonblocking receive; complete with wait(). (Sends are buffered, so an
+  /// isend is just send().)
+  template <typename T>
+  Request irecv(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return irecv_bytes(src, tag, out.data(), out.size_bytes());
+  }
+
+  Request irecv_bytes(int src, int tag, void* data, std::size_t capacity);
+
+  /// Blocks until the request completes; returns its Status.
+  Status wait(Request& request);
+
+  // -- collectives ------------------------------------------------------------
+
+  void barrier();
+
+  /// In-place elementwise allreduce over all ranks (rank 0 reduces, then
+  /// broadcasts — the latency-bound flat tree is fine at our rank counts).
+  template <typename T>
+  void allreduce(std::span<T> data, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ == 1) return;
+    if (rank_ == 0) {
+      std::vector<T> buf(data.size());
+      for (int r = 1; r < size_; ++r) {
+        recv_internal(r, buf.data(), buf.size() * sizeof(T));
+        apply_op(op, data.data(), buf.data(), data.size());
+      }
+      for (int r = 1; r < size_; ++r)
+        send_internal(r, data.data(), data.size_bytes());
+    } else {
+      send_internal(0, data.data(), data.size_bytes());
+      recv_internal(0, data.data(), data.size_bytes());
+    }
+  }
+
+  template <typename T>
+  T allreduce_value(T v, Op op) {
+    allreduce(std::span<T>(&v, 1), op);
+    return v;
+  }
+
+  /// Broadcast from root, in place.
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(data.data(), data.size_bytes(), root);
+  }
+
+  template <typename T>
+  T bcast_value(T v, int root) {
+    bcast(std::span<T>(&v, 1), root);
+    return v;
+  }
+
+  /// Gathers one value per rank to root; non-roots get an empty vector.
+  template <typename T>
+  std::vector<T> gather(const T& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      std::vector<T> out(static_cast<std::size_t>(size_));
+      out[static_cast<std::size_t>(root)] = v;
+      for (int r = 0; r < size_; ++r) {
+        if (r == root) continue;
+        recv_internal(r, &out[static_cast<std::size_t>(r)], sizeof(T));
+      }
+      return out;
+    }
+    send_internal(root, &v, sizeof(T));
+    return {};
+  }
+
+ private:
+  /// Collective-plane p2p (reserved tag; exact-size receive).
+  void send_internal(int dst, const void* data, std::size_t bytes);
+  void recv_internal(int src, void* data, std::size_t bytes);
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+
+  template <typename T>
+  static void apply_op(Op op, T* acc, const T* in, std::size_t n) {
+    switch (op) {
+      case Op::kSum:
+        for (std::size_t i = 0; i < n; ++i) acc[i] += in[i];
+        break;
+      case Op::kMin:
+        for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+        break;
+      case Op::kMax:
+        for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+        break;
+    }
+  }
+
+  detail::World* world_;
+  int rank_;
+  int size_;
+};
+
+}  // namespace minivpic::vmpi

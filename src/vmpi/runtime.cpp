@@ -1,0 +1,43 @@
+#include "vmpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "vmpi/world.hpp"
+
+namespace minivpic::vmpi {
+
+void run(int nranks, const RankFn& fn) {
+  MV_REQUIRE(nranks >= 1, "need at least one rank, got " << nranks);
+  MV_REQUIRE(fn != nullptr, "rank function must be callable");
+
+  detail::World world(nranks);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto rank_main = [&](int rank) {
+    Comm comm(&world, rank, nranks);
+    try {
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.poison_all("a rank failed");
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks - 1));
+  for (int r = 1; r < nranks; ++r) threads.emplace_back(rank_main, r);
+  rank_main(0);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace minivpic::vmpi

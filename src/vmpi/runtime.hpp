@@ -1,0 +1,20 @@
+// Launches a fixed-size group of vmpi ranks, one thread per rank, and runs a
+// rank function on each — the in-process equivalent of `mpirun -np N`.
+#pragma once
+
+#include <functional>
+
+#include "vmpi/comm.hpp"
+
+namespace minivpic::vmpi {
+
+/// Rank entry point: receives this rank's communicator.
+using RankFn = std::function<void(Comm&)>;
+
+/// Runs `fn` on `nranks` ranks. Rank 0 executes on the calling thread; ranks
+/// 1..n-1 on fresh threads. Blocks until every rank returns. If any rank
+/// throws, all mailboxes are poisoned (so no rank can hang on a recv or
+/// barrier), every rank is joined, and the first exception is rethrown.
+void run(int nranks, const RankFn& fn);
+
+}  // namespace minivpic::vmpi

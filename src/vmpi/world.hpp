@@ -1,0 +1,89 @@
+// Internal shared state of a vmpi Runtime::run invocation: one mailbox per
+// rank plus a central barrier. Not part of the public API.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minivpic::vmpi::detail {
+
+struct Message {
+  int source = -1;
+  int tag = -1;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe per-rank message queue with (source, tag) FIFO matching.
+class Mailbox {
+ public:
+  void push(Message msg);
+
+  /// Blocks until a message matching (src, tag) is queued; removes and
+  /// returns it. Wildcards: kAnySource / kAnyTag. Throws if poisoned.
+  Message pop(int src, int tag);
+
+  /// Waits for a match and reports metadata without consuming.
+  void probe(int src, int tag, int* out_src, int* out_tag,
+             std::size_t* out_bytes);
+
+  /// Non-blocking variant; returns false if nothing matches right now.
+  bool iprobe(int src, int tag, int* out_src, int* out_tag,
+              std::size_t* out_bytes);
+
+  /// Marks the mailbox dead; all blocked and future pops throw.
+  void poison(const std::string& reason);
+
+ private:
+  bool matches(const Message& m, int src, int tag) const {
+    return (src == -1 || m.source == src) && (tag == -1 || m.tag == tag);
+  }
+
+  Message* find(int src, int tag);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+/// Sense-reversing barrier shared by all ranks of a world.
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n) {}
+
+  void arrive_and_wait();
+  void poison(const std::string& reason);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int n_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+  Barrier& barrier() { return barrier_; }
+
+  /// Poisons every mailbox and the barrier (called when a rank throws).
+  void poison_all(const std::string& reason);
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Barrier barrier_;
+};
+
+}  // namespace minivpic::vmpi::detail

@@ -1,0 +1,148 @@
+#include "baseline/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/halo.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::baseline {
+namespace {
+
+grid::GlobalGrid cube(int n, double h = 0.5) {
+  grid::GlobalGrid g;
+  g.nx = g.ny = g.nz = n;
+  g.dx = g.dy = g.dz = h;
+  return g;
+}
+
+void set_uniform(grid::FieldArray& f, float ex, float ey, float ez, float bx,
+                 float by, float bz) {
+  const auto& g = f.grid();
+  for (int k = 0; k <= g.nz() + 1; ++k)
+    for (int j = 0; j <= g.ny() + 1; ++j)
+      for (int i = 0; i <= g.nx() + 1; ++i) {
+        f.ex(i, j, k) = ex;
+        f.ey(i, j, k) = ey;
+        f.ez(i, j, k) = ez;
+        f.cbx(i, j, k) = bx;
+        f.cby(i, j, k) = by;
+        f.cbz(i, j, k) = bz;
+      }
+}
+
+TEST(BaselineTest, RequiresPeriodicSingleRank) {
+  auto gg = cube(4);
+  gg.boundary = grid::lpi_boundaries();
+  const grid::LocalGrid g(gg);
+  EXPECT_THROW(BaselinePic(g, -1.0, 1.0), Error);
+  const grid::LocalGrid ok(cube(4));
+  EXPECT_NO_THROW(BaselinePic(ok, -1.0, 1.0));
+  EXPECT_THROW(BaselinePic(ok, -1.0, 0.0), Error);
+}
+
+TEST(BaselineTest, LoadCounts) {
+  const grid::LocalGrid g(cube(4));
+  BaselinePic pic(g, -1.0, 1.0);
+  pic.load_uniform(8, 1.0, 0.05, 1);
+  EXPECT_EQ(pic.size(), 8u * 64u);
+  for (const auto& p : pic.particles()) {
+    EXPECT_GE(p.x, g.node_x(1));
+    EXPECT_LT(p.x, g.node_x(1) + 4 * 0.5);
+  }
+}
+
+TEST(BaselineTest, UniformGatherExact) {
+  const grid::LocalGrid g(cube(4));
+  grid::FieldArray f(g);
+  set_uniform(f, 1.0f, 2.0f, 3.0f, -1.0f, -2.0f, -3.0f);
+  BaselinePic pic(g, -1.0, 1.0);
+  const auto v = pic.gather(f, 0.7, 1.1, 1.9);
+  EXPECT_NEAR(v.ex, 1.0, 1e-12);
+  EXPECT_NEAR(v.ey, 2.0, 1e-12);
+  EXPECT_NEAR(v.ez, 3.0, 1e-12);
+  EXPECT_NEAR(v.cbx, -1.0, 1e-12);
+  EXPECT_NEAR(v.cby, -2.0, 1e-12);
+  EXPECT_NEAR(v.cbz, -3.0, 1e-12);
+}
+
+TEST(BaselineTest, GyrationConservesEnergy) {
+  const grid::LocalGrid g(cube(8));
+  grid::FieldArray f(g);
+  set_uniform(f, 0, 0, 0, 0, 0, 0.2f);
+  BaselinePic pic(g, -1.0, 1.0);
+  ParticleD p;
+  p.x = p.y = p.z = 2.0;
+  p.ux = 0.3;
+  p.w = 1e-10;
+  pic.add(p);
+  for (int s = 0; s < 1000; ++s) pic.push(f);
+  const auto& q = pic.particles()[0];
+  EXPECT_NEAR(q.ux * q.ux + q.uy * q.uy + q.uz * q.uz, 0.09, 1e-6);
+}
+
+TEST(BaselineTest, UniformEImpulse) {
+  const grid::LocalGrid g(cube(8));
+  grid::FieldArray f(g);
+  set_uniform(f, 0.01f, 0, 0, 0, 0, 0);
+  BaselinePic pic(g, -1.0, 1.0);
+  ParticleD p;
+  p.x = p.y = p.z = 2.0;
+  p.w = 1e-10;
+  pic.add(p);
+  const int steps = 10;
+  for (int s = 0; s < steps; ++s) pic.push(f);
+  EXPECT_NEAR(pic.particles()[0].ux, -0.01 * g.dt() * steps, 1e-9);
+}
+
+TEST(BaselineTest, PeriodicWrapStaysInDomain) {
+  const grid::LocalGrid g(cube(4));
+  grid::FieldArray f(g);
+  BaselinePic pic(g, -1.0, 1.0);
+  ParticleD p;
+  p.x = p.y = p.z = 1.9;
+  p.ux = 5.0;
+  p.uy = -5.0;
+  p.w = 1e-10;
+  pic.add(p);
+  for (int s = 0; s < 50; ++s) pic.push(f);
+  const auto& q = pic.particles()[0];
+  EXPECT_GE(q.x, g.node_x(1));
+  EXPECT_LT(q.x, g.node_x(1) + 2.0);
+  EXPECT_GE(q.y, g.node_y(1));
+  EXPECT_LT(q.y, g.node_y(1) + 2.0);
+}
+
+TEST(BaselineTest, DepositsCurrent) {
+  const grid::LocalGrid g(cube(4));
+  grid::FieldArray f(g);
+  BaselinePic pic(g, -1.0, 1.0);
+  ParticleD p;
+  p.x = p.y = p.z = 1.0;
+  p.ux = 0.5;
+  p.w = 2.0;
+  pic.add(p);
+  pic.push(f);
+  double total = 0;
+  for (int k = 1; k <= 5; ++k)
+    for (int j = 1; j <= 5; ++j)
+      for (int i = 1; i <= 5; ++i) total += f.jfx(i, j, k);
+  total *= g.cell_volume();
+  const double v = 0.5 / std::sqrt(1.25);
+  EXPECT_NEAR(total, -2.0 * v, 1e-5);
+}
+
+TEST(BaselineTest, KineticEnergy) {
+  const grid::LocalGrid g(cube(4));
+  BaselinePic pic(g, -1.0, 2.0);
+  ParticleD p;
+  p.ux = 3.0;
+  p.w = 4.0;
+  p.x = p.y = p.z = 1.0;
+  pic.add(p);
+  EXPECT_NEAR(pic.kinetic_energy(), 2.0 * 4.0 * (std::sqrt(10.0) - 1.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace minivpic::baseline

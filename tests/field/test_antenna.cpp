@@ -1,0 +1,172 @@
+#include "field/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "field/energy.hpp"
+#include "field/solver.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::field {
+namespace {
+
+using grid::FieldArray;
+using grid::GlobalGrid;
+using grid::Halo;
+using grid::LocalGrid;
+
+GlobalGrid slab(int nx) {
+  GlobalGrid g;
+  g.nx = nx;
+  g.ny = g.nz = 4;
+  g.dx = g.dy = g.dz = 0.5;
+  g.boundary = grid::lpi_boundaries();
+  return g;
+}
+
+TEST(Waveform, ZeroBeforeStart) {
+  LaserConfig cfg;
+  EXPECT_EQ(laser_waveform(cfg, -1.0), 0.0);
+}
+
+TEST(Waveform, RampsToFullAmplitude) {
+  LaserConfig cfg;
+  cfg.a0 = 0.5;
+  cfg.omega0 = 4.0;
+  cfg.ramp = 10.0;
+  // Early in the ramp the envelope is tiny.
+  EXPECT_LT(std::abs(laser_waveform(cfg, 0.5)), 0.05 * cfg.a0);
+  // After the ramp, peaks reach a0.
+  double peak = 0;
+  for (double t = 20.0; t < 25.0; t += 0.01)
+    peak = std::max(peak, std::abs(laser_waveform(cfg, t)));
+  EXPECT_NEAR(peak, cfg.a0, 0.01 * cfg.a0);
+}
+
+TEST(Waveform, OscillatesAtOmega0) {
+  LaserConfig cfg;
+  cfg.a0 = 1.0;
+  cfg.omega0 = 2.0;
+  cfg.ramp = 0.001;
+  // Zeros of sin(w t) at t = pi/w.
+  EXPECT_NEAR(laser_waveform(cfg, std::numbers::pi / 2.0), 0.0, 1e-9);
+  EXPECT_GT(laser_waveform(cfg, 0.25 * std::numbers::pi), 0.9);
+}
+
+TEST(Waveform, DurationCutsOff) {
+  LaserConfig cfg;
+  cfg.duration = 5.0;
+  EXPECT_EQ(laser_waveform(cfg, 5.1), 0.0);
+}
+
+TEST(Antenna, ConfigValidation) {
+  const LocalGrid g(slab(16));
+  LaserConfig cfg;
+  cfg.omega0 = -1;
+  EXPECT_THROW(LaserAntenna(g, cfg), Error);
+  cfg = {};
+  cfg.a0 = -0.5;
+  EXPECT_THROW(LaserAntenna(g, cfg), Error);
+  cfg = {};
+  cfg.ramp = 0;
+  EXPECT_THROW(LaserAntenna(g, cfg), Error);
+  cfg = {};
+  cfg.global_plane = 0;
+  EXPECT_THROW(LaserAntenna(g, cfg), Error);
+  cfg.global_plane = 17;
+  EXPECT_THROW(LaserAntenna(g, cfg), Error);
+}
+
+TEST(Antenna, PlaneOwnership) {
+  const GlobalGrid gg = slab(16);
+  const vmpi::CartTopology topo({2, 1, 1}, {false, true, true});
+  LaserConfig cfg;
+  cfg.global_plane = 3;
+  const LocalGrid g0(gg, topo, 0);
+  const LocalGrid g1(gg, topo, 1);
+  EXPECT_EQ(LaserAntenna(g0, cfg).local_plane(), 3);
+  EXPECT_EQ(LaserAntenna(g1, cfg).local_plane(), -1);
+  cfg.global_plane = 11;
+  EXPECT_EQ(LaserAntenna(g0, cfg).local_plane(), -1);
+  EXPECT_EQ(LaserAntenna(g1, cfg).local_plane(), 3);
+}
+
+TEST(Antenna, DepositsOnlyOnOwnedPlane) {
+  const LocalGrid g(slab(16));
+  FieldArray f(g);
+  LaserConfig cfg;
+  cfg.global_plane = 5;
+  cfg.ramp = 0.001;
+  LaserAntenna antenna(g, cfg);
+  antenna.deposit(f, 0.3);
+  for (int i = 1; i <= 16; ++i) {
+    if (i == 5) {
+      EXPECT_NE(f.jfy(i, 2, 2), 0.0f);
+    } else {
+      EXPECT_EQ(f.jfy(i, 2, 2), 0.0f);
+    }
+  }
+  EXPECT_EQ(f.jfz(5, 2, 2), 0.0f);  // y-polarized by default
+}
+
+TEST(Antenna, ZPolarization) {
+  const LocalGrid g(slab(16));
+  FieldArray f(g);
+  LaserConfig cfg;
+  cfg.global_plane = 5;
+  cfg.ramp = 0.001;
+  cfg.polarize_z = true;
+  LaserAntenna antenna(g, cfg);
+  antenna.deposit(f, 0.3);
+  EXPECT_NE(f.jfz(5, 2, 2), 0.0f);
+  EXPECT_EQ(f.jfy(5, 2, 2), 0.0f);
+}
+
+TEST(Antenna, LaunchesCalibratedAmplitude) {
+  // In vacuum with absorbing walls, the antenna must launch a forward wave
+  // whose E amplitude matches cfg.a0 and whose backward power at a plane in
+  // front of the source is negligible. Resolved at ~8 cells/wavelength so
+  // the finite-thickness source correction and Mur residuals are small.
+  GlobalGrid gg = slab(96);
+  gg.dx = gg.dy = gg.dz = 0.25;
+  const LocalGrid g(gg);
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+  LaserConfig cfg;
+  cfg.omega0 = 3.0;
+  cfg.a0 = 0.02;
+  cfg.ramp = 8.0;
+  cfg.global_plane = 3;
+  LaserAntenna antenna(g, cfg);
+  solver.boundary().capture(f);
+
+  double t = 0;
+  double peak_mid = 0;
+  double fwd_acc = 0, bwd_acc = 0;
+  int acc_n = 0;
+  while (t < 60.0) {
+    f.clear_sources();
+    antenna.deposit(f, t);
+    solver.advance_b(f, 0.5);
+    solver.advance_e(f);
+    solver.advance_b(f, 0.5);
+    t += g.dt();
+    if (t > 35.0) {  // steady state at the middle of the box
+      peak_mid = std::max(peak_mid, std::abs(double(f.ey(48, 2, 2))));
+      const auto [fwd, bwd] = wave_power_x(f, 24);
+      fwd_acc += fwd;
+      bwd_acc += bwd;
+      ++acc_n;
+    }
+  }
+  EXPECT_NEAR(peak_mid, cfg.a0, 0.15 * cfg.a0);
+  ASSERT_GT(acc_n, 0);
+  EXPECT_GT(fwd_acc / acc_n, 0.0);
+  // Vacuum: essentially no backward-going wave.
+  EXPECT_LT(bwd_acc, 0.02 * fwd_acc);
+}
+
+}  // namespace
+}  // namespace minivpic::field

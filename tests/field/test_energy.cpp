@@ -1,0 +1,128 @@
+#include "field/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace minivpic::field {
+namespace {
+
+using grid::FieldArray;
+using grid::GlobalGrid;
+using grid::LocalGrid;
+
+GlobalGrid cube(int n, double h = 0.5) {
+  GlobalGrid g;
+  g.nx = g.ny = g.nz = n;
+  g.dx = g.dy = g.dz = h;
+  return g;
+}
+
+void fill_uniform(FieldArray& f, float ex, float ey, float ez, float bx,
+                  float by, float bz) {
+  const auto& g = f.grid();
+  for (int k = 1; k <= g.nz(); ++k)
+    for (int j = 1; j <= g.ny(); ++j)
+      for (int i = 1; i <= g.nx(); ++i) {
+        f.ex(i, j, k) = ex;
+        f.ey(i, j, k) = ey;
+        f.ez(i, j, k) = ez;
+        f.cbx(i, j, k) = bx;
+        f.cby(i, j, k) = by;
+        f.cbz(i, j, k) = bz;
+      }
+}
+
+TEST(FieldEnergyTest, UniformFieldEnergies) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  fill_uniform(f, 2.0f, 0.0f, 0.0f, 0.0f, 0.0f, 1.0f);
+  const auto e = field_energy(f);
+  const double vol = 64 * 0.125;  // cells * dV
+  EXPECT_NEAR(e.ex, 0.5 * 4.0 * vol, 1e-9);
+  EXPECT_NEAR(e.bz, 0.5 * 1.0 * vol, 1e-9);
+  EXPECT_EQ(e.ey, 0.0);
+  EXPECT_EQ(e.by, 0.0);
+  EXPECT_NEAR(e.total(), e.ex + e.bz, 1e-12);
+  EXPECT_NEAR(e.electric(), e.ex, 1e-12);
+  EXPECT_NEAR(e.magnetic(), e.bz, 1e-12);
+}
+
+TEST(FieldEnergyTest, GhostsExcluded) {
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  f.ex(0, 0, 0) = 100.0f;
+  f.ey(5, 5, 5) = 100.0f;
+  EXPECT_EQ(field_energy(f).total(), 0.0);
+}
+
+TEST(PoyntingTest, UniformCrossedFields) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  fill_uniform(f, 0.0f, 1.0f, 0.0f, 0.0f, 0.0f, 1.0f);  // Ey, cBz
+  // S_x = Ey cBz = 1 per area; plane area = (4*0.5)^2 = 4.
+  EXPECT_NEAR(poynting_flux_x(f, 2), 4.0, 1e-9);
+}
+
+TEST(PoyntingTest, ReversedWaveNegativeFlux) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  fill_uniform(f, 0.0f, 1.0f, 0.0f, 0.0f, 0.0f, -1.0f);
+  EXPECT_NEAR(poynting_flux_x(f, 2), -4.0, 1e-9);
+}
+
+TEST(PoyntingTest, OtherPolarization) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  fill_uniform(f, 0.0f, 0.0f, 1.0f, 0.0f, -1.0f, 0.0f);  // Ez, -cBy -> +x
+  EXPECT_NEAR(poynting_flux_x(f, 2), 4.0, 1e-9);
+}
+
+TEST(PoyntingTest, PlaneRangeChecked) {
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  EXPECT_THROW(poynting_flux_x(f, 0), Error);
+  EXPECT_THROW(poynting_flux_x(f, 5), Error);
+}
+
+TEST(WavePowerTest, PureForwardWave) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  fill_uniform(f, 0.0f, 0.8f, 0.0f, 0.0f, 0.0f, 0.8f);  // Ey = cBz
+  const auto [fwd, bwd] = wave_power_x(f, 2);
+  EXPECT_NEAR(fwd, 0.64, 1e-6);
+  EXPECT_NEAR(bwd, 0.0, 1e-9);
+}
+
+TEST(WavePowerTest, PureBackwardWave) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  fill_uniform(f, 0.0f, 0.8f, 0.0f, 0.0f, 0.0f, -0.8f);  // Ey = -cBz
+  const auto [fwd, bwd] = wave_power_x(f, 2);
+  EXPECT_NEAR(fwd, 0.0, 1e-9);
+  EXPECT_NEAR(bwd, 0.64, 1e-6);
+}
+
+TEST(WavePowerTest, SecondPolarizationForward) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  // +x propagation with Ez polarization: B = x_hat x E / c -> cBy = -Ez.
+  fill_uniform(f, 0.0f, 0.0f, 0.6f, 0.0f, -0.6f, 0.0f);
+  const auto [fwd, bwd] = wave_power_x(f, 2);
+  EXPECT_NEAR(fwd, 0.36, 1e-6);
+  EXPECT_NEAR(bwd, 0.0, 1e-9);
+}
+
+TEST(WavePowerTest, MixedDecomposition) {
+  const LocalGrid g(cube(4, 0.5));
+  FieldArray f(g);
+  // Superposition: forward amplitude 1.0, backward amplitude 0.5 (Ey pol).
+  // Ey = 1.0 + 0.5 = 1.5, cBz = 1.0 - 0.5 = 0.5.
+  fill_uniform(f, 0.0f, 1.5f, 0.0f, 0.0f, 0.0f, 0.5f);
+  const auto [fwd, bwd] = wave_power_x(f, 2);
+  EXPECT_NEAR(fwd, 1.0, 1e-6);
+  EXPECT_NEAR(bwd, 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace minivpic::field

@@ -1,0 +1,234 @@
+#include "field/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "field/antenna.hpp"
+#include "field/energy.hpp"
+
+namespace minivpic::field {
+namespace {
+
+using grid::FieldArray;
+using grid::GlobalGrid;
+using grid::Halo;
+using grid::LocalGrid;
+
+void step(FieldSolver& solver, FieldArray& f) {
+  solver.advance_b(f, 0.5);
+  solver.advance_e(f);
+  solver.advance_b(f, 0.5);
+}
+
+GlobalGrid box(int nx, int ny, int nz, double h) {
+  GlobalGrid g;
+  g.nx = nx;
+  g.ny = ny;
+  g.nz = nz;
+  g.dx = g.dy = g.dz = h;
+  return g;
+}
+
+TEST(FieldSolver, VacuumZeroStaysZero) {
+  const LocalGrid g(box(8, 8, 8, 0.5));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+  for (int s = 0; s < 10; ++s) step(solver, f);
+  EXPECT_EQ(field_energy(f).total(), 0.0);
+}
+
+TEST(FieldSolver, PlaneWaveDispersionMatchesYee) {
+  // Periodic box, mode m=2 standing/traveling mix along x; the measured
+  // oscillation frequency must match the Yee numerical dispersion relation
+  //   sin(w dt/2)/dt = c sin(k dx/2)/dx  (1-D propagation).
+  const int nx = 32;
+  const double h = 0.5;
+  const LocalGrid g(box(nx, 4, 4, h));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+
+  const double kx = 2.0 * std::numbers::pi * 2.0 / (nx * h);
+  for (int k = 0; k <= g.nz() + 1; ++k)
+    for (int j = 0; j <= g.ny() + 1; ++j)
+      for (int i = 1; i <= g.nx(); ++i) {
+        f.ey(i, j, k) = grid::real(0.1 * std::sin(kx * g.node_x(i)));
+        f.cbz(i, j, k) =
+            grid::real(0.1 * std::sin(kx * (g.node_x(i) + 0.5 * h)));
+      }
+  solver.refresh_all(f);
+
+  std::vector<double> probe;
+  const int steps = 1024;
+  for (int s = 0; s < steps; ++s) {
+    step(solver, f);
+    probe.push_back(f.ey(5, 2, 2));
+  }
+  const auto power = fft::power_spectrum(probe);
+  const std::size_t peak = fft::peak_bin(power, 1, power.size());
+  const double w_meas = fft::bin_omega(peak, 2 * (power.size() - 1), g.dt());
+  const double w_yee =
+      2.0 / g.dt() * std::asin(g.dt() / h * std::sin(0.5 * kx * h));
+  EXPECT_NEAR(w_meas, w_yee, 0.05 * w_yee);
+  // And the numerical frequency is close to the physical w = c k.
+  EXPECT_NEAR(w_meas, kx, 0.06 * kx);
+}
+
+TEST(FieldSolver, VacuumEnergyBounded) {
+  const LocalGrid g(box(16, 8, 8, 0.5));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+  // Superpose a few periodic modes.
+  for (int k = 1; k <= g.nz(); ++k)
+    for (int j = 1; j <= g.ny(); ++j)
+      for (int i = 1; i <= g.nx(); ++i) {
+        const double x = g.node_x(i), y = g.node_y(j), z = g.node_z(k);
+        f.ey(i, j, k) = grid::real(0.1 * std::sin(2 * std::numbers::pi * x / 8.0));
+        f.ez(i, j, k) = grid::real(0.05 * std::cos(2 * std::numbers::pi * y / 4.0));
+        f.ex(i, j, k) = grid::real(0.02 * std::sin(2 * std::numbers::pi * z / 4.0));
+      }
+  solver.refresh_all(f);
+  const double e0 = field_energy(f).total();
+  double emin = e0, emax = e0;
+  for (int s = 0; s < 300; ++s) {
+    step(solver, f);
+    const double e = field_energy(f).total();
+    emin = std::min(emin, e);
+    emax = std::max(emax, e);
+  }
+  // Yee conserves a discrete energy; the naive one oscillates but must not
+  // drift. Allow a small band.
+  EXPECT_GT(emin, 0.90 * e0);
+  EXPECT_LT(emax, 1.10 * e0);
+}
+
+TEST(FieldSolver, PecBoxTrapsEnergy) {
+  GlobalGrid gg = box(16, 4, 4, 0.5);
+  gg.boundary = {grid::BoundaryKind::kPec,      grid::BoundaryKind::kPec,
+                 grid::BoundaryKind::kPeriodic, grid::BoundaryKind::kPeriodic,
+                 grid::BoundaryKind::kPeriodic, grid::BoundaryKind::kPeriodic};
+  const LocalGrid g(gg);
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+  // Cavity mode of the PEC box: Ey ~ sin(pi (x-x_wall) / L), zero at walls.
+  const double lx = 16 * 0.5;
+  for (int k = 0; k <= g.nz() + 1; ++k)
+    for (int j = 0; j <= g.ny() + 1; ++j)
+      for (int i = 1; i <= g.nx() + 1; ++i)
+        f.ey(i, j, k) =
+            grid::real(0.1 * std::sin(std::numbers::pi *
+                                      (g.node_x(i) - g.node_x(1)) / lx));
+  solver.refresh_all(f);
+  solver.boundary().capture(f);
+  const double e0 = field_energy(f).total();
+  double emin = e0, emax = e0;
+  for (int s = 0; s < 400; ++s) {
+    step(solver, f);
+    const double e = field_energy(f).total();
+    emin = std::min(emin, e);
+    emax = std::max(emax, e);
+  }
+  EXPECT_GT(emin, 0.85 * e0);
+  EXPECT_LT(emax, 1.15 * e0);
+}
+
+TEST(FieldSolver, MurWallsDrainPulse) {
+  GlobalGrid gg = box(32, 4, 4, 0.5);
+  gg.boundary = grid::lpi_boundaries();
+  const LocalGrid g(gg);
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+  LaserConfig cfg;
+  cfg.omega0 = 3.0;
+  cfg.a0 = 0.05;
+  cfg.ramp = 3.0;
+  cfg.duration = 6.0;  // short pulse
+  cfg.global_plane = 4;
+  LaserAntenna antenna(g, cfg);
+  solver.boundary().capture(f);
+
+  double t = 0;
+  double peak = 0;
+  const int steps = int(80.0 / g.dt());
+  for (int s = 0; s < steps; ++s) {
+    f.clear_sources();
+    antenna.deposit(f, t);
+    solver.advance_b(f, 0.5);
+    solver.advance_e(f);
+    solver.advance_b(f, 0.5);
+    t += g.dt();
+    peak = std::max(peak, field_energy(f).total());
+  }
+  // Box is 16 long; pulse fits in ~6+ramp time units, exits both walls well
+  // before t = 80. First-order Mur at normal incidence absorbs >99% power.
+  EXPECT_GT(peak, 0.0);
+  EXPECT_LT(field_energy(f).total(), 0.02 * peak);
+}
+
+TEST(FieldSolver, SignalTravelsAtLightSpeed) {
+  GlobalGrid gg = box(64, 2, 2, 0.5);
+  gg.boundary = grid::lpi_boundaries();
+  const LocalGrid g(gg);
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+  LaserConfig cfg;
+  cfg.omega0 = 3.0;
+  cfg.a0 = 0.05;
+  cfg.ramp = 2.0;
+  cfg.global_plane = 2;
+  LaserAntenna antenna(g, cfg);
+  solver.boundary().capture(f);
+
+  const int probe_plane = 50;  // 48 cells = 24 c/wpe from source
+  const double distance = (probe_plane - cfg.global_plane) * g.dx();
+  double t = 0, arrival = -1;
+  while (t < 40.0) {
+    f.clear_sources();
+    antenna.deposit(f, t);
+    solver.advance_b(f, 0.5);
+    solver.advance_e(f);
+    solver.advance_b(f, 0.5);
+    t += g.dt();
+    if (arrival < 0 && std::abs(f.ey(probe_plane, 1, 1)) > 1e-4) arrival = t;
+  }
+  ASSERT_GT(arrival, 0.0) << "signal never arrived";
+  EXPECT_GT(arrival, 0.9 * distance);   // not superluminal
+  EXPECT_LT(arrival, 1.4 * distance);   // arrives promptly
+}
+
+TEST(FieldSolver, CurrentDrivesEField) {
+  // E += -dt * J: uniform J_y for one step in a periodic box.
+  const LocalGrid g(box(4, 4, 4, 0.5));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  FieldSolver solver(g, &halo);
+  for (int k = 1; k <= 4; ++k)
+    for (int j = 1; j <= 4; ++j)
+      for (int i = 1; i <= 4; ++i) f.jfy(i, j, k) = 2.0f;
+  solver.advance_e(f);
+  for (int k = 1; k <= 4; ++k)
+    for (int j = 1; j <= 4; ++j)
+      for (int i = 1; i <= 4; ++i)
+        EXPECT_NEAR(f.ey(i, j, k), -2.0 * g.dt(), 1e-7);
+}
+
+TEST(FieldSolver, RequiresHalo) {
+  const LocalGrid g(box(4, 4, 4, 0.5));
+  EXPECT_THROW(FieldSolver(g, nullptr), Error);
+}
+
+TEST(FieldSolver, FlopAccountingPositive) {
+  EXPECT_GT(FieldSolver::flops_per_voxel(), 0.0);
+}
+
+}  // namespace
+}  // namespace minivpic::field

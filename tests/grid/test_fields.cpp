@@ -1,0 +1,103 @@
+#include "grid/fields.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minivpic::grid {
+namespace {
+
+GlobalGrid cube(int n) {
+  GlobalGrid g;
+  g.nx = g.ny = g.nz = n;
+  g.dx = g.dy = g.dz = 0.5;
+  return g;
+}
+
+TEST(FieldArrayTest, StartsZeroed) {
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  for (int k = 0; k <= 5; ++k)
+    for (int j = 0; j <= 5; ++j)
+      for (int i = 0; i <= 5; ++i) {
+        ASSERT_EQ(f.ex(i, j, k), 0.0f);
+        ASSERT_EQ(f.cbz(i, j, k), 0.0f);
+        ASSERT_EQ(f.jfy(i, j, k), 0.0f);
+        ASSERT_EQ(f.rhof(i, j, k), 0.0f);
+      }
+}
+
+TEST(FieldArrayTest, AccessorsAddressDistinctStorage) {
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  f.ex(2, 3, 1) = 1.0f;
+  f.ey(2, 3, 1) = 2.0f;
+  f.ez(2, 3, 1) = 3.0f;
+  f.cbx(2, 3, 1) = 4.0f;
+  f.cby(2, 3, 1) = 5.0f;
+  f.cbz(2, 3, 1) = 6.0f;
+  f.jfx(2, 3, 1) = 7.0f;
+  f.jfy(2, 3, 1) = 8.0f;
+  f.jfz(2, 3, 1) = 9.0f;
+  f.rhof(2, 3, 1) = 10.0f;
+  EXPECT_EQ(f.ex(2, 3, 1), 1.0f);
+  EXPECT_EQ(f.ey(2, 3, 1), 2.0f);
+  EXPECT_EQ(f.ez(2, 3, 1), 3.0f);
+  EXPECT_EQ(f.cbx(2, 3, 1), 4.0f);
+  EXPECT_EQ(f.cby(2, 3, 1), 5.0f);
+  EXPECT_EQ(f.cbz(2, 3, 1), 6.0f);
+  EXPECT_EQ(f.jfx(2, 3, 1), 7.0f);
+  EXPECT_EQ(f.jfy(2, 3, 1), 8.0f);
+  EXPECT_EQ(f.jfz(2, 3, 1), 9.0f);
+  EXPECT_EQ(f.rhof(2, 3, 1), 10.0f);
+  // Neighbors untouched.
+  EXPECT_EQ(f.ex(1, 3, 1), 0.0f);
+  EXPECT_EQ(f.ex(2, 2, 1), 0.0f);
+}
+
+TEST(FieldArrayTest, IdxMatchesGridVoxel) {
+  const LocalGrid g(cube(5));
+  FieldArray f(g);
+  for (int k = 0; k <= 6; k += 3)
+    for (int j = 0; j <= 6; j += 2)
+      for (int i = 0; i <= 6; ++i) EXPECT_EQ(f.idx(i, j, k), g.voxel(i, j, k));
+}
+
+TEST(FieldArrayTest, ClearSourcesKeepsFields) {
+  const LocalGrid g(cube(3));
+  FieldArray f(g);
+  f.ex(1, 1, 1) = 5.0f;
+  f.cby(2, 2, 2) = -1.0f;
+  f.jfz(1, 2, 3) = 2.0f;
+  f.rhof(3, 3, 3) = 0.5f;
+  f.clear_sources();
+  EXPECT_EQ(f.ex(1, 1, 1), 5.0f);
+  EXPECT_EQ(f.cby(2, 2, 2), -1.0f);
+  EXPECT_EQ(f.jfz(1, 2, 3), 0.0f);
+  EXPECT_EQ(f.rhof(3, 3, 3), 0.0f);
+}
+
+TEST(FieldArrayTest, ClearAll) {
+  const LocalGrid g(cube(3));
+  FieldArray f(g);
+  f.ey(1, 1, 1) = 5.0f;
+  f.cbz(2, 2, 2) = -1.0f;
+  f.clear_all();
+  EXPECT_EQ(f.ey(1, 1, 1), 0.0f);
+  EXPECT_EQ(f.cbz(2, 2, 2), 0.0f);
+}
+
+TEST(FieldArrayTest, BytesAccounting) {
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  EXPECT_EQ(f.bytes(), std::int64_t(6 * 6 * 6) * 10 * 4);
+}
+
+TEST(FieldArrayTest, SpansCoverAllVoxels) {
+  const LocalGrid g(cube(2));
+  FieldArray f(g);
+  EXPECT_EQ(f.ex_span().size(), std::size_t(g.num_voxels()));
+  f.ex_span()[std::size_t(f.idx(1, 2, 1))] = 3.0f;
+  EXPECT_EQ(f.ex(1, 2, 1), 3.0f);
+}
+
+}  // namespace
+}  // namespace minivpic::grid

@@ -1,0 +1,191 @@
+#include "grid/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic::grid {
+namespace {
+
+GlobalGrid cube(int n, double h = 0.5) {
+  GlobalGrid g;
+  g.nx = g.ny = g.nz = n;
+  g.dx = g.dy = g.dz = h;
+  return g;
+}
+
+TEST(GlobalGridTest, CourantDt) {
+  GlobalGrid g = cube(8, 1.0);
+  g.cfl = 0.5;
+  EXPECT_NEAR(g.courant_dt(), 0.5 / std::sqrt(3.0), 1e-14);
+  g.dx = 0.1;
+  EXPECT_LT(g.courant_dt(), 0.5 * 0.1);
+}
+
+TEST(LocalGridTest, SingleRankCoversGlobal) {
+  const LocalGrid g(cube(8));
+  EXPECT_EQ(g.nx(), 8);
+  EXPECT_EQ(g.ny(), 8);
+  EXPECT_EQ(g.nz(), 8);
+  EXPECT_EQ(g.offset_x(), 0);
+  EXPECT_EQ(g.num_cells(), 512);
+  EXPECT_EQ(g.num_voxels(), 1000);
+}
+
+TEST(LocalGridTest, DerivedTimestepRespectsCfl) {
+  GlobalGrid gg = cube(4, 0.25);
+  gg.cfl = 0.9;
+  const LocalGrid g(gg);
+  EXPECT_NEAR(g.dt(), 0.9 * 0.25 / std::sqrt(3.0), 1e-14);
+}
+
+TEST(LocalGridTest, ExplicitTimestepValidated) {
+  GlobalGrid gg = cube(4, 0.25);
+  gg.dt = 1.0;  // way over the Courant limit
+  EXPECT_THROW(LocalGrid{gg}, Error);
+  gg.dt = 0.05;
+  EXPECT_NO_THROW(LocalGrid{gg});
+}
+
+TEST(LocalGridTest, VoxelIndexRoundTrip) {
+  const LocalGrid g(cube(6));
+  for (int k = 0; k <= 7; ++k)
+    for (int j = 0; j <= 7; ++j)
+      for (int i = 0; i <= 7; ++i) {
+        const auto v = g.voxel(i, j, k);
+        const auto c = g.voxel_coords(v);
+        EXPECT_EQ(c[0], i);
+        EXPECT_EQ(c[1], j);
+        EXPECT_EQ(c[2], k);
+      }
+}
+
+TEST(LocalGridTest, VoxelXFastest) {
+  const LocalGrid g(cube(4));
+  EXPECT_EQ(g.voxel(1, 0, 0) - g.voxel(0, 0, 0), 1);
+  EXPECT_EQ(g.voxel(0, 1, 0) - g.voxel(0, 0, 0), g.sy());
+  EXPECT_EQ(g.voxel(0, 0, 1) - g.voxel(0, 0, 0), g.sz());
+}
+
+TEST(LocalGridTest, InteriorPredicate) {
+  const LocalGrid g(cube(4));
+  EXPECT_TRUE(g.is_interior(1, 1, 1));
+  EXPECT_TRUE(g.is_interior(4, 4, 4));
+  EXPECT_FALSE(g.is_interior(0, 1, 1));
+  EXPECT_FALSE(g.is_interior(5, 1, 1));
+  EXPECT_FALSE(g.is_interior(1, 0, 1));
+  EXPECT_FALSE(g.is_interior(1, 1, 5));
+}
+
+TEST(LocalGridTest, NodeCoordinates) {
+  GlobalGrid gg = cube(4, 0.5);
+  gg.x0 = -1.0;
+  const LocalGrid g(gg);
+  EXPECT_DOUBLE_EQ(g.node_x(1), -1.0);
+  EXPECT_DOUBLE_EQ(g.node_x(5), 1.0);  // x0 + nx*dx
+  EXPECT_DOUBLE_EQ(g.node_y(3), 1.0);
+}
+
+TEST(LocalGridTest, CellOfPosition) {
+  GlobalGrid gg = cube(4, 0.5);
+  const LocalGrid g(gg);
+  EXPECT_EQ(g.cell_of_x(0.0), 1);
+  EXPECT_EQ(g.cell_of_x(0.49), 1);
+  EXPECT_EQ(g.cell_of_x(0.5), 2);
+  EXPECT_EQ(g.cell_of_x(1.99), 4);
+  EXPECT_EQ(g.cell_of_x(2.1), -1);
+  EXPECT_EQ(g.cell_of_x(-0.1), -1);
+}
+
+TEST(LocalGridTest, TwoRankDecomposition) {
+  const GlobalGrid gg = cube(8);
+  const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
+  const LocalGrid g0(gg, topo, 0);
+  const LocalGrid g1(gg, topo, 1);
+  EXPECT_EQ(g0.nx(), 4);
+  EXPECT_EQ(g1.nx(), 4);
+  EXPECT_EQ(g0.offset_x(), 0);
+  EXPECT_EQ(g1.offset_x(), 4);
+  EXPECT_EQ(g0.neighbor(kFaceXHi), 1);
+  EXPECT_EQ(g0.neighbor(kFaceXLo), 1);  // periodic wrap
+  EXPECT_EQ(g1.neighbor(kFaceXHi), 0);
+  // y axis has one rank: self neighbor.
+  EXPECT_EQ(g0.neighbor(kFaceYHi), 0);
+}
+
+TEST(LocalGridTest, UnevenSplit) {
+  const GlobalGrid gg = cube(7);
+  const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
+  const LocalGrid g0(gg, topo, 0);
+  const LocalGrid g1(gg, topo, 1);
+  EXPECT_EQ(g0.nx() + g1.nx(), 7);
+  EXPECT_EQ(g0.nx(), 4);  // earlier ranks take the remainder
+  EXPECT_EQ(g1.offset_x(), 4);
+  // Node coordinates must be continuous across the split.
+  EXPECT_DOUBLE_EQ(g0.node_x(g0.nx() + 1), g1.node_x(1));
+}
+
+TEST(LocalGridTest, NonPeriodicGlobalFace) {
+  GlobalGrid gg = cube(8);
+  gg.boundary = lpi_boundaries();
+  const vmpi::CartTopology topo({2, 1, 1}, {false, true, true});
+  const LocalGrid g0(gg, topo, 0);
+  const LocalGrid g1(gg, topo, 1);
+  EXPECT_EQ(g0.neighbor(kFaceXLo), LocalGrid::kNoNeighbor);
+  EXPECT_EQ(g0.neighbor(kFaceXHi), 1);
+  EXPECT_EQ(g1.neighbor(kFaceXHi), LocalGrid::kNoNeighbor);
+  EXPECT_TRUE(g0.on_global_boundary(kFaceXLo));
+  EXPECT_FALSE(g0.on_global_boundary(kFaceXHi));
+  EXPECT_TRUE(g1.on_global_boundary(kFaceXHi));
+  EXPECT_EQ(g0.boundary(kFaceXLo), BoundaryKind::kAbsorbing);
+}
+
+TEST(LocalGridTest, MixedPeriodicitySpecChecked) {
+  GlobalGrid gg = cube(4);
+  gg.boundary[kFaceXLo] = BoundaryKind::kPec;  // x-hi still periodic: invalid
+  EXPECT_THROW(LocalGrid{gg}, Error);
+}
+
+TEST(LocalGridTest, MoreRanksThanCellsRejected) {
+  const GlobalGrid gg = cube(2);
+  const vmpi::CartTopology topo({4, 1, 1}, {true, true, true});
+  EXPECT_THROW(LocalGrid(gg, topo, 0), Error);
+}
+
+TEST(LocalGridTest, InvalidGridRejected) {
+  GlobalGrid gg = cube(0);
+  EXPECT_THROW(LocalGrid{gg}, Error);
+  gg = cube(4);
+  gg.dx = -1;
+  EXPECT_THROW(LocalGrid{gg}, Error);
+  gg = cube(4);
+  gg.cfl = 1.5;
+  EXPECT_THROW(LocalGrid{gg}, Error);
+}
+
+TEST(BoundaryFaces, FaceHelpers) {
+  EXPECT_EQ(face_axis(kFaceXLo), 0);
+  EXPECT_EQ(face_axis(kFaceZHi), 2);
+  EXPECT_EQ(face_dir(kFaceYLo), -1);
+  EXPECT_EQ(face_dir(kFaceYHi), +1);
+  EXPECT_EQ(face_of(0, -1), kFaceXLo);
+  EXPECT_EQ(face_of(2, +1), kFaceZHi);
+}
+
+TEST(LocalGridTest, EightRankCube) {
+  const GlobalGrid gg = cube(8);
+  const vmpi::CartTopology topo({2, 2, 2}, {true, true, true});
+  long long cells = 0;
+  for (int r = 0; r < 8; ++r) {
+    const LocalGrid g(gg, topo, r);
+    cells += g.num_cells();
+    EXPECT_EQ(g.nranks(), 8);
+    EXPECT_EQ(g.rank(), r);
+  }
+  EXPECT_EQ(cells, 512);
+}
+
+}  // namespace
+}  // namespace minivpic::grid

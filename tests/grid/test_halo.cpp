@@ -1,0 +1,205 @@
+#include "grid/halo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::grid {
+namespace {
+
+GlobalGrid cube(int n) {
+  GlobalGrid g;
+  g.nx = g.ny = g.nz = n;
+  g.dx = g.dy = g.dz = 0.5;
+  return g;
+}
+
+/// Distinctive value per (component, global cell) — exact in float.
+float tag_value(int comp, int gi, int gj, int gk) {
+  return float(comp * 500000 + (gi * 64 + gj) * 64 + gk);
+}
+
+/// Fills every component's interior with tag values in *global* cell ids.
+void fill_interior(FieldArray& f, const LocalGrid& g) {
+  const auto comps = em_components();
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    real* data = component_data(f, comps[c]);
+    for (int k = 1; k <= g.nz(); ++k)
+      for (int j = 1; j <= g.ny(); ++j)
+        for (int i = 1; i <= g.nx(); ++i)
+          data[f.idx(i, j, k)] = tag_value(int(c), g.offset_x() + i,
+                                           g.offset_y() + j, g.offset_z() + k);
+  }
+}
+
+/// Expected ghost value: wrap the global index periodically.
+float expected_ghost(const LocalGrid& g, int comp, int li, int lj, int lk) {
+  auto wrap = [](int v, int n) { return ((v - 1) % n + n) % n + 1; };
+  return tag_value(comp, wrap(g.offset_x() + li, g.global_nx()),
+                   wrap(g.offset_y() + lj, g.global_ny()),
+                   wrap(g.offset_z() + lk, g.global_nz()));
+}
+
+void check_all_ghosts(const FieldArray& f, const LocalGrid& g) {
+  const auto comps = em_components();
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    const real* data = component_data(f, comps[c]);
+    for (int k = 0; k <= g.nz() + 1; ++k) {
+      for (int j = 0; j <= g.ny() + 1; ++j) {
+        for (int i = 0; i <= g.nx() + 1; ++i) {
+          ASSERT_EQ(data[f.idx(i, j, k)],
+                    expected_ghost(g, int(c), i, j, k))
+              << "comp " << c << " at (" << i << "," << j << "," << k
+              << ") rank " << g.rank();
+        }
+      }
+    }
+  }
+}
+
+TEST(HaloRefresh, SingleRankPeriodic) {
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  fill_interior(f, g);
+  halo.refresh(f, em_components());
+  check_all_ghosts(f, g);
+}
+
+TEST(HaloRefresh, CornerGhostsConsistent) {
+  const LocalGrid g(cube(3));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  fill_interior(f, g);
+  halo.refresh(f, em_components());
+  // Extreme corner ghost (0,0,0) wraps to interior (3,3,3).
+  EXPECT_EQ(f.ex(0, 0, 0), tag_value(0, 3, 3, 3));
+  EXPECT_EQ(f.ex(4, 4, 4), tag_value(0, 1, 1, 1));
+  EXPECT_EQ(f.cbz(0, 4, 0), tag_value(5, 3, 1, 3));
+}
+
+class HaloMultiRank : public ::testing::TestWithParam<std::array<int, 3>> {};
+
+TEST_P(HaloMultiRank, RefreshMatchesGlobalWrap) {
+  const auto dims = GetParam();
+  const int nranks = dims[0] * dims[1] * dims[2];
+  const GlobalGrid gg = cube(8);
+  vmpi::run(nranks, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo(dims, {true, true, true});
+    const LocalGrid g(gg, topo, comm.rank());
+    FieldArray f(g);
+    Halo halo(g, &comm);
+    fill_interior(f, g);
+    halo.refresh(f, em_components());
+    check_all_ghosts(f, g);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, HaloMultiRank,
+    ::testing::Values(std::array<int, 3>{2, 1, 1}, std::array<int, 3>{1, 2, 1},
+                      std::array<int, 3>{1, 1, 2}, std::array<int, 3>{2, 2, 1},
+                      std::array<int, 3>{2, 2, 2},
+                      std::array<int, 3>{4, 1, 1}));
+
+TEST(HaloRefresh, NonPeriodicFaceGhostUntouched) {
+  GlobalGrid gg = cube(4);
+  gg.boundary = lpi_boundaries();  // absorbing x, periodic y/z
+  const LocalGrid g(gg);
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  fill_interior(f, g);
+  // Plant sentinels in the x ghosts; refresh must not change them.
+  f.ey(0, 2, 2) = -77.0f;
+  f.ey(5, 2, 2) = -88.0f;
+  halo.refresh(f, em_components());
+  EXPECT_EQ(f.ey(0, 2, 2), -77.0f);
+  EXPECT_EQ(f.ey(5, 2, 2), -88.0f);
+  // Periodic y ghosts still refreshed.
+  EXPECT_EQ(f.ey(2, 0, 2), tag_value(1, 2, 4, 2));
+}
+
+TEST(HaloReduce, SingleRankPeriodicFold) {
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  // Deposit into the high-side ghost planes as a particle at the domain
+  // edge would.
+  f.jfx(5, 2, 2) = 1.0f;   // x ghost -> interior (1,2,2)
+  f.jfy(2, 5, 2) = 2.0f;   // y ghost -> interior (2,1,2)
+  f.jfz(2, 2, 5) = 3.0f;   // z ghost -> interior (2,2,1)
+  f.rhof(5, 5, 2) = 4.0f;  // xy corner ghost -> interior (1,1,2)
+  f.jfx(1, 2, 2) = 0.5f;   // existing interior contribution
+  halo.reduce_sources(f);
+  EXPECT_EQ(f.jfx(1, 2, 2), 1.5f);
+  EXPECT_EQ(f.jfy(2, 1, 2), 2.0f);
+  EXPECT_EQ(f.jfz(2, 2, 1), 3.0f);
+  EXPECT_EQ(f.rhof(1, 1, 2), 4.0f);
+  // Ghosts zeroed afterwards.
+  EXPECT_EQ(f.jfx(5, 2, 2), 0.0f);
+  EXPECT_EQ(f.rhof(5, 5, 2), 0.0f);
+}
+
+TEST(HaloReduce, TripleCornerFold) {
+  const LocalGrid g(cube(3));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  f.rhof(4, 4, 4) = 7.0f;  // xyz corner ghost
+  halo.reduce_sources(f);
+  EXPECT_EQ(f.rhof(1, 1, 1), 7.0f);
+  EXPECT_EQ(f.rhof(4, 4, 4), 0.0f);
+}
+
+TEST(HaloReduce, MultiRankFold) {
+  const GlobalGrid gg = cube(8);
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
+    const LocalGrid g(gg, topo, comm.rank());
+    FieldArray f(g);
+    Halo halo(g, &comm);
+    // Every rank deposits into its high-x ghost plane.
+    f.jfy(g.nx() + 1, 3, 3) = float(10 + comm.rank());
+    halo.reduce_sources(f);
+    // Rank r's ghost lands in rank (r+1)%2's interior plane 1.
+    const int from = (comm.rank() + 1) % 2;
+    EXPECT_EQ(f.jfy(1, 3, 3), float(10 + from));
+    EXPECT_EQ(f.jfy(g.nx() + 1, 3, 3), 0.0f);
+  });
+}
+
+TEST(HaloReduce, ConservesTotalCharge) {
+  // Property: reduce_sources must conserve the sum over ALL voxels of rho
+  // into the interior (periodic case).
+  const LocalGrid g(cube(4));
+  FieldArray f(g);
+  Halo halo(g, nullptr);
+  double before = 0;
+  int val = 1;
+  for (int k = 1; k <= g.nz() + 1; ++k)
+    for (int j = 1; j <= g.ny() + 1; ++j)
+      for (int i = 1; i <= g.nx() + 1; ++i) {
+        f.rhof(i, j, k) = float(val);
+        before += val;
+        val = (val % 7) + 1;
+      }
+  halo.reduce_sources(f);
+  double after = 0;
+  for (int k = 1; k <= g.nz(); ++k)
+    for (int j = 1; j <= g.ny(); ++j)
+      for (int i = 1; i <= g.nx(); ++i) after += f.rhof(i, j, k);
+  EXPECT_DOUBLE_EQ(after, before);
+}
+
+TEST(HaloConstruct, Validation) {
+  const GlobalGrid gg = cube(8);
+  const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
+  const LocalGrid g2(gg, topo, 0);
+  EXPECT_THROW(Halo(g2, nullptr), Error);  // multi-rank grid needs comm
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    EXPECT_THROW(Halo(g2, &comm), Error);  // size mismatch (3 vs 2)
+  });
+}
+
+}  // namespace
+}  // namespace minivpic::grid

@@ -1,0 +1,68 @@
+#include "perf/datamotion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/costs.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::perf {
+namespace {
+
+TEST(CostsTest, PushCostsSane) {
+  EXPECT_GT(KernelCosts::push_flops_per_particle(), 100.0);
+  // Sorted, high-ppc PIC: ~160 B/particle -> ~1 flop/byte.
+  const double bytes = KernelCosts::push_bytes_per_particle(64);
+  EXPECT_NEAR(bytes, 162.25, 0.5);
+  // Low ppc costs more traffic per particle.
+  EXPECT_GT(KernelCosts::push_bytes_per_particle(1),
+            KernelCosts::push_bytes_per_particle(64));
+}
+
+TEST(CostsTest, ComparisonKernelIntensities) {
+  // The data-motion ordering the abstract claims: PIC < MC, MD, GEMM in
+  // flops per byte.
+  const double pic = KernelCosts::push_flops_per_particle() /
+                     KernelCosts::push_bytes_per_particle(64);
+  const double gemm = KernelCosts::sgemm_flops(1024) /
+                      KernelCosts::sgemm_bytes(1024);
+  const double nbody =
+      KernelCosts::nbody_flops(4096) / KernelCosts::nbody_bytes(4096);
+  EXPECT_LT(pic, gemm);
+  EXPECT_LT(pic, nbody);
+  EXPECT_GT(pic, 0.5);
+  EXPECT_LT(pic, 3.0);
+}
+
+TEST(DataMotionTest, SgemmRunsAndCounts) {
+  const auto rep = run_sgemm(64);
+  EXPECT_GT(rep.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rep.flops, 2.0 * 64 * 64 * 64);
+  EXPECT_GT(rep.gflops(), 0.01);
+  EXPECT_THROW(run_sgemm(2), Error);
+}
+
+TEST(DataMotionTest, NbodyRunsAndCounts) {
+  const auto rep = run_nbody(512);
+  EXPECT_GT(rep.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rep.flops, 20.0 * 512 * 512);
+  EXPECT_NE(rep.checksum, 0.0);
+}
+
+TEST(DataMotionTest, MonteCarloEstimatesPi) {
+  const auto rep = run_montecarlo(200000);
+  EXPECT_NEAR(rep.checksum, 3.14159, 0.05);
+  EXPECT_EQ(rep.bytes, 0.0);
+  EXPECT_GT(rep.flops_per_byte(), 1e6);  // effectively infinite intensity
+}
+
+TEST(DataMotionTest, PicPushRunsAndCounts) {
+  const auto rep = run_pic_push(16384, 16);
+  EXPECT_GT(rep.seconds, 0.0);
+  EXPECT_GT(rep.flops, 0.0);
+  EXPECT_GT(rep.bytes, 0.0);
+  // PIC sits near ~1 flop/byte — far below the compute kernels.
+  EXPECT_LT(rep.flops_per_byte(), 3.0);
+}
+
+}  // namespace
+}  // namespace minivpic::perf

@@ -1,0 +1,211 @@
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::sim {
+namespace {
+
+Deck demo_deck() {
+  Deck d;
+  d.grid.nx = d.grid.ny = d.grid.nz = 6;
+  d.grid.dx = d.grid.dy = d.grid.dz = 0.5;
+  SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 4;
+  e.load.uth = 0.15;
+  d.species.push_back(e);
+  SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.load.uth = 0.001;
+  d.species.push_back(ion);
+  return d;
+}
+
+std::string temp_prefix(const char* tag) {
+  return ::testing::TempDir() + "/minivpic_ckpt_" + tag;
+}
+
+void expect_fields_equal(const grid::FieldArray& a, const grid::FieldArray& b) {
+  for (const auto c : grid::em_components()) {
+    const grid::real* pa = grid::component_data(a, c);
+    const grid::real* pb = grid::component_data(b, c);
+    for (std::int64_t v = 0; v < a.grid().num_voxels(); ++v)
+      ASSERT_EQ(pa[v], pb[v]) << "component mismatch at voxel " << v;
+  }
+}
+
+void expect_species_equal(const particles::Species& a,
+                          const particles::Species& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    ASSERT_EQ(a[n].i, b[n].i) << n;
+    ASSERT_EQ(a[n].dx, b[n].dx) << n;
+    ASSERT_EQ(a[n].ux, b[n].ux) << n;
+    ASSERT_EQ(a[n].w, b[n].w) << n;
+  }
+}
+
+TEST(CheckpointTest, RoundTripResumesBitExact) {
+  const Deck deck = demo_deck();
+  const std::string prefix = temp_prefix("roundtrip");
+
+  // Reference: straight 20-step run.
+  Simulation ref(deck);
+  ref.initialize();
+  ref.run(10);
+  Checkpoint::save(ref, prefix);
+  ref.run(10);
+
+  // Restarted: restore at step 10, run the same remaining 10.
+  Simulation restarted(deck);
+  Checkpoint::restore(restarted, prefix);
+  EXPECT_EQ(restarted.step_index(), 10);
+  restarted.run(10);
+
+  EXPECT_EQ(restarted.step_index(), ref.step_index());
+  EXPECT_DOUBLE_EQ(restarted.time(), ref.time());
+  expect_fields_equal(ref.fields(), restarted.fields());
+  for (std::size_t s = 0; s < ref.num_species(); ++s)
+    expect_species_equal(ref.species(s), restarted.species(s));
+  std::remove((prefix + ".rank0").c_str());
+}
+
+TEST(CheckpointTest, RestoreIntoInitializedRejected) {
+  const Deck deck = demo_deck();
+  const std::string prefix = temp_prefix("init");
+  Simulation a(deck);
+  a.initialize();
+  Checkpoint::save(a, prefix);
+  EXPECT_THROW(Checkpoint::restore(a, prefix), Error);
+  std::remove((prefix + ".rank0").c_str());
+}
+
+TEST(CheckpointTest, MissingFileRejected) {
+  Simulation sim(demo_deck());
+  EXPECT_THROW(Checkpoint::restore(sim, "/nonexistent/prefix"), Error);
+}
+
+TEST(CheckpointTest, CorruptMagicRejected) {
+  const Deck deck = demo_deck();
+  const std::string prefix = temp_prefix("magic");
+  {
+    Simulation a(deck);
+    a.initialize();
+    Checkpoint::save(a, prefix);
+  }
+  {
+    std::fstream f(prefix + ".rank0",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    const char junk[4] = {'J', 'U', 'N', 'K'};
+    f.write(junk, 4);
+  }
+  Simulation b(deck);
+  EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
+  std::remove((prefix + ".rank0").c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileRejected) {
+  const Deck deck = demo_deck();
+  const std::string prefix = temp_prefix("trunc");
+  {
+    Simulation a(deck);
+    a.initialize();
+    Checkpoint::save(a, prefix);
+  }
+  // Truncate to half size.
+  {
+    std::ifstream in(prefix + ".rank0", std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(prefix + ".rank0", std::ios::binary | std::ios::trunc);
+    out.write(data.data(), std::streamsize(data.size() / 2));
+  }
+  Simulation b(deck);
+  EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
+  std::remove((prefix + ".rank0").c_str());
+}
+
+TEST(CheckpointTest, GridShapeMismatchRejected) {
+  const std::string prefix = temp_prefix("shape");
+  {
+    Simulation a(demo_deck());
+    a.initialize();
+    Checkpoint::save(a, prefix);
+  }
+  Deck other = demo_deck();
+  other.grid.nx = 8;
+  Simulation b(other);
+  EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
+  std::remove((prefix + ".rank0").c_str());
+}
+
+TEST(CheckpointTest, SpeciesMismatchRejected) {
+  const std::string prefix = temp_prefix("species");
+  {
+    Simulation a(demo_deck());
+    a.initialize();
+    Checkpoint::save(a, prefix);
+  }
+  Deck other = demo_deck();
+  other.species[0].m = 2.0;  // different electron mass
+  Simulation b(other);
+  EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
+  std::remove((prefix + ".rank0").c_str());
+}
+
+TEST(CheckpointTest, MultiRankRoundTrip) {
+  const Deck deck = demo_deck();
+  const std::string prefix = temp_prefix("mr");
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
+    Simulation a(deck, &comm, &topo);
+    a.initialize();
+    a.run(5);
+    Checkpoint::save(a, prefix);
+    a.run(5);
+    const auto ref_energy = a.energies();
+
+    Simulation b(deck, &comm, &topo);
+    Checkpoint::restore(b, prefix);
+    b.run(5);
+    const auto energy = b.energies();
+    EXPECT_DOUBLE_EQ(energy.kinetic_total, ref_energy.kinetic_total);
+    EXPECT_DOUBLE_EQ(energy.field.total(), ref_energy.field.total());
+    expect_fields_equal(a.fields(), b.fields());
+  });
+  std::remove((prefix + ".rank0").c_str());
+  std::remove((prefix + ".rank1").c_str());
+}
+
+TEST(CheckpointTest, RankLayoutMismatchRejected) {
+  const Deck deck = demo_deck();
+  const std::string prefix = temp_prefix("layout");
+  {
+    Simulation a(deck);
+    a.initialize();
+    Checkpoint::save(a, prefix);
+  }
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
+    Simulation b(deck, &comm, &topo);
+    if (comm.rank() == 0) {
+      // rank0 file exists but was written by a 1-rank run.
+      EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
+    }
+  });
+  std::remove((prefix + ".rank0").c_str());
+}
+
+}  // namespace
+}  // namespace minivpic::sim

@@ -1,0 +1,154 @@
+#include "sim/deck_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/simulation.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::sim {
+namespace {
+
+Deck parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_deck(in);
+}
+
+const char* kLpiDeck = R"(
+# LPI slab deck
+[grid]
+nx = 48  ny = 2  nz = 2  dx = 0.25
+boundary_x = absorbing
+particle_bc_x = absorb
+
+[species electron]
+q = -1  m = 1  ppc = 4  uth = 0.06
+slab_x0 = 2.0  slab_x1 = 10.0
+
+[species ion]
+q = 1  m = 1836  ppc = 4  uth = 0.001  mobile = false
+slab_x0 = 2.0  slab_x1 = 10.0
+
+[laser]
+omega0 = 3.16  a0 = 0.1  ramp = 5  plane = 2
+
+[control]
+sort_period = 10  clean_period = 25
+)";
+
+TEST(DeckIoTest, ParsesFullLpiDeck) {
+  const Deck d = parse(kLpiDeck);
+  EXPECT_EQ(d.grid.nx, 48);
+  EXPECT_EQ(d.grid.ny, 2);
+  EXPECT_DOUBLE_EQ(d.grid.dx, 0.25);
+  EXPECT_DOUBLE_EQ(d.grid.dy, 0.25);  // defaults to dx
+  EXPECT_EQ(d.grid.boundary[grid::kFaceXLo], grid::BoundaryKind::kAbsorbing);
+  EXPECT_EQ(d.grid.boundary[grid::kFaceYLo], grid::BoundaryKind::kPeriodic);
+  EXPECT_EQ(d.particle_bc[grid::kFaceXHi], particles::ParticleBc::kAbsorb);
+  ASSERT_EQ(d.species.size(), 2u);
+  EXPECT_EQ(d.species[0].name, "electron");
+  EXPECT_EQ(d.species[0].load.ppc, 4);
+  EXPECT_FALSE(d.species[1].mobile);
+  ASSERT_TRUE(d.species[0].load.profile);
+  EXPECT_EQ(d.species[0].load.profile(1.0, 0, 0), 0.0);
+  EXPECT_EQ(d.species[0].load.profile(5.0, 0, 0), 1.0);
+  ASSERT_TRUE(d.laser.has_value());
+  EXPECT_DOUBLE_EQ(d.laser->a0, 0.1);
+  EXPECT_EQ(d.sort_period, 10);
+  EXPECT_EQ(d.clean_period, 25);
+}
+
+TEST(DeckIoTest, ParsedDeckRuns) {
+  Simulation sim(parse(kLpiDeck));
+  sim.initialize();
+  EXPECT_GT(sim.global_particle_count(), 0);
+  sim.run(5);
+  EXPECT_GT(sim.energies().field.total(), 0.0);
+}
+
+TEST(DeckIoTest, CollisionSection) {
+  const Deck d = parse(R"(
+[grid]
+nx = 4  ny = 4  nz = 4  dx = 0.5
+[species electron]
+ppc = 4  uth = 0.1
+[collision electron electron]
+nu_scale = 1e-4  period = 5
+)");
+  ASSERT_EQ(d.collisions.size(), 1u);
+  EXPECT_EQ(d.collisions[0].species_a, "electron");
+  EXPECT_DOUBLE_EQ(d.collisions[0].nu_scale, 1e-4);
+  EXPECT_EQ(d.collisions[0].period, 5);
+}
+
+TEST(DeckIoTest, AnisotropicAndDrift) {
+  const Deck d = parse(R"(
+[grid]
+nx = 4  dx = 0.5
+[species beam]
+uth_x = 0.01  uth_y = 0.02  uth_z = 0.3  drift_x = 0.5  seed = 99
+)");
+  EXPECT_EQ(d.species[0].load.uth3[2], 0.3);
+  EXPECT_EQ(d.species[0].load.drift[0], 0.5);
+  EXPECT_EQ(d.species[0].load.seed, 99u);
+}
+
+TEST(DeckIoTest, CommentsAndSpacingTolerated) {
+  const Deck d = parse(R"(
+# leading comment
+[grid]
+nx=8 ny =8 nz= 8   dx = 0.5  # trailing comment
+[species e]
+ppc = 2
+)");
+  EXPECT_EQ(d.grid.nx, 8);
+  EXPECT_EQ(d.grid.ny, 8);
+  EXPECT_EQ(d.grid.nz, 8);
+}
+
+TEST(DeckIoTest, ErrorsAreSpecific) {
+  // Unknown key.
+  EXPECT_THROW(parse("[grid]\nnx = 4\nbogus = 1\n[species e]\nppc=1\n"),
+               Error);
+  // Unknown section.
+  EXPECT_THROW(parse("[grid]\nnx=4\n[warp drive]\n"), Error);
+  // Key before section.
+  EXPECT_THROW(parse("nx = 4\n"), Error);
+  // Bad number.
+  EXPECT_THROW(parse("[grid]\nnx = four\n[species e]\nppc=1\n"), Error);
+  // Non-integer where integer expected.
+  EXPECT_THROW(parse("[grid]\nnx = 4.5\n[species e]\nppc=1\n"), Error);
+  // Missing grid.
+  EXPECT_THROW(parse("[species e]\nppc=1\n"), Error);
+  // Missing species.
+  EXPECT_THROW(parse("[grid]\nnx=4\n"), Error);
+  // Bad boundary name.
+  EXPECT_THROW(
+      parse("[grid]\nnx=4\nboundary_x = mirror\n[species e]\nppc=1\n"),
+      Error);
+  // Species without a name.
+  EXPECT_THROW(parse("[grid]\nnx=4\n[species]\nppc=1\n"), Error);
+  // Bad slab ordering.
+  EXPECT_THROW(
+      parse("[grid]\nnx=4\n[species e]\nslab_x0=5\nslab_x1=2\n"), Error);
+  // Unterminated section.
+  EXPECT_THROW(parse("[grid\nnx=4\n"), Error);
+}
+
+TEST(DeckIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/minivpic_test.deck";
+  {
+    std::ofstream out(path);
+    out << kLpiDeck;
+  }
+  const Deck d = load_deck_file(path);
+  EXPECT_EQ(d.grid.nx, 48);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_deck_file("/nonexistent.deck"), Error);
+}
+
+}  // namespace
+}  // namespace minivpic::sim

@@ -1,0 +1,105 @@
+#include "sim/deck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace minivpic::sim {
+namespace {
+
+TEST(DeckTest, PlasmaOscillationDeckWellFormed) {
+  const Deck d = plasma_oscillation_deck();
+  ASSERT_EQ(d.species.size(), 2u);
+  EXPECT_EQ(d.species[0].name, "electron");
+  EXPECT_FALSE(d.species[1].mobile);
+  EXPECT_FALSE(d.laser.has_value());
+  Simulation sim(d);
+  sim.initialize();
+  EXPECT_GT(sim.global_particle_count(), 0);
+}
+
+TEST(DeckTest, PerturbationSeedsVelocity) {
+  const Deck d = plasma_oscillation_deck(16, 8, 0.02);
+  Simulation sim(d);
+  sim.initialize();
+  // Electrons carry the sinusoidal drift: ux spread must reflect it.
+  double min_ux = 1e9, max_ux = -1e9;
+  for (const auto& p : sim.species(0).particles()) {
+    min_ux = std::min(min_ux, double(p.ux));
+    max_ux = std::max(max_ux, double(p.ux));
+  }
+  EXPECT_NEAR(max_ux, 0.02, 3e-3);
+  EXPECT_NEAR(min_ux, -0.02, 3e-3);
+}
+
+TEST(DeckTest, TwoStreamDeckBalanced) {
+  const Deck d = two_stream_deck(16, 8, 0.25);
+  ASSERT_EQ(d.species.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.species[0].load.drift[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.species[1].load.drift[0], -0.25);
+  EXPECT_DOUBLE_EQ(d.species[0].load.density + d.species[1].load.density,
+                   d.species[2].load.density);
+}
+
+TEST(DeckTest, WeibelAnisotropy) {
+  const Deck d = weibel_deck(8, 8, 0.4, 0.02);
+  EXPECT_DOUBLE_EQ(d.species[0].load.uth3[2], 0.4);
+  EXPECT_DOUBLE_EQ(d.species[0].load.uth3[0], 0.02);
+}
+
+TEST(DeckTest, LpiDeckMatchesParameters) {
+  LpiParams p;
+  p.a0 = 0.03;
+  p.n_over_nc = 0.1;
+  p.te_kev = 2.6;
+  const Deck d = lpi_deck(p);
+  ASSERT_TRUE(d.laser.has_value());
+  EXPECT_NEAR(d.laser->omega0, units::omega0_over_omegape(0.1), 1e-12);
+  EXPECT_DOUBLE_EQ(d.laser->a0, 0.03);
+  EXPECT_EQ(d.grid.boundary[grid::kFaceXLo], grid::BoundaryKind::kAbsorbing);
+  EXPECT_EQ(d.grid.boundary[grid::kFaceYLo], grid::BoundaryKind::kPeriodic);
+  EXPECT_EQ(d.particle_bc[grid::kFaceXLo], particles::ParticleBc::kAbsorb);
+  EXPECT_NEAR(d.species[0].load.uth, units::uth_from_te_kev(2.6), 1e-12);
+  EXPECT_FALSE(d.species[1].mobile);
+}
+
+TEST(DeckTest, LpiVacuumGap) {
+  LpiParams p;
+  p.nx = 96;
+  p.vacuum_cells = 16;
+  p.dx = 0.25;
+  const Deck d = lpi_deck(p);
+  const auto& profile = d.species[0].load.profile;
+  ASSERT_TRUE(profile);
+  EXPECT_EQ(profile(1.0, 0, 0), 0.0);            // vacuum gap
+  EXPECT_EQ(profile(16 * 0.25 + 0.1, 0, 0), 1.0);  // plasma
+  EXPECT_EQ(profile(96 * 0.25 - 0.1, 0, 0), 0.0); // far vacuum gap
+}
+
+TEST(DeckTest, LpiValidation) {
+  LpiParams p;
+  p.n_over_nc = 0.3;  // >= quarter critical
+  EXPECT_THROW(lpi_deck(p), Error);
+  p = {};
+  p.vacuum_cells = 100;
+  p.nx = 96;
+  EXPECT_THROW(lpi_deck(p), Error);
+}
+
+TEST(DeckTest, LpiRunsAFewSteps) {
+  LpiParams p;
+  p.nx = 48;
+  p.ny = p.nz = 2;
+  p.ppc = 4;
+  p.vacuum_cells = 8;
+  Simulation sim(lpi_deck(p));
+  sim.initialize();
+  EXPECT_GT(sim.global_particle_count(), 0);
+  sim.run(10);
+  EXPECT_GT(sim.energies().field.total(), 0.0);  // laser is feeding energy
+}
+
+}  // namespace
+}  // namespace minivpic::sim

@@ -1,0 +1,157 @@
+#include "sim/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace minivpic::sim {
+using minivpic::Rng;
+namespace {
+
+/// LPI-style deck with configurable plasma density (0 = vacuum) and laser
+/// frequency, small enough for unit tests.
+Deck mini_laser_deck(double density, double omega0, double a0 = 0.02) {
+  Deck d;
+  d.grid.nx = 96;
+  d.grid.ny = d.grid.nz = 2;
+  d.grid.dx = d.grid.dy = d.grid.dz = 0.25;
+  d.grid.boundary = grid::lpi_boundaries();
+  d.particle_bc = particles::lpi_particles();
+
+  SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 16;
+  e.load.uth = 0.03;
+  e.load.profile = [density](double x, double, double) {
+    return (x >= 8.0 && x < 20.0) ? density : 0.0;
+  };
+  d.species.push_back(e);
+  SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.load.uth = 0.001;
+  ion.mobile = false;
+  d.species.push_back(ion);
+
+  field::LaserConfig laser;
+  laser.omega0 = omega0;
+  laser.a0 = a0;
+  laser.ramp = 6.0;
+  laser.global_plane = 2;
+  d.laser = laser;
+  return d;
+}
+
+TEST(ReflectivityTest, VacuumIsTransparent) {
+  Simulation sim(mini_laser_deck(0.0, 3.0));
+  sim.initialize();
+  ReflectivityProbe probe(sim, 16);
+  while (sim.time() < 50.0) {
+    sim.step();
+    probe.sample(/*warmup_time=*/20.0);
+  }
+  EXPECT_GT(probe.forward_power(), 0.0);
+  EXPECT_LT(probe.reflectivity(), 0.02);
+  EXPECT_TRUE(probe.owns_plane());
+  EXPECT_FALSE(probe.backward_series().empty());
+}
+
+TEST(ReflectivityTest, OverdensePlasmaMirrors) {
+  // omega0 < omega_pe: the light cannot propagate and is almost completely
+  // reflected off the plasma surface.
+  Simulation sim(mini_laser_deck(1.0, 0.6));
+  sim.initialize();
+  ReflectivityProbe probe(sim, 16);
+  while (sim.time() < 60.0) {
+    sim.step();
+    probe.sample(/*warmup_time=*/25.0);
+  }
+  EXPECT_GT(probe.reflectivity(), 0.5);
+}
+
+TEST(ReflectivityTest, UnderdenseTransmitsMostly) {
+  // omega0 = 3 omega_pe (n/n_c = 1/9): propagating, low linear reflection.
+  Simulation sim(mini_laser_deck(1.0, 3.0));
+  sim.initialize();
+  ReflectivityProbe probe(sim, 16);
+  while (sim.time() < 60.0) {
+    sim.step();
+    probe.sample(/*warmup_time=*/25.0);
+  }
+  EXPECT_LT(probe.reflectivity(), 0.25);
+  EXPECT_GT(probe.forward_power(), 0.0);
+}
+
+TEST(ReflectivityTest, PlaneValidation) {
+  Simulation sim(mini_laser_deck(0.0, 3.0));
+  sim.initialize();
+  EXPECT_THROW(ReflectivityProbe(sim, 0), Error);
+  EXPECT_THROW(ReflectivityProbe(sim, 97), Error);
+}
+
+TEST(SpectrumTest, BinsAndFractions) {
+  Deck d = mini_laser_deck(0.0, 3.0);
+  Simulation sim(d);
+  sim.initialize();
+  particles::Species sp("test", -1.0, 1.0);
+  auto with_energy = [&](double e_over_mc2, float w) {
+    particles::Particle p;
+    const double gamma = 1.0 + e_over_mc2;
+    p.ux = float(std::sqrt(gamma * gamma - 1.0));
+    p.w = w;
+    p.i = sim.local_grid().voxel(2, 1, 1);
+    sp.add(p);
+  };
+  with_energy(0.05, 1.0f);
+  with_energy(0.15, 2.0f);
+  with_energy(0.35, 1.0f);
+  ParticleSpectrum spec(0.0, 0.4, 4);
+  spec.build(sim, sp);
+  EXPECT_DOUBLE_EQ(spec.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(spec.count(3), 1.0);
+  EXPECT_NEAR(spec.fraction_above(0.1), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(spec.fraction_above(0.3), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(spec.bin_center(0), 0.05, 1e-12);
+}
+
+TEST(SpectrumTest, LogBinning) {
+  ParticleSpectrum spec(1e-3, 1.0, 3, /*log_bins=*/true);
+  // Bin centers geometrically spaced.
+  EXPECT_NEAR(spec.bin_center(1) / spec.bin_center(0), 10.0, 1e-9);
+  EXPECT_THROW(ParticleSpectrum(0.0, 1.0, 4, true), Error);
+  EXPECT_THROW(ParticleSpectrum(1.0, 1.0, 4), Error);
+  EXPECT_THROW(ParticleSpectrum(0.0, 1.0, 0), Error);
+}
+
+TEST(SpectrumTest, MaxwellianShape) {
+  // A thermal species' spectrum should peak at low energy and fall off.
+  Deck d = mini_laser_deck(0.0, 3.0);
+  Simulation sim(d);
+  sim.initialize();
+  particles::Species sp("maxwell", -1.0, 1.0);
+  Rng rng(5);
+  for (int n = 0; n < 20000; ++n) {
+    particles::Particle p;
+    p.ux = float(rng.maxwellian(0.1));
+    p.uy = float(rng.maxwellian(0.1));
+    p.uz = float(rng.maxwellian(0.1));
+    p.w = 1.0f;
+    p.i = sim.local_grid().voxel(2, 1, 1);
+    sp.add(p);
+  }
+  ParticleSpectrum spec(0.0, 0.2, 40);
+  spec.build(sim, sp);
+  // Mean kinetic energy ~ (3/2) uth^2 = 0.015; nearly nothing above 10x.
+  EXPECT_LT(spec.fraction_above(0.1), 1e-3);
+  EXPECT_GT(spec.fraction_above(0.001), 0.5);
+}
+
+}  // namespace
+}  // namespace minivpic::sim

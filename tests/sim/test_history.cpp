@@ -1,0 +1,117 @@
+#include "sim/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fft/fft.hpp"
+#include "util/error.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::sim {
+namespace {
+
+Deck small_deck() {
+  Deck d;
+  d.grid.nx = 16;
+  d.grid.ny = d.grid.nz = 4;
+  d.grid.dx = d.grid.dy = d.grid.dz = 0.5;
+  SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 8;
+  e.load.uth = 0.1;
+  d.species.push_back(e);
+  SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.mobile = false;
+  d.species.push_back(ion);
+  return d;
+}
+
+TEST(EnergyHistoryTest, RecordsSamples) {
+  Simulation sim(small_deck());
+  sim.initialize();
+  EnergyHistory hist(sim);
+  hist.sample();
+  for (int s = 0; s < 10; ++s) {
+    sim.step();
+    hist.sample();
+  }
+  ASSERT_EQ(hist.size(), 11u);
+  EXPECT_DOUBLE_EQ(hist.time()[0], 0.0);
+  EXPECT_GT(hist.time()[10], 0.0);
+  EXPECT_GT(hist.kinetic_energy()[0], 0.0);
+  for (std::size_t n = 0; n < hist.size(); ++n)
+    EXPECT_NEAR(hist.total_energy()[n],
+                hist.field_energy()[n] + hist.kinetic_energy()[n], 1e-12);
+  EXPECT_LT(hist.worst_relative_drift(), 0.05);
+  EXPECT_THROW(hist.species_kinetic(5), Error);
+  EXPECT_EQ(hist.species_kinetic(1).size(), 11u);
+}
+
+TEST(EnergyHistoryTest, TableAndCsv) {
+  Simulation sim(small_deck());
+  sim.initialize();
+  EnergyHistory hist(sim);
+  hist.sample();
+  sim.step();
+  hist.sample();
+  const auto table = hist.to_table();
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_cols(), 6u);  // time, field, kinetic, total + 2 species
+  EXPECT_EQ(table.columns()[4], "KE[electron]");
+  const std::string path = ::testing::TempDir() + "/minivpic_hist.csv";
+  hist.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("KE[ion]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FieldProbeTest, RecordsOwnedPoint) {
+  Simulation sim(plasma_oscillation_deck(16, 16, 0.02));
+  sim.initialize();
+  FieldProbe probe(sim, grid::Component::kEx, 4, 2, 2);
+  ASSERT_TRUE(probe.owns_point());
+  for (int s = 0; s < 256; ++s) {
+    sim.step();
+    probe.sample();
+  }
+  ASSERT_EQ(probe.series().size(), 256u);
+  // The probe sees the Langmuir oscillation at omega_pe.
+  const auto power = fft::power_spectrum(probe.series());
+  const auto peak = fft::peak_bin(power, 1, power.size());
+  const double w =
+      fft::bin_omega(peak, 2 * (power.size() - 1), sim.local_grid().dt());
+  EXPECT_NEAR(w, 1.0, 0.12);
+}
+
+TEST(FieldProbeTest, OutOfRangeRejected) {
+  Simulation sim(small_deck());
+  sim.initialize();
+  EXPECT_THROW(FieldProbe(sim, grid::Component::kEy, 0, 1, 1), Error);
+  EXPECT_THROW(FieldProbe(sim, grid::Component::kEy, 17, 1, 1), Error);
+}
+
+TEST(FieldProbeTest, OwnershipAcrossRanks) {
+  const Deck deck = small_deck();
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
+    Simulation sim(deck, &comm, &topo);
+    sim.initialize();
+    FieldProbe probe(sim, grid::Component::kEy, 12, 2, 2);  // rank 1's half
+    EXPECT_EQ(probe.owns_point(), comm.rank() == 1);
+    sim.step();
+    probe.sample();
+    EXPECT_EQ(probe.series().size(), comm.rank() == 1 ? 1u : 0u);
+  });
+}
+
+}  // namespace
+}  // namespace minivpic::sim

@@ -1,0 +1,110 @@
+// The paper's LPI configuration run across a rank decomposition: laser
+// injection, absorbing walls, particle absorption, and the collective
+// reflectivity probe must all work when the slab is split along the laser
+// axis (antenna on rank 0, probe plane on rank 0, plasma mostly on rank 1).
+#include <gtest/gtest.h>
+
+#include "sim/diagnostics.hpp"
+#include "sim/simulation.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::sim {
+namespace {
+
+Deck lpi_test_deck() {
+  Deck d;
+  d.grid.nx = 96;
+  d.grid.ny = d.grid.nz = 2;
+  d.grid.dx = d.grid.dy = d.grid.dz = 0.25;
+  d.grid.boundary = grid::lpi_boundaries();
+  d.particle_bc = particles::lpi_particles();
+  SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 8;
+  e.load.uth = 0.05;
+  e.load.profile = [](double x, double, double) {
+    return (x >= 8.0 && x < 20.0) ? 1.0 : 0.0;
+  };
+  d.species.push_back(e);
+  SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.load.uth = 0.001;
+  ion.mobile = false;
+  d.species.push_back(ion);
+  field::LaserConfig laser;
+  laser.omega0 = 3.0;
+  laser.a0 = 0.05;
+  laser.ramp = 6.0;
+  laser.global_plane = 2;
+  d.laser = laser;
+  return d;
+}
+
+TEST(LpiMultiRank, MatchesSingleRankEnergetics) {
+  const Deck deck = lpi_test_deck();
+  const int steps = 120;
+
+  Simulation solo(deck);
+  solo.initialize();
+  double solo_refl = 0;
+  {
+    ReflectivityProbe probe(solo, 28);
+    for (int s = 0; s < steps; ++s) {
+      solo.step();
+      probe.sample(5.0);
+    }
+    solo_refl = probe.reflectivity();
+  }
+  const auto ref = solo.energies();
+
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo({2, 1, 1}, {false, true, true});
+    Simulation sim(deck, &comm, &topo);
+    sim.initialize();
+    ReflectivityProbe probe(sim, 28);
+    // Antenna plane (2) and probe plane (28) both live on rank 0's half.
+    EXPECT_EQ(probe.owns_plane(), comm.rank() == 0);
+    for (int s = 0; s < steps; ++s) {
+      sim.step();
+      probe.sample(5.0);
+    }
+    const auto rep = sim.energies();
+    // The laser deposits identical energy; fields and kinetics must agree
+    // with the single-rank run to float accumulation accuracy.
+    EXPECT_NEAR(rep.field.total(), ref.field.total(),
+                0.02 * ref.field.total());
+    EXPECT_NEAR(rep.kinetic_total, ref.kinetic_total,
+                0.02 * ref.kinetic_total);
+    // Reflectivity is a global collective: every rank reports the same
+    // value, matching the single-rank measurement.
+    const double refl = probe.reflectivity();
+    EXPECT_NEAR(refl, solo_refl, 0.2 * std::max(solo_refl, 1e-6));
+  });
+}
+
+TEST(LpiMultiRank, AbsorbedCountsAgree) {
+  const Deck deck = lpi_test_deck();
+  const int steps = 150;
+  Simulation solo(deck);
+  solo.initialize();
+  solo.run(steps);
+  const auto solo_n = solo.global_particle_count();
+
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo({2, 1, 1}, {false, true, true});
+    Simulation sim(deck, &comm, &topo);
+    sim.initialize();
+    sim.run(steps);
+    // Wall losses are physical and must not depend on the decomposition
+    // (within the float-level trajectory divergence of a kinetic system).
+    const auto n = sim.global_particle_count();
+    EXPECT_NEAR(double(n), double(solo_n), 0.01 * double(solo_n) + 50.0);
+  });
+}
+
+}  // namespace
+}  // namespace minivpic::sim

@@ -1,0 +1,243 @@
+// Kinetic plasma physics integration tests: the textbook phenomena a PIC
+// code must reproduce quantitatively before the paper's LPI problem means
+// anything.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace minivpic::sim {
+namespace {
+
+TEST(PlasmaPhysics, LangmuirOscillationAtOmegaPe) {
+  // Cold plasma oscillation: the electron slab sloshes at exactly omega_pe
+  // (= 1 in code units).
+  Simulation sim(plasma_oscillation_deck(16, 16, 0.01));
+  sim.initialize();
+  std::vector<double> probe;
+  const int steps = 512;
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    probe.push_back(sim.fields().ex(4, 2, 2));
+  }
+  const auto power = fft::power_spectrum(probe);
+  const auto peak = fft::peak_bin(power, 1, power.size());
+  const double w = fft::bin_omega(peak, 2 * (power.size() - 1),
+                                  sim.local_grid().dt());
+  EXPECT_NEAR(w, 1.0, 0.06);
+}
+
+TEST(PlasmaPhysics, LangmuirAmplitudeScalesWithPerturbation) {
+  auto peak_ex_energy = [](double pert) {
+    Simulation sim(plasma_oscillation_deck(16, 16, pert));
+    sim.initialize();
+    double peak = 0;
+    for (int s = 0; s < 60; ++s) {
+      sim.step();
+      peak = std::max(peak, sim.energies().field.ex);
+    }
+    return peak;
+  };
+  const double e1 = peak_ex_energy(0.005);
+  const double e2 = peak_ex_energy(0.01);
+  // Field energy scales as perturbation^2.
+  EXPECT_NEAR(e2 / e1, 4.0, 0.5);
+}
+
+TEST(PlasmaPhysics, TwoStreamInstabilityGrowsAndSaturates) {
+  // u = 0.5 puts the fastest-growing mode (k v ~ 0.7 omega_pe) at ~8 cells
+  // per wavelength in this box — comfortably resolved.
+  Simulation sim(two_stream_deck(32, 48, 0.5));
+  sim.initialize();
+  std::vector<double> t, ex_energy;
+  const int steps = 700;
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    t.push_back(sim.time());
+    ex_energy.push_back(sim.energies().field.ex);
+  }
+  // Noise floor early, exponential growth, then saturation.
+  const double early = ex_energy[10];
+  const double peak = *std::max_element(ex_energy.begin(), ex_energy.end());
+  ASSERT_GT(early, 0.0);
+  EXPECT_GT(peak / early, 1e2) << "instability failed to grow";
+  // Growth rate in the linear phase: bracket the theoretical cold-beam
+  // value loosely (energy grows at 2*gamma).
+  std::size_t i_start = 0;
+  while (i_start < ex_energy.size() && ex_energy[i_start] < 30 * early)
+    ++i_start;
+  std::size_t i_end = i_start;
+  while (i_end < ex_energy.size() && ex_energy[i_end] < 0.1 * peak) ++i_end;
+  if (i_end > i_start + 10) {
+    const auto fit = fit_exponential_growth(t, ex_energy, i_start, i_end);
+    const double gamma = fit.slope / 2.0;
+    EXPECT_GT(gamma, 0.05);
+    EXPECT_LT(gamma, 0.8);
+  }
+  // Saturation: the last quarter must not keep growing exponentially.
+  const double late = ex_energy[steps - 1];
+  EXPECT_LT(late, 3 * peak);
+}
+
+TEST(PlasmaPhysics, WeibelGrowsInPlaneMagneticField) {
+  Simulation sim(weibel_deck(16, 32, 0.3, 0.03));
+  sim.initialize();
+  const auto e0 = sim.energies();
+  const double b_plane_0 = e0.field.bx + e0.field.by;
+  double b_plane_peak = b_plane_0;
+  double bz_peak = e0.field.bz;
+  for (int s = 0; s < 500; ++s) {
+    sim.step();
+    const auto e = sim.energies();
+    b_plane_peak = std::max(b_plane_peak, e.field.bx + e.field.by);
+    bz_peak = std::max(bz_peak, e.field.bz);
+  }
+  // Filamentation of the hot-z current: in-plane B grows far past noise...
+  EXPECT_GT(b_plane_peak, 50 * std::max(b_plane_0, 1e-12));
+  // ...and dominates the out-of-plane component.
+  EXPECT_GT(b_plane_peak, 3 * bz_peak);
+}
+
+TEST(PlasmaPhysics, ThermalPlasmaEnergyConservation) {
+  // Warm neutral plasma with resolved Debye length: total energy drifts by
+  // well under a percent over hundreds of steps.
+  Deck d;
+  d.grid.nx = d.grid.ny = d.grid.nz = 8;
+  d.grid.dx = d.grid.dy = d.grid.dz = 0.35;
+  SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 27;
+  e.load.uth = 0.2;
+  d.species.push_back(e);
+  SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.load.uth = 0.002;
+  d.species.push_back(ion);
+  Simulation sim(d);
+  sim.initialize();
+  const double total0 = sim.energies().total;
+  double worst = 0;
+  for (int s = 0; s < 300; ++s) {
+    sim.step();
+    worst = std::max(worst, std::abs(sim.energies().total - total0));
+  }
+  EXPECT_LT(worst, 0.01 * total0);
+}
+
+TEST(PlasmaPhysics, MomentumStaysBounded) {
+  Deck d;
+  d.grid.nx = d.grid.ny = d.grid.nz = 8;
+  d.grid.dx = d.grid.dy = d.grid.dz = 0.35;
+  SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 27;
+  e.load.uth = 0.2;
+  d.species.push_back(e);
+  SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.load.uth = 0.002;
+  d.species.push_back(ion);
+  Simulation sim(d);
+  sim.initialize();
+  auto total_p = [&sim] {
+    double px = 0, py = 0, pz = 0;
+    for (std::size_t s = 0; s < sim.num_species(); ++s) {
+      const auto m = sim.species(s).momentum();
+      px += m[0];
+      py += m[1];
+      pz += m[2];
+    }
+    return std::hypot(px, py, pz);
+  };
+  // Finite sampling gives a small nonzero initial momentum; the dynamics
+  // must not amplify it (no self-forces / momentum-pumping bugs).
+  const double p0 = total_p();
+  // Thermal scale: per-species m*uth*weight*sqrt(N), combined in
+  // quadrature. Heavy ions dominate despite their tiny uth.
+  const double w = 0.35 * 0.35 * 0.35 / 27.0;
+  const double n = std::sqrt(double(sim.species(0).size()));
+  const double scale =
+      w * n * std::hypot(1.0 * 0.2, 1836.0 * 0.002) * std::sqrt(3.0);
+  EXPECT_LT(p0, 5 * scale);
+  sim.run(200);
+  EXPECT_LT(total_p(), 10 * std::max(p0, scale));
+}
+
+TEST(PlasmaPhysics, EmWaveDispersionInPlasma) {
+  // Light in a plasma obeys omega^2 = omega_pe^2 + c^2 k^2: seed a
+  // transverse EM mode in a uniform plasma and measure its frequency.
+  Deck d;
+  d.grid.nx = 32;
+  d.grid.ny = d.grid.nz = 4;
+  d.grid.dx = d.grid.dy = d.grid.dz = 0.5;
+  SpeciesConfig e;
+  e.name = "electron";
+  e.q = -1;
+  e.m = 1;
+  e.load.ppc = 16;
+  e.load.uth = 0.01;
+  d.species.push_back(e);
+  SpeciesConfig ion = e;
+  ion.name = "ion";
+  ion.q = +1;
+  ion.m = 1836;
+  ion.mobile = false;
+  d.species.push_back(ion);
+
+  Simulation sim(d);
+  sim.initialize();
+  const double k = 2.0 * std::numbers::pi / 16.0;  // mode 1 along x
+  auto& f = sim.fields();
+  for (int kk = 1; kk <= 4; ++kk)
+    for (int j = 1; j <= 4; ++j)
+      for (int i = 1; i <= 32; ++i)
+        f.ey(i, j, kk) =
+            grid::real(0.02 * std::sin(k * sim.local_grid().node_x(i)));
+  std::vector<double> probe;
+  for (int s = 0; s < 1024; ++s) {
+    sim.step();
+    probe.push_back(f.ey(5, 2, 2));
+  }
+  const auto power = fft::power_spectrum(probe);
+  const auto peak = fft::peak_bin(power, 1, power.size());
+  const double w = fft::bin_omega(peak, 2 * (power.size() - 1),
+                                  sim.local_grid().dt());
+  const double expected = std::sqrt(1.0 + k * k);  // omega_pe = 1, c = 1
+  EXPECT_NEAR(w, expected, 0.06 * expected);
+  // And it is clearly above both the vacuum and plasma frequencies alone.
+  EXPECT_GT(w, 1.02);
+  EXPECT_GT(w, k);
+}
+
+TEST(PlasmaPhysics, CleaningReducesGaussError) {
+  // Decks start with E = 0 against a sampled (noisy) rho, so a finite Gauss
+  // residual is present from step 0 (as in VPIC). Marder cleaning must pull
+  // it down substantially relative to an uncleaned twin run.
+  auto error_after = [](int clean_period) {
+    Deck d = two_stream_deck(16, 16, 0.5);
+    d.clean_period = clean_period;
+    d.clean_passes = 2;
+    Simulation sim(d);
+    sim.initialize();
+    sim.run(300);
+    return sim.gauss_error();
+  };
+  const double uncleaned = error_after(0);
+  const double cleaned = error_after(10);
+  EXPECT_LT(cleaned, 0.5 * uncleaned);
+}
+
+}  // namespace
+}  // namespace minivpic::sim

@@ -1,0 +1,107 @@
+#include "util/aligned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace minivpic {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<float> buf;
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  AlignedBuffer<double> buf(257);
+  for (double v : buf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AlignedBuffer, DataIsAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer<float> buf(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kHotAlignment, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<float> buf(3, 4096);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 4096, 0u);
+}
+
+TEST(AlignedBuffer, ElementAccess) {
+  AlignedBuffer<int> buf(10);
+  std::iota(buf.begin(), buf.end(), 0);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_EQ(buf[i], static_cast<int>(i));
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer<int> a(4);
+  std::iota(a.begin(), a.end(), 1);
+  AlignedBuffer<int> b(a);
+  ASSERT_EQ(b.size(), a.size());
+  b[0] = 99;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[1], a[1]);
+}
+
+TEST(AlignedBuffer, CopyAssign) {
+  AlignedBuffer<int> a(4);
+  std::iota(a.begin(), a.end(), 1);
+  AlignedBuffer<int> b(2);
+  b = a;
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[3], 4);
+}
+
+TEST(AlignedBuffer, MoveStealsStorage) {
+  AlignedBuffer<int> a(4);
+  a[2] = 7;
+  const int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[2], 7);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<int> a(4);
+  a[0] = 5;
+  AlignedBuffer<int> b(100);
+  b = std::move(a);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 5);
+}
+
+TEST(AlignedBuffer, ZeroResets) {
+  AlignedBuffer<float> buf(16);
+  for (auto& v : buf) v = 3.5f;
+  buf.zero();
+  for (float v : buf) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(AlignedBuffer, SpanViews) {
+  AlignedBuffer<int> buf(8);
+  auto s = buf.span();
+  EXPECT_EQ(s.size(), 8u);
+  s[3] = 42;
+  EXPECT_EQ(buf[3], 42);
+  const auto& cbuf = buf;
+  EXPECT_EQ(cbuf.span()[3], 42);
+}
+
+TEST(AlignedBuffer, SelfAssignIsNoop) {
+  AlignedBuffer<int> a(3);
+  a[1] = 9;
+  a = *&a;
+  EXPECT_EQ(a[1], 9);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+}  // namespace
+}  // namespace minivpic

@@ -1,0 +1,94 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace minivpic {
+namespace {
+
+Args make(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EqualsSyntax) {
+  auto args = make({"--nx=32", "--name=run1"});
+  EXPECT_EQ(args.get_int("nx", 0), 32);
+  EXPECT_EQ(args.get("name", ""), "run1");
+}
+
+TEST(Args, SpaceSyntax) {
+  auto args = make({"--nx", "64"});
+  EXPECT_EQ(args.get_int("nx", 0), 64);
+}
+
+TEST(Args, BooleanFlag) {
+  auto args = make({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(Args, BoolSpellings) {
+  EXPECT_TRUE(make({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(make({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(make({"--a=no"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a=off"}).get_bool("a", true));
+}
+
+TEST(Args, BadBoolThrows) {
+  EXPECT_THROW(make({"--a=maybe"}).get_bool("a", false), Error);
+}
+
+TEST(Args, Positional) {
+  auto args = make({"input.deck", "--nx=8", "out.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.deck");
+  EXPECT_EQ(args.positional()[1], "out.csv");
+}
+
+TEST(Args, Fallbacks) {
+  auto args = make({});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Args, DoubleParsing) {
+  auto args = make({"--a0=0.05", "--bad=xyz"});
+  EXPECT_DOUBLE_EQ(args.get_double("a0", 0), 0.05);
+  EXPECT_THROW(args.get_double("bad", 0), Error);
+}
+
+TEST(Args, IntParsing) {
+  EXPECT_THROW(make({"--n=1.5"}).get_int("n", 0), Error);
+  EXPECT_EQ(make({"--n=-4"}).get_int("n", 0), -4);
+}
+
+TEST(Args, Has) {
+  auto args = make({"--x=1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+TEST(Args, CheckKnownAccepts) {
+  auto args = make({"--nx=1", "--ny=2"});
+  EXPECT_NO_THROW(args.check_known({"nx", "ny", "nz"}));
+}
+
+TEST(Args, CheckKnownRejects) {
+  auto args = make({"--oops=1"});
+  EXPECT_THROW(args.check_known({"nx"}), Error);
+}
+
+TEST(Args, FlagFollowedByFlag) {
+  auto args = make({"--a", "--b=2"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace minivpic

@@ -1,0 +1,93 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace minivpic {
+namespace {
+
+TEST(Table, RequiresColumns) { EXPECT_THROW(Table({}), Error); }
+
+TEST(Table, RowCellCountChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), Error);
+  EXPECT_NO_THROW(t.add_row({1.0, 2.0}));
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(Table, FormatVariants) {
+  EXPECT_EQ(Table::format(Cell{std::string("x")}), "x");
+  EXPECT_EQ(Table::format(Cell{2.5}), "2.5");
+  EXPECT_EQ(Table::format(Cell{1234567LL}), "1234567");
+}
+
+TEST(Table, FormatDoubleUsesG) {
+  EXPECT_EQ(Table::format(Cell{0.374e15}), "3.74e+14");
+  EXPECT_EQ(Table::format(Cell{1.0}), "1");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.0});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator row of dashes present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({1.0, 2.0});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSeparators) {
+  Table t({"note"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "note\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CsvFileRoundTrip) {
+  Table t({"k", "v"});
+  t.add_row({std::string("n"), 5LL});
+  const std::string path = ::testing::TempDir() + "/minivpic_test_table.csv";
+  t.write_csv_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "n,5");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFileBadPathThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.write_csv_file("/nonexistent_dir_xyz/t.csv"), Error);
+}
+
+TEST(Table, RowAccess) {
+  Table t({"a"});
+  t.add_row({3.0});
+  EXPECT_DOUBLE_EQ(std::get<double>(t.row(0)[0]), 3.0);
+}
+
+}  // namespace
+}  // namespace minivpic

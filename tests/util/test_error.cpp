@@ -1,0 +1,61 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace minivpic {
+namespace {
+
+TEST(Error, AssertPassesOnTrue) { EXPECT_NO_THROW(MV_ASSERT(1 + 1 == 2)); }
+
+TEST(Error, AssertThrowsOnFalse) {
+  EXPECT_THROW(MV_ASSERT(1 + 1 == 3), Error);
+}
+
+TEST(Error, AssertMessageContainsExpression) {
+  try {
+    MV_ASSERT(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertMsgCarriesStreamedText) {
+  try {
+    MV_ASSERT_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    MV_REQUIRE(false, "deck parameter nx must be positive, got " << -3);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nx must be positive"), std::string::npos);
+    EXPECT_NE(what.find("-3"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePasses) { EXPECT_NO_THROW(MV_REQUIRE(true, "ok")); }
+
+TEST(Error, ErrorIsRuntimeError) {
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(Error, MessageIncludesLocation) {
+  try {
+    MV_ASSERT(false);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("test_error.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace minivpic

@@ -1,0 +1,79 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minivpic {
+namespace {
+
+TEST(Math, Ipow) {
+  EXPECT_EQ(ipow(2, 0u), 1);
+  EXPECT_EQ(ipow(2, 10u), 1024);
+  EXPECT_EQ(ipow(3, 4u), 81);
+  EXPECT_EQ(ipow(10LL, 12u), 1000000000000LL);
+  static_assert(ipow(5, 3u) == 125);
+}
+
+TEST(Math, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(Math, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 4), 0);
+  EXPECT_EQ(div_ceil(1, 4), 1);
+  EXPECT_EQ(div_ceil(4, 4), 1);
+  EXPECT_EQ(div_ceil(5, 4), 2);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Math, Log2Pow2) {
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(2), 1u);
+  EXPECT_EQ(log2_pow2(1024), 10u);
+}
+
+TEST(Math, Clamp) {
+  EXPECT_EQ(clamp(5, 0, 10), 5);
+  EXPECT_EQ(clamp(-1, 0, 10), 0);
+  EXPECT_EQ(clamp(11, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Math, Lerp) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
+}
+
+TEST(Math, GammaOfU) {
+  EXPECT_DOUBLE_EQ(gamma_of_u(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(gamma_of_u(3, 0, 0), std::sqrt(10.0));
+  // gamma grows with any component.
+  EXPECT_GT(gamma_of_u(1, 1, 1), gamma_of_u(1, 1, 0));
+}
+
+TEST(Math, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace minivpic

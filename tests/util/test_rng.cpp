@@ -1,0 +1,174 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace minivpic {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SeekGivesRandomAccess) {
+  Rng a(9);
+  std::vector<std::uint64_t> seq;
+  for (int i = 0; i < 10; ++i) seq.push_back(a.next_u64());
+  Rng b(9);
+  b.seek(5);
+  EXPECT_EQ(b.next_u64(), seq[5]);
+  b.seek(0);
+  EXPECT_EQ(b.next_u64(), seq[0]);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformU64Range) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_u64(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "all 10 values should appear in 1000 draws";
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-2);
+  EXPECT_NEAR(sum2 / n, 1.0, 2e-2);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.1);
+  EXPECT_NEAR(sum / n, 5.0, 1e-2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential();
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 2e-2);
+}
+
+TEST(Rng, MaxwellianSpread) {
+  Rng rng(37);
+  const int n = 100000;
+  const double uth = 0.05;
+  double sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.maxwellian(uth);
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / n), uth, uth * 0.02);
+}
+
+TEST(Rng, HashMixBijectiveSample) {
+  // Distinct inputs must produce distinct outputs (spot check).
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outs.insert(hash_mix(i));
+  EXPECT_EQ(outs.size(), 10000u);
+}
+
+TEST(Rng, HashCombineOrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Rng, UrbgCompatibility) {
+  // Usable with <random> distributions.
+  Rng rng(41);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+  EXPECT_NE(rng(), rng());
+}
+
+// Chi-squared uniformity sweep across several seeds.
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, ChiSquared) {
+  Rng rng(GetParam());
+  constexpr int kBins = 64;
+  constexpr int kDraws = 64000;
+  int counts[kBins] = {};
+  for (int i = 0; i < kDraws; ++i)
+    counts[static_cast<int>(rng.uniform() * kBins)]++;
+  const double expected = double(kDraws) / kBins;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 dof: mean 63, stddev ~11.2; 5-sigma bound.
+  EXPECT_LT(chi2, 63 + 5 * 11.2) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Values(0u, 1u, 42u, 12345u, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace minivpic

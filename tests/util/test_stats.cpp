@@ -1,0 +1,164 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace minivpic {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  Rng rng(1);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-10);
+  EXPECT_NEAR(s.variance(), var, 1e-8);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);    // bin 0
+  h.add(0.999);  // bin 0
+  h.add(1.0);    // bin 1
+  h.add(9.999);  // bin 9
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, OutOfRangeCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.5);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, ClampEdges) {
+  Histogram h(0.0, 1.0, 4, /*clamp_edges=*/true);
+  h.add(-0.5);
+  h.add(1.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+}
+
+TEST(Histogram, Weighted) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  h.add(0.75, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+}
+
+TEST(Histogram, BadRangeThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};  // y = 1 + 2x
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLine) {
+  Rng rng(2);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(-2.0 + 0.5 * x.back() + rng.normal(0.0, 0.01));
+  }
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.01);
+  EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(LinearFitTest, RequiresTwoPoints) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), Error);
+}
+
+TEST(LinearFitTest, MismatchedSpansThrow) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_THROW(fit_line(x, y), Error);
+}
+
+TEST(GrowthFit, RecoversRate) {
+  // y = 0.1 * exp(0.3 t)
+  std::vector<double> t, y;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back(i * 0.1);
+    y.push_back(0.1 * std::exp(0.3 * t.back()));
+  }
+  const auto fit = fit_exponential_growth(t, y, 10, 90);
+  EXPECT_NEAR(fit.slope, 0.3, 1e-10);
+}
+
+TEST(GrowthFit, SkipsNonPositive) {
+  std::vector<double> t{0, 1, 2, 3, 4};
+  std::vector<double> y{0.0, std::exp(1.0), -1.0, std::exp(3.0), std::exp(4.0)};
+  const auto fit = fit_exponential_growth(t, y, 0, 5);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-10);
+}
+
+TEST(GrowthFit, BadWindowThrows) {
+  std::vector<double> t{0, 1};
+  std::vector<double> y{1, 2};
+  EXPECT_THROW(fit_exponential_growth(t, y, 1, 1), Error);
+  EXPECT_THROW(fit_exponential_growth(t, y, 0, 3), Error);
+}
+
+}  // namespace
+}  // namespace minivpic

@@ -1,0 +1,83 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace minivpic::units {
+namespace {
+
+TEST(Units, A0RoundTrip) {
+  const double lambda = 0.527;  // the paper's frequency-doubled glass laser
+  for (double intensity : {1e14, 1e15, 6e15, 1e16}) {
+    const double a0 = a0_from_intensity(intensity, lambda);
+    EXPECT_NEAR(intensity_from_a0(a0, lambda), intensity, intensity * 1e-12);
+  }
+}
+
+TEST(Units, A0KnownValue) {
+  // Standard benchmark: I = 1.37e18 W/cm^2 at 1 um gives a0 ~= 1.
+  EXPECT_NEAR(a0_from_intensity(1.37e18, 1.0), 1.0, 0.01);
+}
+
+TEST(Units, A0ScalesAsSqrtIntensity) {
+  const double a1 = a0_from_intensity(1e15, 0.5);
+  const double a4 = a0_from_intensity(4e15, 0.5);
+  EXPECT_NEAR(a4 / a1, 2.0, 1e-12);
+}
+
+TEST(Units, CriticalDensity) {
+  // n_c(1 um) ~= 1.1e21 cm^-3.
+  EXPECT_NEAR(critical_density_cm3(1.0), 1.115e21, 1e18);
+  // Quadruples when wavelength halves.
+  EXPECT_NEAR(critical_density_cm3(0.5) / critical_density_cm3(1.0), 4.0,
+              1e-12);
+}
+
+TEST(Units, Omega0) {
+  EXPECT_NEAR(omega0_over_omegape(0.25), 2.0, 1e-12);
+  EXPECT_NEAR(omega0_over_omegape(0.1), std::sqrt(10.0), 1e-12);
+  EXPECT_THROW(omega0_over_omegape(0.0), minivpic::Error);
+  EXPECT_THROW(omega0_over_omegape(1.5), minivpic::Error);
+}
+
+TEST(Units, ThermalMomentum) {
+  // 511 keV electrons: uth = 1.
+  EXPECT_NEAR(uth_from_te_kev(kElectronRestKeV), 1.0, 1e-12);
+  // Typical hohlraum Te ~ 2.6 keV -> uth ~ 0.071.
+  EXPECT_NEAR(uth_from_te_kev(2.6), std::sqrt(2.6 / 510.99895), 1e-12);
+}
+
+TEST(Units, DebyeEqualsUth) {
+  EXPECT_DOUBLE_EQ(debye_length_code(3.0), uth_from_te_kev(3.0));
+}
+
+TEST(Units, SrsKLambdaDePhysicalRegime) {
+  // At n/n_c = 0.1 and Te in the hohlraum range the paper studies,
+  // k lambda_De should land in the trapping-dominated regime ~0.25-0.45.
+  const double klde = srs_k_lambda_de(0.1, 2.6);
+  EXPECT_GT(klde, 0.2);
+  EXPECT_LT(klde, 0.5);
+}
+
+TEST(Units, SrsRequiresUnderquarterCritical) {
+  EXPECT_THROW(srs_k_lambda_de(0.3, 2.0), minivpic::Error);
+  EXPECT_NO_THROW(srs_k_lambda_de(0.2, 2.0));
+}
+
+TEST(Units, SrsKGrowsWithDensityDecrease) {
+  // Lower density -> larger omega0/omega_pe -> larger k_epw in code units.
+  EXPECT_GT(srs_k_lambda_de(0.05, 2.0), srs_k_lambda_de(0.2, 2.0));
+}
+
+TEST(Units, InvalidInputs) {
+  EXPECT_THROW(a0_from_intensity(-1.0, 1.0), minivpic::Error);
+  EXPECT_THROW(a0_from_intensity(1e15, 0.0), minivpic::Error);
+  EXPECT_THROW(critical_density_cm3(-0.5), minivpic::Error);
+  EXPECT_THROW(uth_from_te_kev(-1.0), minivpic::Error);
+}
+
+}  // namespace
+}  // namespace minivpic::units

@@ -1,0 +1,126 @@
+#include "vmpi/cart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace minivpic::vmpi {
+namespace {
+
+TEST(DimsCreate, ProductMatches) {
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 17, 24, 64, 100, 1024}) {
+    const auto d = dims_create(n);
+    EXPECT_EQ(d[0] * d[1] * d[2], n) << "n=" << n;
+  }
+}
+
+TEST(DimsCreate, NearCubic) {
+  const auto d = dims_create(64);
+  EXPECT_EQ(d[0], 4);
+  EXPECT_EQ(d[1], 4);
+  EXPECT_EQ(d[2], 4);
+  const auto d8 = dims_create(8);
+  EXPECT_EQ(d8[0] * d8[1] * d8[2], 8);
+  EXPECT_LE(*std::max_element(d8.begin(), d8.end()), 2);
+}
+
+TEST(DimsCreate, HonorsHints) {
+  const auto d = dims_create(12, {0, 3, 0});
+  EXPECT_EQ(d[1], 3);
+  EXPECT_EQ(d[0] * d[1] * d[2], 12);
+}
+
+TEST(DimsCreate, FullyHinted) {
+  const auto d = dims_create(6, {1, 2, 3});
+  EXPECT_EQ(d, (std::array<int, 3>{1, 2, 3}));
+}
+
+TEST(DimsCreate, BadHintThrows) {
+  EXPECT_THROW(dims_create(7, {2, 0, 0}), Error);   // 2 does not divide 7
+  EXPECT_THROW(dims_create(6, {2, 2, 2}), Error);   // product mismatch
+  EXPECT_THROW(dims_create(0), Error);
+}
+
+TEST(DimsCreate, PrimeRankCount) {
+  const auto d = dims_create(17);
+  EXPECT_EQ(d[0] * d[1] * d[2], 17);
+}
+
+TEST(CartTopologyTest, CoordsRoundTrip) {
+  const CartTopology topo({3, 4, 5}, {true, true, true});
+  EXPECT_EQ(topo.nranks(), 60);
+  for (int r = 0; r < topo.nranks(); ++r)
+    EXPECT_EQ(topo.rank_of(topo.coords_of(r)), r);
+}
+
+TEST(CartTopologyTest, XFastestLayout) {
+  const CartTopology topo({4, 3, 2}, {false, false, false});
+  EXPECT_EQ(topo.coords_of(0), (std::array<int, 3>{0, 0, 0}));
+  EXPECT_EQ(topo.coords_of(1), (std::array<int, 3>{1, 0, 0}));
+  EXPECT_EQ(topo.coords_of(4), (std::array<int, 3>{0, 1, 0}));
+  EXPECT_EQ(topo.coords_of(12), (std::array<int, 3>{0, 0, 1}));
+}
+
+TEST(CartTopologyTest, PeriodicWrap) {
+  const CartTopology topo({4, 1, 1}, {true, false, false});
+  EXPECT_EQ(topo.neighbor(0, 0, -1), 3);
+  EXPECT_EQ(topo.neighbor(3, 0, +1), 0);
+}
+
+TEST(CartTopologyTest, NonPeriodicEdge) {
+  const CartTopology topo({4, 1, 1}, {false, false, false});
+  EXPECT_EQ(topo.neighbor(0, 0, -1), CartTopology::kNoRank);
+  EXPECT_EQ(topo.neighbor(3, 0, +1), CartTopology::kNoRank);
+  EXPECT_EQ(topo.neighbor(1, 0, +1), 2);
+}
+
+TEST(CartTopologyTest, MixedPeriodicity) {
+  const CartTopology topo({2, 2, 2}, {true, false, true});
+  // y edges closed.
+  EXPECT_EQ(topo.neighbor(0, 1, -1), CartTopology::kNoRank);
+  // x and z wrap.
+  EXPECT_NE(topo.neighbor(0, 0, -1), CartTopology::kNoRank);
+  EXPECT_NE(topo.neighbor(0, 2, -1), CartTopology::kNoRank);
+}
+
+TEST(CartTopologyTest, NeighborsSymmetric) {
+  const CartTopology topo({3, 3, 3}, {true, true, true});
+  for (int r = 0; r < topo.nranks(); ++r) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const int fwd = topo.neighbor(r, axis, +1);
+      ASSERT_NE(fwd, CartTopology::kNoRank);
+      EXPECT_EQ(topo.neighbor(fwd, axis, -1), r);
+    }
+  }
+}
+
+TEST(CartTopologyTest, SingleRankSelfNeighbor) {
+  const CartTopology topo({1, 1, 1}, {true, true, true});
+  for (int axis = 0; axis < 3; ++axis) {
+    EXPECT_EQ(topo.neighbor(0, axis, +1), 0);
+    EXPECT_EQ(topo.neighbor(0, axis, -1), 0);
+  }
+}
+
+TEST(CartTopologyTest, InvalidArgsThrow) {
+  const CartTopology topo({2, 2, 2}, {true, true, true});
+  EXPECT_THROW(topo.coords_of(-1), Error);
+  EXPECT_THROW(topo.coords_of(8), Error);
+  EXPECT_THROW(topo.neighbor(0, 3, 1), Error);
+  EXPECT_THROW(topo.neighbor(0, 0, 2), Error);
+  EXPECT_THROW(CartTopology({0, 1, 1}, {true, true, true}), Error);
+}
+
+TEST(CartTopologyTest, AllRanksDistinct) {
+  const CartTopology topo({2, 3, 4}, {false, false, false});
+  std::set<int> ranks;
+  for (int x = 0; x < 2; ++x)
+    for (int y = 0; y < 3; ++y)
+      for (int z = 0; z < 4; ++z) ranks.insert(topo.rank_of({x, y, z}));
+  EXPECT_EQ(ranks.size(), 24u);
+}
+
+}  // namespace
+}  // namespace minivpic::vmpi

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::vmpi {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, Barrier) {
+  const int n = GetParam();
+  std::atomic<int> arrived{0};
+  run(n, [&](Comm& comm) {
+    arrived.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must have arrived.
+    EXPECT_EQ(arrived.load(), n);
+  });
+}
+
+TEST_P(Collectives, AllreduceSum) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const int v = comm.allreduce_value(comm.rank() + 1, Op::kSum);
+    EXPECT_EQ(v, n * (n + 1) / 2);
+  });
+}
+
+TEST_P(Collectives, AllreduceMinMax) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    EXPECT_EQ(comm.allreduce_value(comm.rank(), Op::kMin), 0);
+    EXPECT_EQ(comm.allreduce_value(comm.rank(), Op::kMax), n - 1);
+  });
+}
+
+TEST_P(Collectives, AllreduceVector) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    std::vector<double> v{double(comm.rank()), 1.0, -double(comm.rank())};
+    comm.allreduce(std::span<double>(v), Op::kSum);
+    const double ranks_sum = double(n) * (n - 1) / 2.0;
+    EXPECT_DOUBLE_EQ(v[0], ranks_sum);
+    EXPECT_DOUBLE_EQ(v[1], double(n));
+    EXPECT_DOUBLE_EQ(v[2], -ranks_sum);
+  });
+}
+
+TEST_P(Collectives, Bcast) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const int root = n - 1;
+    std::vector<int> v(4, comm.rank() == root ? 9 : 0);
+    comm.bcast(std::span<int>(v), root);
+    for (int x : v) EXPECT_EQ(x, 9);
+  });
+}
+
+TEST_P(Collectives, BcastValue) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const double v = comm.bcast_value(comm.rank() == 0 ? 2.5 : 0.0, 0);
+    EXPECT_DOUBLE_EQ(v, 2.5);
+  });
+}
+
+TEST_P(Collectives, Gather) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const auto all = comm.gather(comm.rank() * 10, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(Collectives, BackToBackCollectivesDoNotCross) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    for (int iter = 0; iter < 20; ++iter) {
+      const long long s =
+          comm.allreduce_value<long long>(iter * n + comm.rank(), Op::kSum);
+      const long long expect =
+          (long long)iter * n * n + (long long)n * (n - 1) / 2;
+      ASSERT_EQ(s, expect) << "iter " << iter;
+      comm.barrier();
+    }
+  });
+}
+
+TEST_P(Collectives, MixedTrafficDoesNotDisturbCollectives) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  run(n, [&](Comm& comm) {
+    // User p2p interleaved with collectives on every rank.
+    const int right = (comm.rank() + 1) % n;
+    const int left = (comm.rank() + n - 1) % n;
+    for (int iter = 0; iter < 10; ++iter) {
+      comm.send_value(right, 0, comm.rank());
+      const int sum = comm.allreduce_value(1, Op::kSum);
+      ASSERT_EQ(sum, n);
+      EXPECT_EQ(comm.recv_value<int>(left, 0), left);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, Collectives, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace minivpic::vmpi

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::vmpi {
+namespace {
+
+TEST(P2P, SendRecvValue) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 5, 42);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 5), 42);
+    }
+  });
+}
+
+TEST(P2P, SendRecvSpan) {
+  run(2, [](Comm& comm) {
+    std::vector<double> data(100);
+    if (comm.rank() == 0) {
+      std::iota(data.begin(), data.end(), 0.0);
+      comm.send(1, 0, std::span<const double>(data));
+    } else {
+      comm.recv(0, 0, std::span<double>(data));
+      for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_DOUBLE_EQ(data[i], static_cast<double>(i));
+    }
+  });
+}
+
+TEST(P2P, EmptyMessage) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_bytes(1, 1, nullptr, 0);
+    } else {
+      const Status st = comm.recv_bytes(0, 1, nullptr, 0);
+      EXPECT_EQ(st.bytes, 0u);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 1);
+    }
+  });
+}
+
+TEST(P2P, TagsMatchedIndependently) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 10, 100);
+      comm.send_value(1, 20, 200);
+    } else {
+      // Receive in reverse tag order — matching is per (src, tag).
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(P2P, FifoPerSourceAndTag) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send_value(1, 3, i);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(P2P, AnySource) {
+  run(3, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value(0, 7, comm.rank());
+    } else {
+      int mask = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        Status st = comm.recv(kAnySource, 7, std::span<int>(&v, 1));
+        EXPECT_EQ(st.source, v);
+        mask |= 1 << v;
+      }
+      EXPECT_EQ(mask, 0b110);
+    }
+  });
+}
+
+TEST(P2P, AnyTag) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 99, 1.5);
+    } else {
+      double v = 0;
+      const Status st = comm.recv_bytes(0, kAnyTag, &v, sizeof v);
+      EXPECT_EQ(st.tag, 99);
+      EXPECT_DOUBLE_EQ(v, 1.5);
+    }
+  });
+}
+
+TEST(P2P, ProbeReportsSize) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> v(17, 1.0f);
+      comm.send(1, 4, std::span<const float>(v));
+    } else {
+      const Status st = comm.probe(0, 4);
+      EXPECT_EQ(st.bytes, 17 * sizeof(float));
+      // Probe does not consume.
+      std::vector<float> v(17);
+      comm.recv(0, 4, std::span<float>(v));
+      EXPECT_EQ(v[16], 1.0f);
+    }
+  });
+}
+
+TEST(P2P, IprobeNonBlocking) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Status st;
+      EXPECT_FALSE(comm.iprobe(1, 0, &st));  // nothing sent to rank 0
+      comm.send_value(1, 0, 1);
+    } else {
+      comm.probe(0, 0);
+      Status st;
+      EXPECT_TRUE(comm.iprobe(0, 0, &st));
+      EXPECT_EQ(st.bytes, sizeof(int));
+      int v;
+      comm.recv(0, 0, std::span<int>(&v, 1));
+    }
+  });
+}
+
+TEST(P2P, RecvAnyUnknownLength) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> payload{1, 2, 3, 4, 5};
+      comm.send(1, 8, std::span<const int>(payload));
+    } else {
+      Status st;
+      const auto got = comm.recv_any<int>(0, 8, &st);
+      ASSERT_EQ(got.size(), 5u);
+      EXPECT_EQ(got[4], 5);
+      EXPECT_EQ(st.source, 0);
+    }
+  });
+}
+
+TEST(P2P, SelfSend) {
+  run(1, [](Comm& comm) {
+    comm.send_value(0, 0, 3.25);
+    EXPECT_DOUBLE_EQ(comm.recv_value<double>(0, 0), 3.25);
+  });
+}
+
+TEST(P2P, OversizeMessageRejected) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> big(10, 1);
+      comm.send(1, 0, std::span<const int>(big));
+    } else {
+      int small[2];
+      EXPECT_THROW(comm.recv_bytes(0, 0, small, sizeof small), Error);
+    }
+  });
+}
+
+TEST(P2P, InvalidDestinationRejected) {
+  EXPECT_THROW(run(1,
+                   [](Comm& comm) {
+                     int v = 0;
+                     comm.send_bytes(5, 0, &v, sizeof v);
+                   }),
+               Error);
+}
+
+TEST(P2P, NegativeUserTagRejected) {
+  EXPECT_THROW(run(1,
+                   [](Comm& comm) {
+                     int v = 0;
+                     comm.send_bytes(0, -3, &v, sizeof v);
+                   }),
+               Error);
+}
+
+TEST(P2P, IrecvWait) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 2, 77);
+    } else {
+      int v = 0;
+      Request req = comm.irecv(0, 2, std::span<int>(&v, 1));
+      const Status st = comm.wait(req);
+      EXPECT_EQ(st.bytes, sizeof(int));
+      EXPECT_EQ(v, 77);
+      // wait() is idempotent.
+      EXPECT_EQ(comm.wait(req).bytes, sizeof(int));
+    }
+  });
+}
+
+TEST(P2P, WaitOnEmptyRequestThrows) {
+  run(1, [](Comm& comm) {
+    Request req;
+    EXPECT_FALSE(req.valid());
+    EXPECT_THROW(comm.wait(req), Error);
+  });
+}
+
+TEST(P2P, ManyToOneStress) {
+  constexpr int kRanks = 6;
+  constexpr int kMsgs = 200;
+  run(kRanks, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      long long total = 0;
+      for (int i = 0; i < (kRanks - 1) * kMsgs; ++i)
+        total += comm.recv_value<int>(kAnySource, 1);
+      // Each rank r sends kMsgs values of r.
+      long long expect = 0;
+      for (int r = 1; r < kRanks; ++r) expect += (long long)r * kMsgs;
+      EXPECT_EQ(total, expect);
+    } else {
+      for (int i = 0; i < kMsgs; ++i) comm.send_value(0, 1, comm.rank());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace minivpic::vmpi
