@@ -2,14 +2,24 @@
 // second, sustained Gflop/s (s.p.) using the counted flops/particle, for a
 // sorted uniform plasma at several grid sizes and particle densities.
 // Google-benchmark microkernel timing of VPIC's inner loop plus its
-// supporting kernels (interpolator load, accumulator unload, sort).
+// supporting kernels (interpolator load, accumulator unload + pipeline
+// reduction, sort).
+//
+// The particle advance is swept over intra-rank pipeline counts (the
+// paper's per-node parallel layer): by default {1, 2, 4, ..., hardware}.
+//   --pipelines=N   pin the advance to exactly N pipelines (1 = the serial
+//                   reference path; google-benchmark flags still apply)
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "particles/loader.hpp"
 #include "particles/push.hpp"
 #include "perf/costs.hpp"
+#include "util/pipeline.hpp"
 #include "util/rng.hpp"
 
 using namespace minivpic;
@@ -18,12 +28,13 @@ using namespace minivpic::particles;
 namespace {
 
 struct PushFixture {
-  PushFixture(int cells, int ppc)
+  PushFixture(int cells, int ppc, int pipelines = 1)
       : grid(make_grid(cells)),
         fields(grid),
         interp(grid),
-        acc(grid),
+        acc(grid, pipelines),
         pusher(grid, periodic_particles()),
+        pipeline(pipelines),
         sp("e", -1.0, 1.0) {
     for (int k = 0; k <= cells + 1; ++k)
       for (int j = 0; j <= cells + 1; ++j)
@@ -51,15 +62,18 @@ struct PushFixture {
   InterpolatorArray interp;
   AccumulatorArray acc;
   Pusher pusher;
+  Pipeline pipeline;
   Species sp;
 };
 
-void BM_ParticleAdvance(benchmark::State& state) {
-  PushFixture fx(int(state.range(0)), int(state.range(1)));
+void BM_ParticleAdvance(benchmark::State& state, int cells, int ppc,
+                        int pipelines) {
+  PushFixture fx(cells, ppc, pipelines);
   std::int64_t pushed = 0;
   for (auto _ : state) {
     fx.acc.clear();
-    const auto res = fx.pusher.advance(fx.sp, fx.interp, fx.acc);
+    const auto res = fx.pusher.advance(fx.sp, fx.interp, fx.acc, &fx.pipeline);
+    fx.acc.reduce();
     pushed += res.pushed;
     benchmark::DoNotOptimize(res.pushed);
   }
@@ -70,14 +84,8 @@ void BM_ParticleAdvance(benchmark::State& state) {
       benchmark::Counter::kIsRate);
   state.counters["flops/particle"] =
       perf::KernelCosts::push_flops_per_particle();
+  state.counters["pipelines"] = double(pipelines);
 }
-BENCHMARK(BM_ParticleAdvance)
-    ->Args({16, 16})
-    ->Args({16, 64})
-    ->Args({32, 16})
-    ->Args({32, 64})
-    ->Args({32, 256})
-    ->Unit(benchmark::kMillisecond);
 
 void BM_InterpolatorLoad(benchmark::State& state) {
   PushFixture fx(int(state.range(0)), 1);
@@ -103,6 +111,24 @@ void BM_AccumulatorUnload(benchmark::State& state) {
 }
 BENCHMARK(BM_AccumulatorUnload)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
 
+void BM_AccumulatorReduce(benchmark::State& state) {
+  // The serial tax of the pipeline layer: fold N private blocks into base.
+  PushFixture fx(int(state.range(0)), 1, int(state.range(1)));
+  for (auto _ : state) {
+    fx.acc.reduce();
+    benchmark::DoNotOptimize(fx.acc.data());
+  }
+  state.counters["voxels/s"] = benchmark::Counter(
+      double(state.iterations()) * double(fx.grid.num_cells()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AccumulatorReduce)
+    ->Args({16, 2})
+    ->Args({16, 8})
+    ->Args({32, 2})
+    ->Args({32, 8})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_CountingSort(benchmark::State& state) {
   PushFixture fx(16, int(state.range(0)));
   Rng rng(4);
@@ -122,6 +148,58 @@ void BM_CountingSort(benchmark::State& state) {
 }
 BENCHMARK(BM_CountingSort)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
+/// Pipeline counts to sweep: 1, 2, 4, ... up to the hardware thread count.
+std::vector<int> pipeline_sweep() {
+  std::vector<int> counts;
+  const int hw = Pipeline::hardware_pipelines();
+  for (int n = 1; n < hw; n *= 2) counts.push_back(n);
+  counts.push_back(hw);
+  return counts;
+}
+
+void register_advance_benchmarks(const std::vector<int>& pipeline_counts) {
+  struct Case {
+    int cells, ppc;
+  };
+  const Case cases[] = {{16, 16}, {16, 64}, {32, 16}, {32, 64}, {32, 256}};
+  for (const Case& c : cases) {
+    for (int np : pipeline_counts) {
+      const std::string name = "BM_ParticleAdvance/" + std::to_string(c.cells) +
+                               "/" + std::to_string(c.ppc) + "/pipelines:" +
+                               std::to_string(np);
+      // The advance is internally threaded, so rate counters must divide by
+      // wall time — the default (main-thread CPU time) would credit an
+      // N-pipeline run with N× throughput even when the host can't run them.
+      benchmark::RegisterBenchmark(name.c_str(), BM_ParticleAdvance, c.cells,
+                                   c.ppc, np)
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own --pipelines flag before google-benchmark sees argv.
+  std::vector<int> counts;
+  std::vector<char*> bargv;
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--pipelines=", 12) == 0) {
+      counts = {std::max(1, std::atoi(a + 12))};
+    } else if (std::strcmp(a, "--pipelines") == 0 && i + 1 < argc) {
+      counts = {std::max(1, std::atoi(argv[++i]))};
+    } else {
+      bargv.push_back(argv[i]);
+    }
+  }
+  if (counts.empty()) counts = pipeline_sweep();
+  register_advance_benchmarks(counts);
+  int bargc = int(bargv.size());
+  benchmark::Initialize(&bargc, bargv.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

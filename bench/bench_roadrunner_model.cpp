@@ -26,6 +26,8 @@ int main() {
   machine.add_row({std::string("SPEs"), (long long)model.total_spes()});
   machine.add_row({std::string("SP peak (Pflop/s)"), model.peak_sp_flops() / 1e15});
   machine.add_row({std::string("memory BW per Cell (GB/s)"), cfg.mem_bw_per_cell / 1e9});
+  machine.add_row({std::string("particle pipelines per chip"),
+                   (long long)cfg.pipelines_per_chip});
   machine.print(std::cout, "Roadrunner (as modeled)");
 
   const double particles = 1.0e12;
@@ -35,6 +37,7 @@ int main() {
   std::cout << "\n";
   Table roofline({"phase", "s/step", "% of step"});
   roofline.add_row({std::string("particle advance"), p.t_push, 100 * p.t_push / p.t_step});
+  roofline.add_row({std::string("pipeline reduce"), p.t_reduce, 100 * p.t_reduce / p.t_step});
   roofline.add_row({std::string("sort (amortized)"), p.t_sort, 100 * p.t_sort / p.t_step});
   roofline.add_row({std::string("field solve"), p.t_field, 100 * p.t_field / p.t_step});
   roofline.add_row({std::string("IB exchange"), p.t_comm, 100 * p.t_comm / p.t_step});

@@ -1,17 +1,27 @@
 // T2 — whole-step cost breakdown: where the time of a full PIC step goes
-// (particle advance, sort, source reduction, field solve, migration,
-// cleaning) for an LPI-style deck. The paper's claim that the inner loop
-// dominates (0.488 Pflop/s inner vs 0.374 Pflop/s whole-code ~ 77%) should
-// reproduce as a push fraction around 70-85%.
+// (particle advance, sort, accumulator reduction, source reduction, field
+// solve, migration, cleaning) for an LPI-style deck. The paper's claim that
+// the inner loop dominates (0.488 Pflop/s inner vs 0.374 Pflop/s whole-code
+// ~ 77%) should reproduce as a push fraction around 70-85%.
+//
+// Also sweeps the intra-rank pipeline count of the particle advance:
+//   --pipelines=N   run the breakdown at exactly N pipelines
+//                   (default: sweep 1, 2, 4, ..., hardware threads)
+//   --steps=N       timed steps per configuration (default 100)
 #include <iostream>
+#include <vector>
 
 #include "perf/costs.hpp"
 #include "sim/simulation.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/pipeline.hpp"
 
 using namespace minivpic;
 
-int main() {
+namespace {
+
+sim::Deck breakdown_deck(int pipelines) {
   sim::LpiParams p;
   p.nx = 192;
   p.ny = p.nz = 2;
@@ -19,40 +29,106 @@ int main() {
   p.ppc = 96;
   p.a0 = 0.1;
   p.vacuum_cells = 24;
-  sim::Simulation sim(sim::lpi_deck(p));
-  sim.initialize();
+  sim::Deck deck = sim::lpi_deck(p);
+  deck.pipelines = pipelines;
+  return deck;
+}
 
-  const int warmup = 10, steps = 100;
-  sim.run(warmup);  // let caches and particle lists settle
-  sim::Simulation timed(sim::lpi_deck(p));  // fresh timers, same deck
+struct SweepPoint {
+  int pipelines = 1;
+  double push_seconds = 0;
+  double reduce_seconds = 0;
+  double step_seconds = 0;
+  double push_rate = 0;  ///< particles/s inside the advance
+};
+
+SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
+  const int warmup = 10;
+  {
+    sim::Simulation warm(breakdown_deck(pipelines));
+    warm.initialize();
+    warm.run(warmup);  // let caches and particle lists settle
+  }
+  sim::Simulation timed(breakdown_deck(pipelines));  // fresh timers, same deck
   timed.initialize();
   timed.run(steps);
 
   const auto& t = timed.timings();
   const double total = t.total_seconds();
-  Table table({"phase", "seconds", "% of step", "notes"});
-  auto row = [&](const char* name, const Stopwatch& sw, const char* note) {
-    table.add_row({std::string(name), sw.total_seconds(),
-                   100.0 * sw.total_seconds() / total, std::string(note)});
-  };
-  row("particle advance", t.push, "the paper's 0.488 Pflop/s inner loop");
-  row("interpolator load", t.interpolate, "per-cell field coefficients");
-  row("migration", t.migrate, "inter-rank exchange (1 rank: bookkeeping)");
-  row("sort", t.sort, "counting sort, every 20 steps");
-  row("source reduction", t.sources, "accumulator unload + halo fold");
-  row("field solve", t.field, "B/E/B Yee update + ghost refresh");
-  row("divergence clean", t.clean, "Marder passes, every 50 steps");
-  table.add_row({std::string("TOTAL"), total, 100.0, std::string("")});
-  table.print(std::cout, "T2: step cost breakdown (LPI deck, 100 steps)");
+  if (print_table) {
+    Table table({"phase", "seconds", "% of step", "notes"});
+    auto row = [&](const char* name, const Stopwatch& sw, const char* note) {
+      table.add_row({std::string(name), sw.total_seconds(),
+                     100.0 * sw.total_seconds() / total, std::string(note)});
+    };
+    row("particle advance", t.push, "the paper's 0.488 Pflop/s inner loop");
+    row("interpolator load", t.interpolate, "per-cell field coefficients");
+    row("migration", t.migrate, "inter-rank exchange (1 rank: bookkeeping)");
+    row("sort", t.sort, "counting sort, every 20 steps");
+    row("pipeline reduce", t.reduce, "fold per-pipeline accumulator blocks");
+    row("source reduction", t.sources, "accumulator unload + halo fold");
+    row("field solve", t.field, "B/E/B Yee update + ghost refresh");
+    row("divergence clean", t.clean, "Marder passes, every 50 steps");
+    table.add_row({std::string("TOTAL"), total, 100.0, std::string("")});
+    table.print(std::cout, "T2: step cost breakdown (LPI deck, " +
+                               std::to_string(steps) + " steps, " +
+                               std::to_string(timed.pipelines()) +
+                               " pipeline(s))");
 
-  const double pushed = double(timed.particle_stats().pushed);
-  std::cout << "\npush rate: " << pushed / t.push.total_seconds() / 1e6
-            << " M particles/s; sustained (whole step): "
-            << pushed * perf::KernelCosts::push_flops_per_particle() / total /
-                   1e9
-            << " Gflop/s s.p. on this host core\n";
-  std::cout << "inner-loop share of step: "
-            << 100.0 * t.push.total_seconds() / total
-            << "%  (paper: 0.374/0.488 = 77%)\n";
+    const double pushed = double(timed.particle_stats().pushed);
+    std::cout << "\npush rate: " << pushed / t.push.total_seconds() / 1e6
+              << " M particles/s; sustained (whole step): "
+              << pushed * perf::KernelCosts::push_flops_per_particle() /
+                     total / 1e9
+              << " Gflop/s s.p. on this host\n";
+    std::cout << "inner-loop share of step: "
+              << 100.0 * t.push.total_seconds() / total
+              << "%  (paper: 0.374/0.488 = 77%)\n";
+  }
+
+  SweepPoint pt;
+  pt.pipelines = timed.pipelines();
+  pt.push_seconds = t.push.total_seconds();
+  pt.reduce_seconds = t.reduce.total_seconds();
+  pt.step_seconds = total;
+  pt.push_rate =
+      double(timed.particle_stats().pushed) / t.push.total_seconds();
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.check_known({"pipelines", "steps"});
+  const int steps = int(args.get_int("steps", 100));
+
+  std::vector<int> counts;
+  if (args.has("pipelines")) {
+    counts = {Pipeline::resolve(int(args.get_int("pipelines", 0)))};
+  } else {
+    const int hw = Pipeline::hardware_pipelines();
+    for (int n = 1; n < hw; n *= 2) counts.push_back(n);
+    counts.push_back(hw);
+  }
+
+  // Detailed breakdown at the first requested count; sweep summary after.
+  std::vector<SweepPoint> sweep;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    sweep.push_back(run_breakdown(counts[i], steps, i == 0));
+  }
+
+  if (sweep.size() > 1) {
+    std::cout << "\n";
+    Table table({"pipelines", "push s", "reduce s", "step s", "Mpart/s",
+                 "push speedup"});
+    for (const SweepPoint& pt : sweep) {
+      table.add_row({(long long)pt.pipelines, pt.push_seconds,
+                     pt.reduce_seconds, pt.step_seconds, pt.push_rate / 1e6,
+                     sweep[0].push_seconds / pt.push_seconds});
+    }
+    table.print(std::cout,
+                "pipeline sweep: particle advance vs intra-rank pipelines");
+  }
   return 0;
 }

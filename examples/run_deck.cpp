@@ -4,6 +4,7 @@
 //
 //   ./run_deck my.deck --steps=500 [--report=10] [--probe_plane=16]
 //              [--checkpoint=prefix] [--history=energies.csv]
+//              [--pipelines=N]   # particle-advance threads; 0 = hardware
 //
 // Example deck (see sim/deck_io.hpp for the full grammar):
 //
@@ -34,21 +35,30 @@ using namespace minivpic;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.check_known({"steps", "report", "probe_plane", "checkpoint", "history"});
+  args.check_known(
+      {"steps", "report", "probe_plane", "checkpoint", "history", "pipelines"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
                  "       [--probe_plane=I] [--checkpoint=prefix] "
-                 "[--history=csv]\n";
+                 "[--history=csv] [--pipelines=N]\n";
     return 2;
   }
   const int steps = int(args.get_int("steps", 200));
   const int report = int(args.get_int("report", std::max(1, steps / 10)));
 
-  sim::Simulation sim(sim::load_deck_file(args.positional()[0]));
+  sim::Deck deck = sim::load_deck_file(args.positional()[0]);
+  // CLI overrides the deck's [control] pipelines; both default to
+  // hardware-aware (0 = one pipeline per hardware thread).
+  if (args.has("pipelines")) {
+    deck.pipelines = int(args.get_int("pipelines", 0));
+  }
+
+  sim::Simulation sim(deck);
   sim.initialize();
   std::cout << "deck: " << args.positional()[0] << " — "
             << sim.global_particle_count() << " particles, dt = "
-            << sim.local_grid().dt() << "\n\n";
+            << sim.local_grid().dt() << ", pipelines = " << sim.pipelines()
+            << "\n\n";
 
   std::unique_ptr<sim::ReflectivityProbe> probe;
   if (args.has("probe_plane")) {

@@ -1,6 +1,27 @@
 #include "particles/accumulator.hpp"
 
+#include "util/error.hpp"
+
 namespace minivpic::particles {
+
+AccumulatorArray::AccumulatorArray(const grid::LocalGrid& grid, int blocks)
+    : voxels_(std::size_t(grid.num_voxels())),
+      blocks_(blocks),
+      data_(voxels_ * std::size_t(blocks)) {
+  MV_REQUIRE(blocks >= 1, "accumulator needs >= 1 block, got " << blocks);
+}
+
+void AccumulatorArray::reduce() {
+  // Flat float streams: 16 floats per CellAccum, contiguous and aligned, so
+  // the compiler can vectorize the += loop. Ascending block order keeps the
+  // per-cell addition sequence identical to the serial deposit order.
+  const std::size_t floats = voxels_ * (sizeof(CellAccum) / sizeof(float));
+  float* dst = reinterpret_cast<float*>(data_.data());
+  for (int b = 1; b < blocks_; ++b) {
+    const float* src = reinterpret_cast<const float*>(block(b));
+    for (std::size_t i = 0; i < floats; ++i) dst[i] += src[i];
+  }
+}
 
 void AccumulatorArray::unload(grid::FieldArray& f) const {
   const auto& g = f.grid();

@@ -12,6 +12,10 @@ constexpr float kOne = 1.0f;
 constexpr float kOneThird = 1.0f / 3.0f;
 constexpr float kTwoFifteenths = 2.0f / 15.0f;
 
+/// Reflux stream ids: pipeline p uses hash(rank, p); migration completion
+/// uses a stream id no pipeline can collide with.
+constexpr std::uint64_t kMigrateStream = ~std::uint64_t{0};
+
 /// Deposits the current of one straight trajectory segment into a cell's
 /// accumulator. `disp*` is the segment displacement in cell units, `mid*`
 /// the segment midpoint in cell offsets. Entries get 4x the charge through
@@ -49,7 +53,10 @@ Pusher::Pusher(const grid::LocalGrid& grid, const ParticleBcSpec& bc,
     : grid_(&grid),
       bc_(bc),
       reflux_uth_(reflux_uth),
-      reflux_rng_(reflux_seed, std::uint64_t(grid.rank())) {
+      reflux_seed_(reflux_seed),
+      migrate_reflux_rng_(reflux_seed,
+                          hash_combine(std::uint64_t(grid.rank()),
+                                       kMigrateStream)) {
   for (int face = 0; face < 6; ++face) {
     const auto gface = static_cast<grid::Face>(face);
     const bool axis_open =
@@ -68,9 +75,17 @@ Pusher::Pusher(const grid::LocalGrid& grid, const ParticleBcSpec& bc,
   }
 }
 
+void Pusher::ensure_reflux_streams(int n) {
+  while (int(reflux_streams_.size()) < n) {
+    const auto p = std::uint64_t(reflux_streams_.size());
+    reflux_streams_.emplace_back(
+        reflux_seed_, hash_combine(std::uint64_t(grid_->rank()), p));
+  }
+}
+
 Pusher::MoveStatus Pusher::move_p(Particle& p, Mover& m, float macro_charge,
                                   CellAccum* acc, Emigrant* out,
-                                  Result* stats) const {
+                                  Result* stats, Rng& reflux_rng) const {
   const auto& g = *grid_;
   for (;;) {
     const float midx = p.dx, midy = p.dy, midz = p.dz;
@@ -158,10 +173,10 @@ Pusher::MoveStatus Pusher::move_p(Particle& p, Mover& m, float macro_charge,
         // (Rayleigh: the distribution of particles *crossing* a surface).
         const float u_norm = float(
             reflux_uth_ *
-            std::sqrt(-2.0 * std::log(1.0 - reflux_rng_.uniform() + 1e-12)));
-        float u3[3] = {float(reflux_rng_.normal(0.0, reflux_uth_)),
-                       float(reflux_rng_.normal(0.0, reflux_uth_)),
-                       float(reflux_rng_.normal(0.0, reflux_uth_))};
+            std::sqrt(-2.0 * std::log(1.0 - reflux_rng.uniform() + 1e-12)));
+        float u3[3] = {float(reflux_rng.normal(0.0, reflux_uth_)),
+                       float(reflux_rng.normal(0.0, reflux_uth_)),
+                       float(reflux_rng.normal(0.0, reflux_uth_))};
         u3[axis] = dir > 0 ? -u_norm : u_norm;  // back into the domain
         p.ux = u3[0];
         p.uy = u3[1];
@@ -191,26 +206,26 @@ Pusher::MoveStatus Pusher::continue_move(Particle& p, Mover& m,
                                          float macro_charge,
                                          AccumulatorArray& acc, Emigrant* out,
                                          Result* stats) const {
-  return move_p(p, m, macro_charge, acc.data(), out, stats);
+  return move_p(p, m, macro_charge, acc.data(), out, stats,
+                migrate_reflux_rng_);
 }
 
-Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
-                               AccumulatorArray& acc) const {
+void Pusher::advance_range(Species& sp, const InterpolatorArray& interp,
+                           CellAccum* acc_block, std::size_t begin,
+                           std::size_t end, Rng& reflux_rng, Result& res,
+                           std::vector<std::size_t>& dead) const {
   const auto& g = *grid_;
-  Result res;
   const float qdt_2mc = float(sp.q() * g.dt() / (2.0 * sp.m()));
   const float cdt_dx = float(g.dt() / g.dx());
   const float cdt_dy = float(g.dt() / g.dy());
   const float cdt_dz = float(g.dt() / g.dz());
   const float qsp = float(sp.q());
   const Interpolator* f0 = interp.data();
-  CellAccum* a0 = acc.data();
+  CellAccum* a0 = acc_block;
 
   Particle* parts = sp.data();
-  std::vector<std::size_t> dead;
 
-  const std::size_t np = sp.size();
-  for (std::size_t n = 0; n < np; ++n) {
+  for (std::size_t n = begin; n < end; ++n) {
     Particle& p = parts[n];
     float dx = p.dx, dy = p.dy, dz = p.dz;
     const Interpolator& f = f0[p.i];
@@ -277,7 +292,7 @@ Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
     // Cell-crossing case: split the move against cell faces.
     Mover m{dispx, dispy, dispz};
     Emigrant out;
-    switch (move_p(p, m, q, a0, &out, &res)) {
+    switch (move_p(p, m, q, a0, &out, &res, reflux_rng)) {
       case MoveStatus::kDone:
         break;
       case MoveStatus::kEmigrated:
@@ -289,9 +304,54 @@ Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
         break;
     }
   }
+}
 
-  // Compact out emigrated/absorbed particles. Descending order keeps the
-  // swap-with-last removal from invalidating pending indices.
+Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
+                               AccumulatorArray& acc, Pipeline* pipeline) {
+  const int n_pipe = pipeline == nullptr ? 1 : pipeline->size();
+  MV_REQUIRE(acc.blocks() >= n_pipe,
+             "accumulator has " << acc.blocks() << " blocks but the advance "
+                                << "runs on " << n_pipe << " pipelines");
+  ensure_reflux_streams(n_pipe);
+
+  // Per-pipeline private state; spliced in pipeline order after the
+  // barrier so all outputs keep serial particle order.
+  struct Lane {
+    Result res;
+    std::vector<std::size_t> dead;
+  };
+  std::vector<Lane> lanes(static_cast<std::size_t>(n_pipe));
+
+  auto run = [&](int p) {
+    const auto r = Pipeline::partition(sp.size(), n_pipe, p);
+    advance_range(sp, interp, acc.block(p), r.begin, r.end,
+                  reflux_streams_[std::size_t(p)], lanes[std::size_t(p)].res,
+                  lanes[std::size_t(p)].dead);
+  };
+  if (pipeline == nullptr) {
+    run(0);
+  } else {
+    pipeline->dispatch(run);
+  }
+
+  Result res = std::move(lanes[0].res);
+  std::vector<std::size_t> dead = std::move(lanes[0].dead);
+  for (int p = 1; p < n_pipe; ++p) {
+    Lane& lane = lanes[std::size_t(p)];
+    res.pushed += lane.res.pushed;
+    res.crossings += lane.res.crossings;
+    res.absorbed += lane.res.absorbed;
+    res.reflected += lane.res.reflected;
+    res.refluxed += lane.res.refluxed;
+    res.emigrants.insert(res.emigrants.end(), lane.res.emigrants.begin(),
+                         lane.res.emigrants.end());
+    dead.insert(dead.end(), lane.dead.begin(), lane.dead.end());
+  }
+
+  // Compact out emigrated/absorbed particles. `dead` is ascending (each
+  // slice is ascending and slices are concatenated in partition order);
+  // descending removal keeps the swap-with-last from invalidating pending
+  // indices.
   for (auto it = dead.rbegin(); it != dead.rend(); ++it) sp.remove(*it);
   return res;
 }

@@ -12,6 +12,25 @@
 // Displacements are handled in "cell units" (physical displacement divided
 // by the cell size); cell *offsets* span [-1, 1] and therefore advance by
 // twice the cell-unit displacement.
+//
+// Intra-rank pipelines (the paper's per-node parallel layer): advance() can
+// run on N pipelines from a util Pipeline pool. The particle array is
+// statically partitioned into N contiguous slices; pipeline p advances its
+// slice, deposits into accumulator block p, draws reflux momenta from its
+// own counter-based RNG stream, and records its emigrants/dead particles
+// privately. After the barrier the per-pipeline results are spliced in
+// pipeline order, which — because the partition is contiguous — reproduces
+// the serial particle order exactly: counters, emigrant order, and removal
+// order are identical to the 1-pipeline reference on decks without reflux
+// walls, and every trajectory is bit-identical (each particle reads only
+// its own state and the shared read-only interpolator). The reduced J
+// (AccumulatorArray::reduce()) is bit-identical to serial when no cell
+// collects more than one deposit per block, and agrees to float rounding
+// (ULPs per cell) on dense decks — the per-cell addition *order* inside a
+// later block differs from the serial running sum. For a fixed pipeline
+// count every run is bit-wise reproducible. Reflux draws come from
+// per-pipeline streams, so refluxed momenta differ *statistically* (not
+// physically) across pipeline counts.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +39,7 @@
 #include "particles/accumulator.hpp"
 #include "particles/interpolator.hpp"
 #include "particles/species.hpp"
+#include "util/pipeline.hpp"
 #include "util/rng.hpp"
 
 namespace minivpic::particles {
@@ -48,14 +68,22 @@ class Pusher {
 
   /// Advances every particle of `sp` one step, depositing current into
   /// `acc`. Emigrants and absorbed particles are removed from `sp`.
+  ///
+  /// With a `pipeline` pool of N > 1, `acc` must have at least N blocks;
+  /// each pipeline deposits into its own block and the caller must fold
+  /// them with acc.reduce() before unload(). Without a pool (or with a
+  /// 1-pipeline pool) this is the serial reference path depositing into
+  /// block 0 on the calling thread.
   Result advance(Species& sp, const InterpolatorArray& interp,
-                 AccumulatorArray& acc) const;
+                 AccumulatorArray& acc, Pipeline* pipeline = nullptr);
 
   enum class MoveStatus { kDone, kEmigrated, kAbsorbed };
 
   /// Completes the move of an immigrant received from a neighbor rank
   /// (momentum already updated by the sender). `p.i` must already be this
-  /// rank's voxel. On kEmigrated, `*out` describes the next hop.
+  /// rank's voxel. On kEmigrated, `*out` describes the next hop. Deposits
+  /// into accumulator block 0; runs serially on the rank's own thread
+  /// (migration happens outside the pipeline region).
   MoveStatus continue_move(Particle& p, Mover& m, float macro_charge,
                            AccumulatorArray& acc, Emigrant* out,
                            Result* stats) const;
@@ -69,12 +97,33 @@ class Pusher {
 
  private:
   MoveStatus move_p(Particle& p, Mover& m, float macro_charge, CellAccum* acc,
-                    Emigrant* out, Result* stats) const;
+                    Emigrant* out, Result* stats, Rng& reflux_rng) const;
+
+  /// Advances particles [begin, end) of `sp`, depositing into `acc_block`.
+  /// Removals are deferred: dead (emigrated/absorbed) indices are appended
+  /// to `dead` in ascending order for the caller to splice and remove.
+  void advance_range(Species& sp, const InterpolatorArray& interp,
+                     CellAccum* acc_block, std::size_t begin, std::size_t end,
+                     Rng& reflux_rng, Result& res,
+                     std::vector<std::size_t>& dead) const;
+
+  /// Per-pipeline reflux streams exist for pipelines [0, n); streams are
+  /// persistent across steps so draw sequences stay reproducible.
+  void ensure_reflux_streams(int n);
 
   const grid::LocalGrid* grid_;
   ParticleBcSpec bc_;
   double reflux_uth_;
-  mutable Rng reflux_rng_;  ///< wall-reservoir draws (one rank = one thread)
+  std::uint64_t reflux_seed_;
+  /// One independent counter-based stream per pipeline: stream p is
+  /// Rng(seed, hash(rank, p)), so draws are reproducible per (rank,
+  /// pipeline) and pipelines never share RNG state (the old single shared
+  /// `mutable` stream was a data race under a threaded advance).
+  std::vector<Rng> reflux_streams_;
+  /// Stream for moves completed during migration (continue_move). Mutable
+  /// because migration keeps its const Pusher interface; safe because
+  /// migration is single-threaded per rank, after the pipeline barrier.
+  mutable Rng migrate_reflux_rng_;
 };
 
 /// Sets up leapfrog time-centering: pulls momenta back from t to t-dt/2

@@ -16,6 +16,12 @@ RoadrunnerModel::RoadrunnerModel(const RoadrunnerConfig& cfg) : cfg_(cfg) {
   MV_REQUIRE(cfg.flops_per_particle > 0 && cfg.bytes_per_particle > 0,
              "workload costs must be positive");
   MV_REQUIRE(cfg.sort_period >= 1, "sort period must be >= 1");
+  MV_REQUIRE(cfg.pipelines_per_chip >= 1 &&
+                 cfg.pipelines_per_chip <= cfg.spes_per_cell,
+             "pipelines per chip must be in [1, SPEs per chip], got "
+                 << cfg.pipelines_per_chip);
+  MV_REQUIRE(cfg.reduce_bytes_per_voxel >= 0,
+             "reduction traffic must be non-negative");
 }
 
 int RoadrunnerModel::total_cells() const {
@@ -46,12 +52,20 @@ RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
   const double np = particles / chips;  // particles per Cell chip
   const double nv = voxels / chips;     // voxels per Cell chip
 
-  // Particle advance roofline.
+  // Particle advance roofline. The compute side only counts the SPEs that
+  // actually run pipelines: fewer pipelines than SPEs idles compute.
+  const double pipeline_flops = cfg_.pipelines_per_chip * cfg_.clock_hz *
+                                cfg_.sp_flops_per_spe_clock;
   const double t_compute = np * cfg_.flops_per_particle /
-                           (chip_flops * cfg_.spe_push_efficiency);
+                           (pipeline_flops * cfg_.spe_push_efficiency);
   const double t_memory = np * cfg_.bytes_per_particle / cfg_.mem_bw_per_cell;
   out.t_push = std::max(t_compute, t_memory);
   out.memory_bound = t_memory >= t_compute;
+
+  // Per-pipeline accumulator blocks folded once per step: stream every
+  // private block in, read-modify-write the base block.
+  out.t_reduce = nv * cfg_.reduce_bytes_per_voxel *
+                 double(cfg_.pipelines_per_chip + 1) / cfg_.mem_bw_per_cell;
 
   // Occasional counting sort: stream the particle array out and back.
   out.t_sort = np * (32.0 * 2 * 2) / cfg_.mem_bw_per_cell /
@@ -79,8 +93,8 @@ RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
   // paper engineered around; calibrated residual fraction.
   out.t_host = cfg_.host_overhead_fraction * out.t_push;
 
-  out.t_step =
-      out.t_push + out.t_sort + out.t_field + out.t_comm + out.t_host;
+  out.t_step = out.t_push + out.t_reduce + out.t_sort + out.t_field +
+               out.t_comm + out.t_host;
   out.inner_loop_flops = particles * cfg_.flops_per_particle / out.t_push;
   out.sustained_flops = particles * cfg_.flops_per_particle / out.t_step;
   out.particles_per_second = particles / out.t_step;

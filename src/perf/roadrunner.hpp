@@ -9,11 +9,17 @@
 // per Cell; 4x DDR InfiniBand fat-tree (~2 GB/s per triblade link).
 //
 // The model is a roofline plus overheads:
-//   t_push  = max(flops/particle / compute-rate, bytes/particle / mem-bw)
-//   t_sort  = streaming read+write of the particle array / sort period
-//   t_field = field-update traffic / mem-bw
-//   t_comm  = ghost surface + migration bytes / IB bandwidth (+ latency)
-//   t_host  = DaCS/PCIe staging, a calibrated fraction of t_push
+//   t_push   = max(flops/particle / compute-rate, bytes/particle / mem-bw)
+//   t_sort   = streaming read+write of the particle array / sort period
+//   t_reduce = per-pipeline accumulator blocks folded once per step / mem-bw
+//   t_field  = field-update traffic / mem-bw
+//   t_comm   = ghost surface + migration bytes / IB bandwidth (+ latency)
+//   t_host   = DaCS/PCIe staging, a calibrated fraction of t_push
+// The particle advance runs on `pipelines_per_chip` concurrent pipelines
+// (VPIC on Roadrunner: one per SPE), each with a private accumulator block;
+// the compute side of the push roofline scales with the pipelines actually
+// running, and the block reduction is the serial tax the pipeline layer
+// pays per step.
 // Key insight it encodes (and the paper's own point): at the paper's scale
 // the particle advance sits on the *memory* side of the roofline — PIC
 // moves more bytes per flop than the usual supercomputer demo kernels, so
@@ -35,6 +41,14 @@ struct RoadrunnerConfig {
   double ib_bw_per_triblade = 2.0e9;   ///< bytes/s per direction
   double ib_latency = 2e-6;            ///< seconds per exchange phase
 
+  /// Concurrent particle pipelines per chip (VPIC: one per SPE). Fewer
+  /// pipelines than SPEs idles compute; the accumulator reduction cost
+  /// grows with the pipeline count.
+  int pipelines_per_chip = 8;
+  /// Bytes per voxel per pipeline block touched by the accumulator
+  /// reduction (one 64-byte CellAccum cache line).
+  double reduce_bytes_per_voxel = 64.0;
+
   // Workload cost parameters (paper flop-counting convention — slightly
   // richer than our portable kernel's 182-flop arithmetic core because it
   // includes the mover/boundary handling work; see EXPERIMENTS.md):
@@ -52,6 +66,7 @@ struct RoadrunnerConfig {
 struct RoadrunnerPrediction {
   double peak_sp_flops = 0;        ///< machine SP peak (Cell side)
   double t_push = 0;               ///< seconds/step in the particle advance
+  double t_reduce = 0;             ///< pipeline accumulator-block reduction
   double t_sort = 0;
   double t_field = 0;
   double t_comm = 0;

@@ -42,6 +42,13 @@ struct Deck {
   std::optional<field::LaserConfig> laser;
   std::vector<CollisionSpec> collisions;
 
+  /// Intra-rank particle pipelines (threads) for the particle advance.
+  /// 1 = the serial reference path; 0 or negative = one per hardware
+  /// thread (util::Pipeline::resolve). The library default stays 1 so
+  /// single-rank decks are deterministic without configuration; the CLI
+  /// front ends (`--pipelines`) default to hardware-aware.
+  int pipelines = 1;
+
   int sort_period = 20;   ///< steps between particle sorts (0 = never)
   int clean_period = 0;   ///< steps between Marder cleanings (0 = never)
   int clean_passes = 2;   ///< Marder passes per cleaning

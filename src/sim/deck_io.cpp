@@ -217,8 +217,12 @@ Deck parse_deck(std::istream& in) {
       deck.laser = lc;
     } else if (kind == "control") {
       check_known(s, {"sort_period", "clean_period", "clean_passes",
-                      "init_settle_passes", "collision_seed"});
+                      "init_settle_passes", "collision_seed", "pipelines"});
       deck.sort_period = to_int(s, "sort_period", 20);
+      // Deck files are the production front end: default to hardware-aware
+      // (0 = one pipeline per hardware thread). Programmatic decks keep the
+      // serial default of the Deck struct.
+      deck.pipelines = to_int(s, "pipelines", 0);
       deck.clean_period = to_int(s, "clean_period", 0);
       deck.clean_passes = to_int(s, "clean_passes", 2);
       deck.init_settle_passes = to_int(s, "init_settle_passes", 0);

@@ -36,8 +36,9 @@ Simulation::Simulation(const Deck& deck, vmpi::Comm* comm,
       halo_(grid_, comm),
       solver_(grid_, &halo_),
       cleaner_(grid_, &halo_),
+      pipeline_(Pipeline::resolve(deck.pipelines)),
       interp_(grid_),
-      acc_(grid_),
+      acc_(grid_, pipeline_.size()),
       pusher_(grid_, deck.particle_bc) {
   MV_REQUIRE(!deck.species.empty(), "deck has no species");
   MV_REQUIRE(deck.sort_period >= 0 && deck.clean_period >= 0 &&
@@ -133,7 +134,7 @@ void Simulation::step() {
     particles::Pusher::Result res;
     {
       ScopedLap lap(timings_.push);
-      res = pusher_.advance(*species_[s], interp_, acc_);
+      res = pusher_.advance(*species_[s], interp_, acc_, &pipeline_);
     }
     stats_.pushed += res.pushed;
     stats_.crossings += res.crossings;
@@ -182,6 +183,14 @@ void Simulation::step() {
       }
       stats_.collision_pairs += cs.pairs;
     }
+  }
+
+  {
+    // Fold the per-pipeline accumulator blocks into block 0 (deterministic
+    // block order; see AccumulatorArray::reduce). Timed separately: this is
+    // the serial cost the pipeline layer pays per step.
+    ScopedLap lap(timings_.reduce);
+    acc_.reduce();
   }
 
   {

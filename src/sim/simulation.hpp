@@ -22,6 +22,7 @@
 #include "particles/migrate.hpp"
 #include "particles/push.hpp"
 #include "sim/deck.hpp"
+#include "util/pipeline.hpp"
 #include "util/timer.hpp"
 #include "vmpi/cart.hpp"
 #include "vmpi/comm.hpp"
@@ -34,6 +35,7 @@ struct StepTimings {
   Stopwatch push;         ///< particle advance (the paper's inner loop)
   Stopwatch migrate;      ///< inter-rank particle exchange
   Stopwatch sort;         ///< particle sorts
+  Stopwatch reduce;       ///< pipeline accumulator-block reduction
   Stopwatch sources;      ///< accumulator unload + halo source reduction
   Stopwatch field;        ///< B/E advances incl. halo refresh
   Stopwatch clean;        ///< Marder passes
@@ -42,8 +44,9 @@ struct StepTimings {
   double total_seconds() const {
     return interpolate.total_seconds() + push.total_seconds() +
            migrate.total_seconds() + sort.total_seconds() +
-           sources.total_seconds() + field.total_seconds() +
-           clean.total_seconds() + collide.total_seconds();
+           reduce.total_seconds() + sources.total_seconds() +
+           field.total_seconds() + clean.total_seconds() +
+           collide.total_seconds();
   }
 };
 
@@ -101,6 +104,8 @@ class Simulation {
   EnergyReport energies() const;          ///< globally reduced
   std::int64_t global_particle_count() const;
   const StepTimings& timings() const { return timings_; }
+  /// Resolved intra-rank pipeline count used by the particle advance.
+  int pipelines() const { return pipeline_.size(); }
   const ParticleStats& particle_stats() const { return stats_; }
   /// Deposits rho for the current particle positions (into fields().rhof).
   void deposit_rho();
@@ -122,8 +127,9 @@ class Simulation {
   grid::Halo halo_;
   field::FieldSolver solver_;
   field::DivergenceCleaner cleaner_;
+  Pipeline pipeline_;  ///< intra-rank particle pipelines
   particles::InterpolatorArray interp_;
-  particles::AccumulatorArray acc_;
+  particles::AccumulatorArray acc_;  ///< one block per pipeline
   particles::Pusher pusher_;
   std::unique_ptr<field::LaserAntenna> antenna_;
   std::vector<std::unique_ptr<particles::Species>> species_;

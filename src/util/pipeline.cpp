@@ -1,0 +1,105 @@
+#include "util/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace minivpic {
+
+Pipeline::Pipeline(int n_pipelines) : n_(n_pipelines) {
+  MV_REQUIRE(n_pipelines >= 1, "pipeline count must be >= 1, got "
+                                   << n_pipelines);
+  workers_.reserve(std::size_t(n_ - 1));
+  for (int p = 1; p < n_; ++p) {
+    workers_.emplace_back([this, p] { worker(p); });
+  }
+}
+
+Pipeline::~Pipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Pipeline::run_one(int pipeline, const std::function<void(int)>& job) {
+  try {
+    job(pipeline);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void Pipeline::worker(int pipeline) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    run_one(pipeline, *job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void Pipeline::dispatch(const std::function<void(int)>& job) {
+  if (n_ == 1) {
+    job(0);  // serial reference path: no locks, no threads
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    pending_ = n_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_one(0, job);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+Pipeline::Range Pipeline::partition(std::size_t count, int n_pipelines,
+                                    int pipeline) {
+  MV_REQUIRE(n_pipelines >= 1 && pipeline >= 0 && pipeline < n_pipelines,
+             "bad partition request: pipeline " << pipeline << " of "
+                                                << n_pipelines);
+  const std::size_t n = std::size_t(n_pipelines);
+  const std::size_t p = std::size_t(pipeline);
+  const std::size_t base = count / n;
+  const std::size_t extra = count % n;  // first `extra` slices get +1
+  Range r;
+  r.begin = p * base + std::min(p, extra);
+  r.end = r.begin + base + (p < extra ? 1 : 0);
+  return r;
+}
+
+int Pipeline::hardware_pipelines() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : int(hw);
+}
+
+int Pipeline::resolve(int requested) {
+  return requested >= 1 ? requested : hardware_pipelines();
+}
+
+}  // namespace minivpic

@@ -30,10 +30,26 @@ TEST(RoadrunnerModelTest, ReproducesHeadlineNumbers) {
 TEST(RoadrunnerModelTest, StepDecomposesConsistently) {
   const RoadrunnerModel model;
   const auto p = model.predict(1.0e12, 136e6);
-  EXPECT_NEAR(p.t_step, p.t_push + p.t_sort + p.t_field + p.t_comm + p.t_host,
+  EXPECT_NEAR(p.t_step, p.t_push + p.t_reduce + p.t_sort + p.t_field +
+                            p.t_comm + p.t_host,
               1e-12);
   EXPECT_GT(p.t_push / p.t_step, 0.5) << "particle advance must dominate";
   EXPECT_GT(p.inner_loop_flops, p.sustained_flops);
+}
+
+TEST(RoadrunnerModelTest, PipelineCountShapesTheRoofline) {
+  // One pipeline per chip idles 7 of 8 SPEs: the push must flip to
+  // compute-bound and slow down; the accumulator reduction must shrink.
+  RoadrunnerConfig one;
+  one.pipelines_per_chip = 1;
+  const auto p1 = RoadrunnerModel(one).predict(1.0e12, 136e6);
+  const auto p8 = RoadrunnerModel().predict(1.0e12, 136e6);
+  EXPECT_GT(p1.t_push, p8.t_push);
+  EXPECT_FALSE(p1.memory_bound) << "one pipeline cannot saturate memory";
+  EXPECT_TRUE(p8.memory_bound);
+  EXPECT_LT(p1.t_reduce, p8.t_reduce);
+  // At full pipelines the reduction is a negligible serial tax (<1% step).
+  EXPECT_LT(p8.t_reduce / p8.t_step, 0.01);
 }
 
 TEST(RoadrunnerModelTest, WeakScalingNearLinear) {
@@ -79,6 +95,12 @@ TEST(RoadrunnerModelTest, ConfigValidation) {
   EXPECT_THROW(RoadrunnerModel{cfg}, Error);
   cfg = {};
   cfg.flops_per_particle = -5;
+  EXPECT_THROW(RoadrunnerModel{cfg}, Error);
+  cfg = {};
+  cfg.pipelines_per_chip = 0;
+  EXPECT_THROW(RoadrunnerModel{cfg}, Error);
+  cfg = {};
+  cfg.pipelines_per_chip = 9;  // more pipelines than SPEs
   EXPECT_THROW(RoadrunnerModel{cfg}, Error);
 }
 

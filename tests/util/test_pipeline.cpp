@@ -1,0 +1,167 @@
+#include "util/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace minivpic {
+namespace {
+
+TEST(PipelineTest, PartitionCoversRangeContiguously) {
+  for (std::size_t count : {0u, 1u, 7u, 64u, 1000u, 1001u}) {
+    for (int n : {1, 2, 3, 8, 13}) {
+      std::size_t expect_begin = 0;
+      for (int p = 0; p < n; ++p) {
+        const auto r = Pipeline::partition(count, n, p);
+        EXPECT_EQ(r.begin, expect_begin) << count << "/" << n << "/" << p;
+        EXPECT_LE(r.begin, r.end);
+        expect_begin = r.end;
+      }
+      EXPECT_EQ(expect_begin, count) << "slices must cover [0, count)";
+    }
+  }
+}
+
+TEST(PipelineTest, PartitionBalancedAndFrontLoaded) {
+  // Slice sizes differ by at most one; earlier pipelines get the extras.
+  const std::size_t count = 103;
+  const int n = 8;
+  std::size_t prev = Pipeline::partition(count, n, 0).size();
+  for (int p = 1; p < n; ++p) {
+    const std::size_t s = Pipeline::partition(count, n, p).size();
+    EXPECT_LE(s, prev) << "later slices never larger";
+    EXPECT_LE(prev - s, 1u) << "sizes differ by at most one";
+    prev = s;
+  }
+}
+
+TEST(PipelineTest, PartitionMorePipelinesThanItems) {
+  // Surplus pipelines get empty (but valid) slices.
+  const int n = 8;
+  std::size_t covered = 0;
+  for (int p = 0; p < n; ++p) {
+    const auto r = Pipeline::partition(3, n, p);
+    covered += r.size();
+    EXPECT_LE(r.end, 3u);
+  }
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(PipelineTest, DispatchRunsEveryIndexOnce) {
+  Pipeline pool(4);
+  ASSERT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.dispatch([&](int p) { hits[std::size_t(p)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(PipelineTest, PipelineZeroRunsOnCallingThread) {
+  Pipeline pool(3);
+  std::thread::id id0;
+  std::set<std::thread::id> others;
+  std::mutex mu;
+  pool.dispatch([&](int p) {
+    if (p == 0) {
+      id0 = std::this_thread::get_id();
+    } else {
+      std::lock_guard<std::mutex> lock(mu);
+      others.insert(std::this_thread::get_id());
+    }
+  });
+  EXPECT_EQ(id0, std::this_thread::get_id());
+  EXPECT_EQ(others.size(), 2u);
+  EXPECT_EQ(others.count(id0), 0u);
+}
+
+TEST(PipelineTest, SerialPoolRunsInline) {
+  Pipeline pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::thread::id id;
+  pool.dispatch([&](int p) {
+    EXPECT_EQ(p, 0);
+    id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+TEST(PipelineTest, PoolIsReusableAcrossManyDispatches) {
+  // Workers park between dispatches; repeated use must not deadlock or
+  // lose jobs (generation-counter regression check).
+  Pipeline pool(4);
+  std::atomic<int> total{0};
+  for (int step = 0; step < 200; ++step) {
+    pool.dispatch([&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 200 * 4);
+}
+
+TEST(PipelineTest, WorkerExceptionPropagatesToCaller) {
+  Pipeline pool(4);
+  auto boom = [](int p) {
+    if (p == 2) throw std::runtime_error("pipeline 2 failed");
+  };
+  EXPECT_THROW(pool.dispatch(boom), std::runtime_error);
+  // The pool survives a failed dispatch and keeps working.
+  std::atomic<int> hits{0};
+  pool.dispatch([&](int) { hits++; });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(PipelineTest, CallingThreadExceptionPropagates) {
+  Pipeline pool(2);
+  EXPECT_THROW(pool.dispatch([](int p) {
+    if (p == 0) throw std::runtime_error("pipeline 0 failed");
+  }),
+               std::runtime_error);
+  std::atomic<int> hits{0};
+  pool.dispatch([&](int) { hits++; });
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(PipelineTest, ConcurrentPipelinesShareWork) {
+  // All pipelines of a dispatch are in flight together: each waits for all
+  // others to arrive, which only terminates if they truly run concurrently.
+  Pipeline pool(4);
+  std::atomic<int> arrived{0};
+  pool.dispatch([&](int) {
+    arrived++;
+    while (arrived.load() < 4) std::this_thread::yield();
+  });
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(PipelineTest, ResolveAndHardwareCount) {
+  EXPECT_GE(Pipeline::hardware_pipelines(), 1);
+  EXPECT_EQ(Pipeline::resolve(1), 1);
+  EXPECT_EQ(Pipeline::resolve(7), 7);
+  EXPECT_EQ(Pipeline::resolve(0), Pipeline::hardware_pipelines());
+  EXPECT_EQ(Pipeline::resolve(-3), Pipeline::hardware_pipelines());
+}
+
+TEST(PipelineTest, PartitionedSumMatchesSerial) {
+  // The idiom the pusher relies on: per-pipeline partial work over a static
+  // partition, folded in pipeline order, gives the serial answer.
+  const std::size_t count = 12345;
+  std::vector<double> items(count);
+  for (std::size_t i = 0; i < count; ++i) items[i] = double(i % 97) * 0.25;
+  double serial = 0;
+  for (double v : items) serial += v;
+
+  Pipeline pool(5);
+  std::vector<double> partial(5, 0.0);
+  pool.dispatch([&](int p) {
+    const auto r = Pipeline::partition(count, 5, p);
+    for (std::size_t i = r.begin; i < r.end; ++i)
+      partial[std::size_t(p)] += items[i];
+  });
+  double folded = 0;
+  for (double v : partial) folded += v;
+  EXPECT_DOUBLE_EQ(folded, serial);
+}
+
+}  // namespace
+}  // namespace minivpic
