@@ -4,7 +4,6 @@
 // bit-for-bit.
 //
 //   ./checkpoint_restart [--steps=40] [--prefix=/tmp/minivpic_demo]
-#include <cstdio>
 #include <iostream>
 
 #include "sim/checkpoint.hpp"
@@ -26,7 +25,9 @@ int main(int argc, char** argv) {
   original.run(steps / 2);
   sim::Checkpoint::save(original, prefix);
   std::cout << "checkpoint written at step " << original.step_index()
-            << " -> " << prefix << ".rank0\n";
+            << " -> "
+            << sim::Checkpoint::set_path(prefix, original.step_index(), 0)
+            << "\n";
   original.run(steps - steps / 2);
 
   sim::Simulation restarted(deck);
@@ -52,6 +53,6 @@ int main(int argc, char** argv) {
   }
   std::cout << (mismatches == 0 ? "restart is bit-exact.\n"
                                 : "RESTART DIVERGED!\n");
-  std::remove((prefix + ".rank0").c_str());
+  sim::Checkpoint::remove_all(prefix);
   return mismatches == 0 ? 0 : 1;
 }

@@ -1,10 +1,19 @@
 // Deck-file runner: the "production" entry point. Loads a text deck,
-// runs it, reports energies (and reflectivity if a laser is configured),
-// and optionally checkpoints at the end.
+// runs it with periodic checkpointing and runtime health sentinels,
+// reports energies (and reflectivity if a laser is configured), and can
+// resume an interrupted campaign from its rotated checkpoint sets.
 //
 //   ./run_deck my.deck --steps=500 [--report=10] [--probe_plane=16]
-//              [--checkpoint=prefix] [--history=energies.csv]
+//              [--checkpoint=prefix]     # snapshot set prefix
+//              [--checkpoint-every=N]    # periodic cadence (deck: checkpoint_every)
+//              [--resume[=prefix]]       # restore latest set, run to --steps
+//              [--max-walltime=seconds]  # checkpoint + exit 3 when exceeded
+//              [--history=energies.csv]
 //              [--pipelines=N]   # particle-advance threads; 0 = hardware
+//
+// SIGINT/SIGTERM finish the current step, write a final checkpoint set, and
+// exit with code 3 ("interrupted but resumable"), as does --max-walltime.
+// Deck or internal errors print to stderr and exit 1.
 //
 // Example deck (see sim/deck_io.hpp for the full grammar):
 //
@@ -20,45 +29,87 @@
 //   omega0 = 3.162  a0 = 0.15  ramp = 10
 //   [control]
 //   sort_period = 20  clean_period = 50
+//   checkpoint_every = 500  health_period = 50  health_policy = abort
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
 
 #include "sim/checkpoint.hpp"
 #include "sim/deck_io.hpp"
 #include "sim/diagnostics.hpp"
+#include "sim/health.hpp"
 #include "sim/history.hpp"
 #include "sim/simulation.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/error.hpp"
 
 using namespace minivpic;
 
-int main(int argc, char** argv) {
+namespace {
+
+/// Exit code for "stopped early but a final checkpoint set was written":
+/// distinct from success (0), errors (1) and usage (2) so schedulers can
+/// requeue the job with --resume.
+constexpr int kExitInterrupted = 3;
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void handle_stop(int sig) { g_stop_signal = sig; }
+
+int run(int argc, char** argv) {
   Args args(argc, argv);
-  args.check_known(
-      {"steps", "report", "probe_plane", "checkpoint", "history", "pipelines"});
+  args.check_known({"steps", "report", "probe_plane", "checkpoint",
+                    "checkpoint-every", "resume", "max-walltime", "history",
+                    "pipelines"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
                  "       [--probe_plane=I] [--checkpoint=prefix] "
+                 "[--checkpoint-every=N]\n"
+                 "       [--resume[=prefix]] [--max-walltime=seconds] "
                  "[--history=csv] [--pipelines=N]\n";
     return 2;
   }
   const int steps = int(args.get_int("steps", 200));
   const int report = int(args.get_int("report", std::max(1, steps / 10)));
+  const double max_walltime = args.get_double("max-walltime", 0);
 
   sim::Deck deck = sim::load_deck_file(args.positional()[0]);
-  // CLI overrides the deck's [control] pipelines; both default to
+  // CLI overrides the deck's [control] settings; pipelines both default to
   // hardware-aware (0 = one pipeline per hardware thread).
   if (args.has("pipelines")) {
     deck.pipelines = int(args.get_int("pipelines", 0));
   }
+  if (args.has("checkpoint-every")) {
+    deck.checkpoint_every = int(args.get_int("checkpoint-every", 0));
+  }
+  const std::string ckpt_prefix =
+      args.get("checkpoint", args.positional()[0] + ".ckpt");
+  // `--resume` alone restores from the checkpoint prefix; `--resume=prefix`
+  // names another campaign's sets.
+  const bool resume = args.has("resume");
+  const std::string resume_prefix =
+      args.get("resume", "") == "true" ? ckpt_prefix : args.get("resume", "");
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   sim::Simulation sim(deck);
-  sim.initialize();
+  if (resume) {
+    sim::Checkpoint::restore(sim, resume_prefix);
+    std::cout << "resumed from " << resume_prefix << " at step "
+              << sim.step_index() << "\n";
+  } else {
+    sim.initialize();
+  }
   std::cout << "deck: " << args.positional()[0] << " — "
             << sim.global_particle_count() << " particles, dt = "
             << sim.local_grid().dt() << ", pipelines = " << sim.pipelines()
             << "\n\n";
+
+  sim::HealthMonitor health(sim, deck.health, ckpt_prefix);
 
   std::unique_ptr<sim::ReflectivityProbe> probe;
   if (args.has("probe_plane")) {
@@ -71,17 +122,48 @@ int main(int argc, char** argv) {
   Table table(probe ? std::vector<std::string>{"step", "time", "E_total",
                                                "reflectivity"}
                     : std::vector<std::string>{"step", "time", "E_total"});
-  for (int s = 1; s <= steps; ++s) {
+  bool interrupted = false;
+  // step_index, not a loop counter: a health rollback rewinds the clock and
+  // the loop must replay the rewound steps.
+  while (sim.step_index() < steps) {
     sim.step();
     if (probe) probe->sample();
     history.sample();
+    health.check();
+    const std::int64_t s = sim.step_index();
+    if (deck.checkpoint_every > 0 && s % deck.checkpoint_every == 0) {
+      sim::Checkpoint::save(sim, ckpt_prefix, deck.checkpoint_keep);
+    }
     if (s % report == 0) {
-      std::vector<Cell> row{(long long)sim.step_index(), sim.time(),
-                            sim.energies().total};
+      std::vector<Cell> row{(long long)s, sim.time(), sim.energies().total};
       if (probe) row.push_back(probe->reflectivity());
       table.add_row(std::move(row));
     }
+    if (g_stop_signal != 0) {
+      std::cerr << "\nsignal " << int(g_stop_signal)
+                << " received — writing final checkpoint set\n";
+      interrupted = true;
+      break;
+    }
+    if (max_walltime > 0) {
+      const std::chrono::duration<double> used =
+          std::chrono::steady_clock::now() - wall_start;
+      if (used.count() >= max_walltime) {
+        std::cerr << "\nwalltime budget (" << max_walltime
+                  << " s) exhausted — writing final checkpoint set\n";
+        interrupted = true;
+        break;
+      }
+    }
   }
+  if (interrupted) {
+    sim::Checkpoint::save(sim, ckpt_prefix, deck.checkpoint_keep);
+    std::cerr << "checkpoint set written at step " << sim.step_index()
+              << "; resume with --resume"
+              << (args.has("checkpoint") ? "=" + ckpt_prefix : "") << "\n";
+    return kExitInterrupted;
+  }
+
   table.print(std::cout, "run history");
   std::cout << "\nGauss residual: " << sim.gauss_error()
             << ", energy drift: " << 100 * history.worst_relative_drift()
@@ -91,10 +173,27 @@ int main(int argc, char** argv) {
             << " M particles/s\n";
 
   if (args.has("history")) history.write_csv(args.get("history", ""));
-  if (args.has("checkpoint")) {
-    sim::Checkpoint::save(sim, args.get("checkpoint", ""));
-    std::cout << "checkpoint written: " << args.get("checkpoint", "")
-              << ".rank0\n";
+  if (args.has("checkpoint") || deck.checkpoint_every > 0) {
+    sim::Checkpoint::save(sim, ckpt_prefix, deck.checkpoint_keep);
+    std::cout << "checkpoint set written: "
+              << sim::Checkpoint::set_path(ckpt_prefix, sim.step_index(), 0)
+              << "\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Exceptions must not escape as std::terminate: a long campaign's exit
+  // code is parsed by schedulers deciding whether to requeue.
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << "run_deck: error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "run_deck: unexpected error: " << e.what() << "\n";
+    return 1;
+  }
 }

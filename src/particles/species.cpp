@@ -27,6 +27,12 @@ void Species::add(const Particle& p) {
   storage_[np_++] = p;
 }
 
+void Species::assign(std::span<const Particle> src) {
+  reserve(src.size());
+  std::copy_n(src.data(), src.size(), storage_.data());
+  np_ = src.size();
+}
+
 void Species::remove(std::size_t idx) {
   MV_ASSERT(idx < np_);
   storage_[idx] = storage_[--np_];

@@ -36,6 +36,11 @@ class Species {
   /// Appends a particle, growing storage if needed.
   void add(const Particle& p);
 
+  /// Replaces the whole particle list with `src` in one copy. This is the
+  /// restart path: a per-particle add() loop is O(n) calls on
+  /// trillion-particle-scale restores, a bulk assign is one memcpy.
+  void assign(std::span<const Particle> src);
+
   /// Removes particle `idx` by swapping the last one into its slot.
   void remove(std::size_t idx);
 

@@ -1,20 +1,28 @@
 #include "sim/checkpoint.hpp"
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <sstream>
 
 #include "grid/halo.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace minivpic::sim {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4D56434Bu;  // "MVCK"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
-struct Header {
+// 52 checksummed bytes + the checksum itself. No implicit padding: every
+// field is naturally aligned.
+struct FileHeader {
   std::uint32_t magic = kMagic;
   std::uint32_t version = kVersion;
   std::int32_t rank = 0, nranks = 0;
@@ -22,7 +30,19 @@ struct Header {
   std::int32_t num_species = 0;
   std::int64_t step = 0;
   double time = 0;
+  std::uint32_t num_sections = 0;
+  std::uint32_t header_crc = 0;  ///< CRC of all preceding bytes
 };
+static_assert(sizeof(FileHeader) == 56, "packed header layout");
+
+struct SectionHeader {
+  std::uint32_t kind = 0;   ///< Checkpoint::kFieldSection / kSpeciesSection
+  std::uint32_t index = 0;  ///< component enum value / species index
+  std::uint64_t bytes = 0;  ///< payload length
+  std::uint32_t payload_crc = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(SectionHeader) == 24, "packed section header layout");
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -46,8 +66,8 @@ void read_bytes(std::istream& is, void* data, std::size_t bytes) {
                                                               << " bytes");
 }
 
-std::string rank_path(const std::string& prefix, int rank) {
-  return prefix + ".rank" + std::to_string(rank);
+std::uint32_t header_checksum(const FileHeader& h) {
+  return Crc32::of(&h, offsetof(FileHeader, header_crc));
 }
 
 const std::vector<grid::Component>& all_components() {
@@ -60,99 +80,404 @@ const std::vector<grid::Component>& all_components() {
   return comps;
 }
 
+// -- manifest -----------------------------------------------------------------
+//
+// Text format, one token pair per line:
+//   minivpic-checkpoint-manifest 2
+//   nranks <R>
+//   step <N>            (repeated, oldest first; each names a complete set)
+
+bool read_manifest(const std::string& path, int* nranks,
+                   std::vector<std::int64_t>* steps) {
+  std::ifstream is(path);
+  if (!is.good()) return false;
+  std::string tag;
+  int version = 0;
+  is >> tag >> version;
+  if (tag != "minivpic-checkpoint-manifest" || version != 2) return false;
+  is >> tag >> *nranks;
+  if (tag != "nranks" || *nranks < 1) return false;
+  steps->clear();
+  std::int64_t n = 0;
+  while (is >> tag >> n) {
+    if (tag != "step") return false;
+    steps->push_back(n);
+  }
+  return true;
+}
+
+void write_manifest(const std::string& path, int nranks,
+                    const std::vector<std::int64_t>& steps) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    MV_REQUIRE(os.good(), "cannot open checkpoint manifest for writing: "
+                              << tmp);
+    os << "minivpic-checkpoint-manifest 2\n";
+    os << "nranks " << nranks << "\n";
+    for (const std::int64_t s : steps) os << "step " << s << "\n";
+    os.flush();
+    MV_REQUIRE(os.good(), "checkpoint manifest write failed: " << tmp);
+  }
+  MV_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "cannot publish checkpoint manifest: " << path);
+}
+
+// -- staged (validate-before-commit) load -------------------------------------
+
+struct StagedSpecies {
+  std::string name;
+  double q = 0, m = 0;
+  std::vector<particles::Particle> parts;
+};
+
 }  // namespace
 
-void Checkpoint::save(const Simulation& sim, const std::string& prefix) {
-  const auto& g = sim.grid_;
-  std::ofstream os(rank_path(prefix, g.rank()), std::ios::binary);
-  MV_REQUIRE(os.good(), "cannot open checkpoint for writing: "
-                            << rank_path(prefix, g.rank()));
-  Header h;
-  h.rank = g.rank();
-  h.nranks = g.nranks();
-  h.nx = g.nx();
-  h.ny = g.ny();
-  h.nz = g.nz();
-  h.num_species = std::int32_t(sim.species_.size());
-  h.step = sim.step_;
-  h.time = sim.time_;
-  write_pod(os, h);
+/// Everything in one rank file, fully checksum-verified, held off to the
+/// side so a corrupt file can never leave a half-restored simulation.
+struct Checkpoint::Staged {
+  FileHeader h;
+  std::vector<std::vector<grid::real>> fields;  ///< all_components() order
+  std::vector<StagedSpecies> species;
+};
+
+namespace {
+
+void read_section_header(std::istream& is, std::uint32_t want_kind,
+                         std::uint32_t want_index, SectionHeader* sh) {
+  read_pod(is, sh);
+  MV_REQUIRE(sh->kind == want_kind && sh->index == want_index,
+             "checkpoint section out of order: expected kind "
+                 << want_kind << " index " << want_index << ", found kind "
+                 << sh->kind << " index " << sh->index);
+}
+
+/// Parses and checksum-verifies one rank file against the simulation's grid
+/// shape, rank layout and species table. Throws minivpic::Error on any
+/// corruption or mismatch; on success the returned state is complete.
+Checkpoint::Staged load_staged(const std::string& path,
+                               const grid::LocalGrid& g,
+                               const Simulation& sim) {
+  std::ifstream is(path, std::ios::binary);
+  MV_REQUIRE(is.good(), "cannot open checkpoint: " << path);
+
+  Checkpoint::Staged st;
+  FileHeader& h = st.h;
+  read_pod(is, &h);
+  MV_REQUIRE(h.magic == kMagic, "not a minivpic checkpoint: " << path);
+  MV_REQUIRE(h.header_crc == header_checksum(h),
+             "checkpoint header checksum mismatch: " << path);
+  MV_REQUIRE(h.version == kVersion, "unsupported checkpoint version "
+                                        << h.version << ": " << path);
+  MV_REQUIRE(h.rank == g.rank() && h.nranks == g.nranks(),
+             "checkpoint rank layout mismatch: " << path);
+  MV_REQUIRE(h.nx == g.nx() && h.ny == g.ny() && h.nz == g.nz(),
+             "checkpoint grid shape mismatch: " << path);
+  MV_REQUIRE(h.num_species == std::int32_t(sim.num_species()),
+             "checkpoint species count mismatch: " << path);
+  MV_REQUIRE(h.num_sections ==
+                 all_components().size() + std::size_t(h.num_species),
+             "checkpoint section count mismatch: " << path);
 
   const std::size_t nvox = std::size_t(g.num_voxels());
-  for (const grid::Component c : all_components()) {
-    write_bytes(os, grid::component_data(sim.fields_, c),
-                nvox * sizeof(grid::real));
+  st.fields.resize(all_components().size());
+  for (std::size_t c = 0; c < all_components().size(); ++c) {
+    SectionHeader sh;
+    read_section_header(is, Checkpoint::kFieldSection,
+                        std::uint32_t(all_components()[c]), &sh);
+    MV_REQUIRE(sh.bytes == nvox * sizeof(grid::real),
+               "checkpoint field section has wrong length: " << path);
+    st.fields[c].resize(nvox);
+    read_bytes(is, st.fields[c].data(), sh.bytes);
+    MV_REQUIRE(Crc32::of(st.fields[c].data(), sh.bytes) == sh.payload_crc,
+               "checkpoint field section " << c << " checksum mismatch: "
+                                           << path);
   }
 
-  for (const auto& sp : sim.species_) {
-    const std::uint32_t name_len = std::uint32_t(sp->name().size());
-    write_pod(os, name_len);
-    write_bytes(os, sp->name().data(), name_len);
-    write_pod(os, sp->q());
-    write_pod(os, sp->m());
-    const std::uint64_t np = sp->size();
-    write_pod(os, np);
-    write_bytes(os, sp->data(), np * sizeof(particles::Particle));
+  for (std::int32_t s = 0; s < h.num_species; ++s) {
+    SectionHeader sh;
+    read_section_header(is, Checkpoint::kSpeciesSection, std::uint32_t(s),
+                        &sh);
+    std::vector<char> payload(sh.bytes);
+    read_bytes(is, payload.data(), sh.bytes);
+    MV_REQUIRE(Crc32::of(payload.data(), sh.bytes) == sh.payload_crc,
+               "checkpoint species section " << s << " checksum mismatch: "
+                                             << path);
+    // Parse the verified payload: name_len, name, q, m, np, particles.
+    std::istringstream ps(std::string(payload.data(), payload.size()),
+                          std::ios::binary);
+    StagedSpecies sp;
+    std::uint32_t name_len = 0;
+    read_pod(ps, &name_len);
+    MV_REQUIRE(name_len < 4096, "implausible species name length: " << path);
+    sp.name.assign(name_len, '\0');
+    read_bytes(ps, sp.name.data(), name_len);
+    read_pod(ps, &sp.q);
+    read_pod(ps, &sp.m);
+    std::uint64_t np = 0;
+    read_pod(ps, &np);
+    const auto& deck_sp = sim.species(std::size_t(s));
+    MV_REQUIRE(sp.name == deck_sp.name() && sp.q == deck_sp.q() &&
+                   sp.m == deck_sp.m(),
+               "checkpoint species '" << sp.name
+                                      << "' does not match deck species '"
+                                      << deck_sp.name() << "'");
+    MV_REQUIRE(sh.bytes == 4u + name_len + 8u + 8u + 8u +
+                               np * sizeof(particles::Particle),
+               "checkpoint species section length inconsistent: " << path);
+    sp.parts.resize(np);
+    read_bytes(ps, sp.parts.data(), np * sizeof(particles::Particle));
+    for (const auto& p : sp.parts) {
+      const auto c = g.voxel_coords(p.i);
+      MV_REQUIRE(g.is_interior(c[0], c[1], c[2]),
+                 "checkpoint particle in non-interior voxel " << p.i);
+    }
+    st.species.push_back(std::move(sp));
   }
-  MV_REQUIRE(os.good(), "checkpoint write failed");
+  return st;
+}
+
+/// Writes one rank file to `<final>.tmp`, flushes, and atomically renames it
+/// into place. Throws on any I/O failure (the temp file is removed).
+void write_rank_file(const Simulation& sim, const std::string& final_path) {
+  const auto& g = sim.local_grid();
+  const std::string tmp = final_path + ".tmp";
+  try {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    MV_REQUIRE(os.good(), "cannot open checkpoint for writing: " << tmp);
+
+    FileHeader h;
+    h.rank = g.rank();
+    h.nranks = g.nranks();
+    h.nx = g.nx();
+    h.ny = g.ny();
+    h.nz = g.nz();
+    h.num_species = std::int32_t(sim.num_species());
+    h.step = sim.step_index();
+    h.time = sim.time();
+    h.num_sections =
+        std::uint32_t(all_components().size() + sim.num_species());
+    h.header_crc = header_checksum(h);
+    write_pod(os, h);
+
+    const std::size_t nvox = std::size_t(g.num_voxels());
+    for (const grid::Component c : all_components()) {
+      const grid::real* data = grid::component_data(sim.fields(), c);
+      SectionHeader sh;
+      sh.kind = Checkpoint::kFieldSection;
+      sh.index = std::uint32_t(c);
+      sh.bytes = nvox * sizeof(grid::real);
+      sh.payload_crc = Crc32::of(data, sh.bytes);
+      write_pod(os, sh);
+      write_bytes(os, data, sh.bytes);
+    }
+
+    for (std::size_t s = 0; s < sim.num_species(); ++s) {
+      const auto& sp = sim.species(s);
+      const std::uint32_t name_len = std::uint32_t(sp.name().size());
+      const double q = sp.q(), m = sp.m();
+      const std::uint64_t np = sp.size();
+      const std::uint64_t part_bytes = np * sizeof(particles::Particle);
+
+      SectionHeader sh;
+      sh.kind = Checkpoint::kSpeciesSection;
+      sh.index = std::uint32_t(s);
+      sh.bytes = 4u + name_len + 8u + 8u + 8u + part_bytes;
+      Crc32 crc;  // streamed: no assembled copy of the particle list
+      crc.update(&name_len, sizeof name_len);
+      crc.update(sp.name().data(), name_len);
+      crc.update(&q, sizeof q);
+      crc.update(&m, sizeof m);
+      crc.update(&np, sizeof np);
+      crc.update(sp.data(), part_bytes);
+      sh.payload_crc = crc.value();
+      write_pod(os, sh);
+      write_pod(os, name_len);
+      write_bytes(os, sp.name().data(), name_len);
+      write_pod(os, q);
+      write_pod(os, m);
+      write_pod(os, np);
+      write_bytes(os, sp.data(), part_bytes);
+    }
+    os.flush();
+    MV_REQUIRE(os.good(), "checkpoint write failed: " << tmp);
+    os.close();
+    MV_REQUIRE(std::rename(tmp.c_str(), final_path.c_str()) == 0,
+               "cannot publish checkpoint file: " << final_path);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace
+
+std::string Checkpoint::set_path(const std::string& prefix, std::int64_t step,
+                                 int rank) {
+  return prefix + ".step" + std::to_string(step) + ".rank" +
+         std::to_string(rank);
+}
+
+std::string Checkpoint::manifest_path(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+std::vector<std::int64_t> Checkpoint::manifest_steps(
+    const std::string& prefix) {
+  int nranks = 0;
+  std::vector<std::int64_t> steps;
+  if (!read_manifest(manifest_path(prefix), &nranks, &steps)) return {};
+  return steps;
+}
+
+std::int64_t Checkpoint::latest_step(const std::string& prefix) {
+  const auto steps = manifest_steps(prefix);
+  return steps.empty() ? -1 : steps.back();
+}
+
+void Checkpoint::remove_all(const std::string& prefix, int nranks) {
+  int manifest_nranks = nranks;
+  std::vector<std::int64_t> steps;
+  read_manifest(manifest_path(prefix), &manifest_nranks, &steps);
+  for (const std::int64_t s : steps)
+    for (int r = 0; r < std::max(nranks, manifest_nranks); ++r)
+      std::remove(set_path(prefix, s, r).c_str());
+  std::remove(manifest_path(prefix).c_str());
+}
+
+std::vector<Checkpoint::SectionInfo> Checkpoint::sections(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MV_REQUIRE(is.good(), "cannot open checkpoint: " << path);
+  FileHeader h;
+  read_pod(is, &h);
+  MV_REQUIRE(h.magic == kMagic, "not a minivpic checkpoint: " << path);
+  MV_REQUIRE(h.header_crc == header_checksum(h),
+             "checkpoint header checksum mismatch: " << path);
+  std::vector<SectionInfo> out;
+  for (std::uint32_t i = 0; i < h.num_sections; ++i) {
+    SectionHeader sh;
+    read_pod(is, &sh);
+    SectionInfo info;
+    info.kind = sh.kind;
+    info.index = sh.index;
+    info.offset = std::uint64_t(is.tellg());
+    info.bytes = sh.bytes;
+    out.push_back(info);
+    is.seekg(std::streamoff(sh.bytes), std::ios::cur);
+    MV_REQUIRE(is.good(), "checkpoint truncated in section table: " << path);
+  }
+  return out;
+}
+
+void Checkpoint::save(const Simulation& sim, const std::string& prefix,
+                      int keep) {
+  MV_REQUIRE(keep >= 1, "checkpoint rotation must keep at least one set");
+  const auto& g = sim.local_grid();
+  const std::int64_t step = sim.step_index();
+
+  // Phase 1: every rank writes its own file durably (temp + atomic rename).
+  int ok = 1;
+  std::exception_ptr local_failure;
+  try {
+    write_rank_file(sim, set_path(prefix, step, g.rank()));
+  } catch (...) {
+    ok = 0;
+    local_failure = std::current_exception();
+  }
+
+  // Phase 2: cross-rank agreement — the set exists only if every rank's
+  // file landed. The manifest is untouched on failure, so the previous
+  // complete set remains the restore target.
+  vmpi::Comm* comm = sim.comm_;
+  if (comm != nullptr) ok = comm->allreduce_value(ok, vmpi::Op::kMin);
+  if (ok != 1) {
+    std::remove(set_path(prefix, step, g.rank()).c_str());
+    if (local_failure) std::rethrow_exception(local_failure);
+    MV_REQUIRE(false, "checkpoint set at step "
+                          << step << " failed on another rank");
+  }
+
+  // Phase 3: rank 0 publishes the set in the manifest and prunes rotations
+  // beyond `keep`; everyone else waits so no rank races ahead into the next
+  // save while the manifest is mid-update.
+  if (g.rank() == 0) {
+    int manifest_nranks = g.nranks();
+    std::vector<std::int64_t> steps;
+    read_manifest(manifest_path(prefix), &manifest_nranks, &steps);
+    std::erase(steps, step);  // re-saving a step replaces it
+    steps.push_back(step);
+    while (steps.size() > std::size_t(keep)) {
+      const std::int64_t dropped = steps.front();
+      steps.erase(steps.begin());
+      for (int r = 0; r < g.nranks(); ++r)
+        std::remove(set_path(prefix, dropped, r).c_str());
+    }
+    write_manifest(manifest_path(prefix), g.nranks(), steps);
+  }
+  if (comm != nullptr) comm->barrier();
+}
+
+void Checkpoint::commit(Simulation& sim, Staged&& st) {
+  const std::size_t nvox = std::size_t(sim.grid_.num_voxels());
+  for (std::size_t c = 0; c < all_components().size(); ++c)
+    std::memcpy(grid::component_data(sim.fields_, all_components()[c]),
+                st.fields[c].data(), nvox * sizeof(grid::real));
+  for (std::size_t s = 0; s < sim.species_.size(); ++s)
+    sim.species_[s]->assign(st.species[s].parts);
+  sim.step_ = st.h.step;
+  sim.time_ = st.h.time;
+  sim.solver_.refresh_all(sim.fields_);
+  sim.solver_.boundary().capture(sim.fields_);
+  sim.initialized_ = true;
+}
+
+void Checkpoint::restore_step(Simulation& sim, const std::string& prefix,
+                              std::int64_t step) {
+  MV_REQUIRE(!sim.initialized_, "restore into an initialized simulation");
+  commit(sim,
+         load_staged(set_path(prefix, step, sim.grid_.rank()), sim.grid_, sim));
 }
 
 void Checkpoint::restore(Simulation& sim, const std::string& prefix) {
   MV_REQUIRE(!sim.initialized_, "restore into an initialized simulation");
-  const auto& g = sim.grid_;
-  std::ifstream is(rank_path(prefix, g.rank()), std::ios::binary);
-  MV_REQUIRE(is.good(), "cannot open checkpoint: "
-                            << rank_path(prefix, g.rank()));
-  Header h;
-  read_pod(is, &h);
-  MV_REQUIRE(h.magic == kMagic, "not a minivpic checkpoint");
-  MV_REQUIRE(h.version == kVersion, "unsupported checkpoint version "
-                                        << h.version);
-  MV_REQUIRE(h.rank == g.rank() && h.nranks == g.nranks(),
-             "checkpoint rank layout mismatch");
-  MV_REQUIRE(h.nx == g.nx() && h.ny == g.ny() && h.nz == g.nz(),
-             "checkpoint grid shape mismatch");
-  MV_REQUIRE(h.num_species == std::int32_t(sim.species_.size()),
-             "checkpoint species count mismatch");
+  auto steps = manifest_steps(prefix);
+  MV_REQUIRE(!steps.empty(),
+             "no checkpoint manifest for prefix: " << prefix);
 
-  const std::size_t nvox = std::size_t(g.num_voxels());
-  for (const grid::Component c : all_components()) {
-    read_bytes(is, grid::component_data(sim.fields_, c),
-               nvox * sizeof(grid::real));
-  }
-
-  for (auto& sp : sim.species_) {
-    std::uint32_t name_len = 0;
-    read_pod(is, &name_len);
-    MV_REQUIRE(name_len < 4096, "implausible species name length");
-    std::string name(name_len, '\0');
-    read_bytes(is, name.data(), name_len);
-    double q = 0, m = 0;
-    read_pod(is, &q);
-    read_pod(is, &m);
-    MV_REQUIRE(name == sp->name() && q == sp->q() && m == sp->m(),
-               "checkpoint species '" << name
-                                      << "' does not match deck species '"
-                                      << sp->name() << "'");
-    std::uint64_t np = 0;
-    read_pod(is, &np);
-    sp->clear();
-    sp->reserve(np);
-    std::vector<particles::Particle> buf(np);
-    read_bytes(is, buf.data(), np * sizeof(particles::Particle));
-    for (const auto& p : buf) {
-      const auto c = g.voxel_coords(p.i);
-      MV_REQUIRE(g.is_interior(c[0], c[1], c[2]),
-                 "checkpoint particle in non-interior voxel " << p.i);
-      sp->add(p);
+  // Newest to oldest; a set is used only when *every* rank validated its
+  // file, so all ranks fall back together on a partially corrupt set.
+  std::string last_error;
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    int ok = 1;
+    Staged st;
+    try {
+      st = load_staged(set_path(prefix, *it, sim.grid_.rank()), sim.grid_,
+                       sim);
+    } catch (const Error& e) {
+      ok = 0;
+      last_error = e.what();
     }
+    if (sim.comm_ != nullptr)
+      ok = sim.comm_->allreduce_value(ok, vmpi::Op::kMin);
+    if (ok == 1) {
+      commit(sim, std::move(st));
+      return;
+    }
+    MV_LOG_WARN << "checkpoint set at step " << *it
+                << " rejected, falling back to an older rotation"
+                << (last_error.empty() ? "" : ": ") << last_error;
   }
+  MV_REQUIRE(false, "no restorable checkpoint set under prefix '"
+                        << prefix << "' — last failure: " << last_error);
+}
 
-  sim.step_ = h.step;
-  sim.time_ = h.time;
-  sim.solver_.refresh_all(sim.fields_);
-  sim.solver_.boundary().capture(sim.fields_);
-  sim.initialized_ = true;
+void Checkpoint::rollback(Simulation& sim, const std::string& prefix) {
+  // Rollback overwrites every piece of state restore() touches, so an
+  // initialized simulation is a legal target; drop the guard flag and run
+  // the same manifest walk.
+  sim.initialized_ = false;
+  restore(sim, prefix);
 }
 
 }  // namespace minivpic::sim

@@ -1,13 +1,30 @@
-// Checkpoint / restart: binary per-rank snapshots of the full simulation
-// state (fields, particles, step counter).
+// Checkpoint / restart: durable, checksummed per-rank snapshots of the full
+// simulation state (fields, particles, step counter), with rotation of the
+// last K snapshot sets and automatic fallback to an older set on corruption.
+//
+// Format v2 (see docs/ARCHITECTURE.md "Resilience" for the layout diagram):
+//   <prefix>.step<N>.rank<R>   one file per rank per snapshot step
+//   <prefix>.manifest          text file naming every *complete* set
+//
+// Each rank file is a CRC-checked header followed by length-prefixed,
+// CRC-closed sections (one per field component, one per species). Files are
+// written to a temp name, flushed, and atomically renamed; the manifest is
+// only updated — by rank 0, after a cross-rank agreement that every rank's
+// file landed — once the whole set is durable. A crash at any point leaves
+// the previous manifest (and the sets it names) intact.
 //
 // Restore contract: construct a Simulation from the same deck and rank
 // decomposition, then call Checkpoint::restore() *instead of* initialize().
-// Mur boundary history is re-captured from the restored fields (a one-step
-// transient at absorbing walls, documented and negligible in practice).
+// restore() verifies every checksum before touching the simulation, and
+// walks the manifest newest-to-oldest (all ranks agreeing on the step) until
+// a fully valid set is found. Mur boundary history is re-captured from the
+// restored fields (a one-step transient at absorbing walls, documented and
+// negligible in practice).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/simulation.hpp"
 
@@ -15,14 +32,69 @@ namespace minivpic::sim {
 
 class Checkpoint {
  public:
-  /// Writes `<prefix>.rank<R>` for this rank.
-  static void save(const Simulation& sim, const std::string& prefix);
+  /// Writes this rank's `<prefix>.step<N>.rank<R>` (N = current step) via
+  /// temp-file + atomic rename, then — once every rank has succeeded —
+  /// updates the manifest and prunes rotations beyond `keep`. Collective
+  /// over the simulation's communicator; throws on every rank if any rank's
+  /// write failed.
+  static void save(const Simulation& sim, const std::string& prefix,
+                   int keep = 2);
 
-  /// Restores this rank's state from `<prefix>.rank<R>`. The simulation
-  /// must be freshly constructed (not initialized). Validates grid shape,
-  /// rank layout and species identity against the deck; throws on mismatch
-  /// or a corrupt/truncated file.
+  /// Restores this rank's state from the newest complete set under `prefix`,
+  /// falling back to older rotations (in cross-rank agreement) when a file
+  /// is corrupt, truncated, or missing. The simulation must be freshly
+  /// constructed (not initialized). Validates grid shape, rank layout and
+  /// species identity against the deck; throws when no set is restorable.
   static void restore(Simulation& sim, const std::string& prefix);
+
+  /// Restores one specific snapshot step, no fallback.
+  static void restore_step(Simulation& sim, const std::string& prefix,
+                           std::int64_t step);
+
+  /// Restore into a *running* simulation: the rollback path of
+  /// sim::HealthMonitor. Same fallback walk as restore(), but permitted on
+  /// an initialized simulation (all state is overwritten).
+  static void rollback(Simulation& sim, const std::string& prefix);
+
+  // -- set / manifest introspection ----------------------------------------
+
+  /// Path of one rank file: `<prefix>.step<N>.rank<R>`.
+  static std::string set_path(const std::string& prefix, std::int64_t step,
+                              int rank);
+  static std::string manifest_path(const std::string& prefix);
+
+  /// Steps of the complete sets named by the manifest, oldest first.
+  /// Empty when there is no manifest.
+  static std::vector<std::int64_t> manifest_steps(const std::string& prefix);
+
+  /// Newest complete step, or -1 when none exists.
+  static std::int64_t latest_step(const std::string& prefix);
+
+  /// Deletes the manifest and every rank file of every set it names.
+  static void remove_all(const std::string& prefix, int nranks = 1);
+
+  /// One section of a rank file, for integrity tools and fault injection.
+  struct SectionInfo {
+    std::uint32_t kind = 0;       ///< kFieldSection or kSpeciesSection
+    std::uint32_t index = 0;      ///< component enum value / species index
+    std::uint64_t offset = 0;     ///< file offset of the payload
+    std::uint64_t bytes = 0;      ///< payload length
+  };
+  static constexpr std::uint32_t kFieldSection = 1;
+  static constexpr std::uint32_t kSpeciesSection = 2;
+
+  /// Walks the section table of one rank file (header must be intact;
+  /// payload checksums are NOT verified here).
+  static std::vector<SectionInfo> sections(const std::string& path);
+
+  /// Implementation detail (public so the file-local loader in
+  /// checkpoint.cpp can produce it): one rank file's fully verified
+  /// contents, held off to the side until commit.
+  struct Staged;
+
+ private:
+  /// Installs verified state into the simulation and re-derives solver state.
+  static void commit(Simulation& sim, Staged&& staged);
 };
 
 }  // namespace minivpic::sim

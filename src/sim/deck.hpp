@@ -35,6 +35,31 @@ struct CollisionSpec {
   int period = 10;
 };
 
+/// What sim::HealthMonitor does when a fault (NaN/Inf state, energy
+/// blow-up, particle-loss anomaly) is detected.
+enum class HealthPolicy {
+  kAbort,     ///< log a final diagnostic dump and throw minivpic::Error
+  kRollback,  ///< restore the last good checkpoint once; abort if the fault
+              ///< recurs within `rollback_window` steps
+  kWarn,      ///< log and keep running
+};
+
+/// Runtime health-sentinel configuration (see sim/health.hpp). All
+/// thresholds are global (reduced across ranks).
+struct HealthConfig {
+  int period = 0;  ///< steps between scans; 0 disables the monitor
+  /// Fault when global total energy exceeds this multiple of the reference
+  /// energy captured at the first scan. <= 0 disables the energy check.
+  double max_energy_growth = 100.0;
+  /// Fault when the global particle count drops below (1 - this fraction)
+  /// of the reference count. Absorbing walls lose particles legitimately;
+  /// tune per deck. >= 1 disables the check.
+  double max_particle_loss = 0.5;
+  HealthPolicy policy = HealthPolicy::kAbort;
+  /// After a rollback, a fault recurring within this many steps aborts.
+  int rollback_window = 100;
+};
+
 struct Deck {
   grid::GlobalGrid grid;
   particles::ParticleBcSpec particle_bc = particles::periodic_particles();
@@ -51,6 +76,11 @@ struct Deck {
 
   int sort_period = 20;   ///< steps between particle sorts (0 = never)
   int clean_period = 0;   ///< steps between Marder cleanings (0 = never)
+  /// Steps between periodic checkpoint sets (0 = only on demand). The
+  /// front ends honor this; the library never checkpoints on its own.
+  int checkpoint_every = 0;
+  int checkpoint_keep = 2;  ///< rotated snapshot sets retained on disk
+  HealthConfig health;      ///< runtime health sentinels (default: off)
   int clean_passes = 2;   ///< Marder passes per cleaning
   /// Marder relaxation passes applied at initialization to settle E toward
   /// the sampled charge density (a cheap Poisson-solve substitute that

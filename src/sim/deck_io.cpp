@@ -217,7 +217,10 @@ Deck parse_deck(std::istream& in) {
       deck.laser = lc;
     } else if (kind == "control") {
       check_known(s, {"sort_period", "clean_period", "clean_passes",
-                      "init_settle_passes", "collision_seed", "pipelines"});
+                      "init_settle_passes", "collision_seed", "pipelines",
+                      "checkpoint_every", "checkpoint_keep", "health_period",
+                      "health_policy", "health_max_energy_growth",
+                      "health_max_particle_loss", "health_rollback_window"});
       deck.sort_period = to_int(s, "sort_period", 20);
       // Deck files are the production front end: default to hardware-aware
       // (0 = one pipeline per hardware thread). Programmatic decks keep the
@@ -227,6 +230,34 @@ Deck parse_deck(std::istream& in) {
       deck.clean_passes = to_int(s, "clean_passes", 2);
       deck.init_settle_passes = to_int(s, "init_settle_passes", 0);
       deck.collision_seed = std::uint64_t(to_double(s, "collision_seed", 777));
+      deck.checkpoint_every = to_int(s, "checkpoint_every", 0);
+      deck.checkpoint_keep = to_int(s, "checkpoint_keep", 2);
+      MV_REQUIRE(deck.checkpoint_every >= 0 && deck.checkpoint_keep >= 1,
+                 "deck [control]: invalid checkpoint cadence");
+      deck.health.period = to_int(s, "health_period", 0);
+      MV_REQUIRE(deck.health.period >= 0,
+                 "deck [control]: health_period must be >= 0");
+      deck.health.max_energy_growth =
+          to_double(s, "health_max_energy_growth",
+                    deck.health.max_energy_growth);
+      deck.health.max_particle_loss =
+          to_double(s, "health_max_particle_loss",
+                    deck.health.max_particle_loss);
+      deck.health.rollback_window =
+          to_int(s, "health_rollback_window", deck.health.rollback_window);
+      if (const auto it = s.values.find("health_policy");
+          it != s.values.end()) {
+        if (it->second == "abort") {
+          deck.health.policy = HealthPolicy::kAbort;
+        } else if (it->second == "rollback") {
+          deck.health.policy = HealthPolicy::kRollback;
+        } else if (it->second == "warn") {
+          deck.health.policy = HealthPolicy::kWarn;
+        } else {
+          MV_REQUIRE(false, "deck [control] health_policy: unknown policy '"
+                                << it->second << "'");
+        }
+      }
     } else if (kind == "collision") {
       check_known(s, {"nu_scale", "period"});
       CollisionSpec cs;

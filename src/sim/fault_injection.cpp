@@ -1,0 +1,107 @@
+#include "sim/fault_injection.hpp"
+
+#include <fstream>
+#include <limits>
+
+#include "sim/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::sim {
+
+void FaultInjector::poison_field(Simulation& sim, grid::Component component,
+                                 std::int32_t voxel) {
+  const auto& g = sim.local_grid();
+  if (voxel < 0) voxel = g.voxel(1, 1, 1);
+  MV_REQUIRE(voxel < g.num_voxels(), "fault voxel out of range");
+  grid::component_data(sim.fields(), component)[voxel] =
+      std::numeric_limits<grid::real>::quiet_NaN();
+}
+
+void FaultInjector::poison_particle(Simulation& sim,
+                                    std::size_t species_index,
+                                    std::size_t index) {
+  MV_REQUIRE(species_index < sim.num_species(),
+             "fault species index out of range");
+  auto& sp = sim.species(species_index);
+  MV_REQUIRE(index < sp.size(), "fault particle index out of range");
+  sp[index].ux = std::numeric_limits<float>::quiet_NaN();
+}
+
+void FaultInjector::schedule_field_nan(std::int64_t step,
+                                       grid::Component component,
+                                       std::int32_t voxel) {
+  ScheduledFault f;
+  f.step = step;
+  f.field = true;
+  f.component = component;
+  f.voxel = voxel;
+  scheduled_.push_back(f);
+}
+
+void FaultInjector::schedule_particle_nan(std::int64_t step,
+                                          std::size_t species_index,
+                                          std::size_t index) {
+  ScheduledFault f;
+  f.step = step;
+  f.field = false;
+  f.species_index = species_index;
+  f.particle_index = index;
+  scheduled_.push_back(f);
+}
+
+int FaultInjector::apply_due(Simulation& sim) const {
+  int fired = 0;
+  for (const ScheduledFault& f : scheduled_) {
+    if (f.step != sim.step_index()) continue;
+    if (f.field) {
+      poison_field(sim, f.component, f.voxel);
+    } else {
+      poison_particle(sim, f.species_index, f.particle_index);
+    }
+    ++fired;
+  }
+  return fired;
+}
+
+void FaultInjector::truncate_file(const std::string& path,
+                                  std::uint64_t keep_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  MV_REQUIRE(in.good(), "cannot open file to truncate: " << path);
+  std::vector<char> head(keep_bytes);
+  in.read(head.data(), std::streamsize(keep_bytes));
+  MV_REQUIRE(in.gcount() == std::streamsize(keep_bytes),
+             "file shorter than requested truncation: " << path);
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(head.data(), std::streamsize(keep_bytes));
+  MV_REQUIRE(out.good(), "truncate rewrite failed: " << path);
+}
+
+void FaultInjector::flip_bit(const std::string& path, std::uint64_t offset,
+                             int bit) {
+  MV_REQUIRE(bit >= 0 && bit < 8, "bit index must be in [0, 8)");
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  MV_REQUIRE(f.good(), "cannot open file to corrupt: " << path);
+  f.seekg(std::streamoff(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  MV_REQUIRE(f.good(), "corruption offset beyond end of file: " << path);
+  byte = char(byte ^ (1 << bit));
+  f.seekp(std::streamoff(offset));
+  f.write(&byte, 1);
+  MV_REQUIRE(f.good(), "bit-flip write failed: " << path);
+}
+
+void FaultInjector::corrupt_section(const std::string& path,
+                                    std::uint32_t kind, std::uint32_t index) {
+  for (const auto& s : Checkpoint::sections(path)) {
+    if (s.kind != kind || s.index != index) continue;
+    MV_REQUIRE(s.bytes > 0, "cannot corrupt an empty section");
+    flip_bit(path, s.offset + s.bytes / 2, 3);
+    return;
+  }
+  MV_REQUIRE(false, "no section kind " << kind << " index " << index
+                                       << " in " << path);
+}
+
+}  // namespace minivpic::sim

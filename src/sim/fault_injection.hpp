@@ -1,0 +1,79 @@
+// Test-only fault injection: the proof harness for the resilience layer.
+//
+// Two families of fault, matching the two defenses under test:
+//  * Runtime state corruption — plant a NaN in a field component or a
+//    particle momentum at a scheduled step, and verify sim::HealthMonitor
+//    catches it within its scan period and applies the configured policy.
+//  * Stored-checkpoint corruption — truncate a file or flip a bit inside a
+//    chosen section of a written set, and verify Checkpoint::restore rejects
+//    it by checksum and falls back to an older rotation.
+//
+// Linked into the library so the `resilience` test binary and ad-hoc drills
+// can use it, but nothing in the production path calls it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/halo.hpp"
+#include "sim/simulation.hpp"
+
+namespace minivpic::sim {
+
+class FaultInjector {
+ public:
+  // -- runtime faults -----------------------------------------------------
+
+  /// Writes a quiet NaN into `component` at `voxel` (default: the rank's
+  /// first interior voxel).
+  static void poison_field(Simulation& sim, grid::Component component,
+                           std::int32_t voxel = -1);
+
+  /// Sets particle `index` of species `species_index` to NaN momentum.
+  static void poison_particle(Simulation& sim, std::size_t species_index,
+                              std::size_t index = 0);
+
+  /// Schedules a field NaN to be planted when apply_due() sees `step`.
+  void schedule_field_nan(std::int64_t step, grid::Component component,
+                          std::int32_t voxel = -1);
+
+  /// Schedules a particle-momentum NaN likewise.
+  void schedule_particle_nan(std::int64_t step, std::size_t species_index,
+                             std::size_t index = 0);
+
+  /// Call once per loop iteration: plants every fault scheduled for the
+  /// simulation's current step. Returns how many fired. Faults stay
+  /// scheduled (a rolled-back run re-encounters them — exactly the
+  /// recurrence the rollback window must catch).
+  int apply_due(Simulation& sim) const;
+
+  // -- stored-checkpoint corruption ---------------------------------------
+
+  /// Truncates `path` to its first `keep_bytes` bytes.
+  static void truncate_file(const std::string& path,
+                            std::uint64_t keep_bytes);
+
+  /// Flips one bit of the byte at `offset`.
+  static void flip_bit(const std::string& path, std::uint64_t offset,
+                       int bit = 0);
+
+  /// Flips a bit in the middle of the payload of the first section matching
+  /// (kind, index) — see Checkpoint::kFieldSection / kSpeciesSection.
+  /// Throws if the file has no such section.
+  static void corrupt_section(const std::string& path, std::uint32_t kind,
+                              std::uint32_t index);
+
+ private:
+  struct ScheduledFault {
+    std::int64_t step = 0;
+    bool field = true;
+    grid::Component component{};
+    std::int32_t voxel = -1;
+    std::size_t species_index = 0;
+    std::size_t particle_index = 0;
+  };
+  std::vector<ScheduledFault> scheduled_;
+};
+
+}  // namespace minivpic::sim

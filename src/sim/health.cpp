@@ -1,0 +1,165 @@
+#include "sim/health.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "grid/halo.hpp"
+#include "sim/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace minivpic::sim {
+
+namespace {
+
+const std::vector<grid::Component>& all_components() {
+  static const std::vector<grid::Component> comps = [] {
+    auto c = grid::em_components();
+    const auto src = grid::source_components();
+    c.insert(c.end(), src.begin(), src.end());
+    return c;
+  }();
+  return comps;
+}
+
+std::int64_t count_nonfinite_fields(const Simulation& sim) {
+  const std::int64_t nvox = sim.local_grid().num_voxels();
+  std::int64_t bad = 0;
+  for (const grid::Component c : all_components()) {
+    const grid::real* data = grid::component_data(sim.fields(), c);
+    for (std::int64_t v = 0; v < nvox; ++v)
+      if (!std::isfinite(data[v])) ++bad;
+  }
+  return bad;
+}
+
+std::int64_t count_nonfinite_particles(const Simulation& sim) {
+  std::int64_t bad = 0;
+  for (std::size_t s = 0; s < sim.num_species(); ++s) {
+    for (const auto& p : sim.species(s).particles())
+      if (!std::isfinite(p.ux) || !std::isfinite(p.uy) ||
+          !std::isfinite(p.uz))
+        ++bad;
+  }
+  return bad;
+}
+
+}  // namespace
+
+std::string HealthReport::describe() const {
+  std::ostringstream os;
+  os << "health@step " << step << ": " << (ok() ? "OK" : "FAULT");
+  if (nan_fault)
+    os << " [non-finite: " << nan_field_values << " field values, "
+       << nan_particles << " particle momenta]";
+  if (energy_fault)
+    os << " [energy " << energy_total << " vs reference " << energy_ref
+       << "]";
+  if (particle_fault)
+    os << " [particles " << particles << " vs reference " << particles_ref
+       << "]";
+  if (ok())
+    os << " (energy " << energy_total << ", particles " << particles << ")";
+  return os.str();
+}
+
+HealthMonitor::HealthMonitor(Simulation& sim, const HealthConfig& config,
+                             std::string checkpoint_prefix)
+    : sim_(&sim),
+      config_(config),
+      checkpoint_prefix_(std::move(checkpoint_prefix)) {
+  MV_REQUIRE(config_.period >= 0, "health period must be >= 0");
+  if (config_.period > 0) {
+    energy_ref_ = sim.energies().total;
+    particles_ref_ = sim.global_particle_count();
+  }
+}
+
+bool HealthMonitor::due() const {
+  return config_.period > 0 && sim_->step_index() > 0 &&
+         sim_->step_index() % config_.period == 0;
+}
+
+const HealthReport& HealthMonitor::scan() {
+  HealthReport r;
+  r.step = sim_->step_index();
+
+  // Local non-finite scans, then one global verdict per quantity so every
+  // rank agrees on the outcome (a NaN near a rank boundary may be visible
+  // to only one rank until the next halo exchange).
+  std::int64_t counts[2] = {count_nonfinite_fields(*sim_),
+                            count_nonfinite_particles(*sim_)};
+  if (auto* comm = sim_->comm()) {
+    comm->allreduce(std::span<std::int64_t>(counts, 2), vmpi::Op::kSum);
+  }
+  r.nan_field_values = counts[0];
+  r.nan_particles = counts[1];
+  r.nan_fault = counts[0] > 0 || counts[1] > 0;
+
+  // energies() and global_particle_count() are themselves collective.
+  r.energy_total = sim_->energies().total;
+  r.energy_ref = energy_ref_;
+  r.particles = sim_->global_particle_count();
+  r.particles_ref = particles_ref_;
+  if (!std::isfinite(r.energy_total)) r.nan_fault = true;
+  if (config_.max_energy_growth > 0 && energy_ref_ > 0 &&
+      r.energy_total > config_.max_energy_growth * energy_ref_)
+    r.energy_fault = true;
+  if (config_.max_particle_loss < 1.0 && particles_ref_ > 0 &&
+      double(r.particles) <
+          (1.0 - config_.max_particle_loss) * double(particles_ref_))
+    r.particle_fault = true;
+
+  report_ = r;
+  return report_;
+}
+
+void HealthMonitor::abort_run(const std::string& why) {
+  // Final diagnostic dump: everything a post-mortem needs to locate the
+  // fault without re-running the campaign.
+  MV_LOG_ERROR << "health monitor aborting: " << why;
+  MV_LOG_ERROR << report_.describe();
+  MV_LOG_ERROR << "step " << sim_->step_index() << ", time " << sim_->time()
+               << ", last good checkpoint step "
+               << (checkpoint_prefix_.empty()
+                       ? -1
+                       : Checkpoint::latest_step(checkpoint_prefix_));
+  MV_REQUIRE(false, "health fault: " << why << " — " << report_.describe());
+}
+
+HealthMonitor::Action HealthMonitor::check() {
+  if (!due()) return Action::kSkipped;
+  const HealthReport& r = scan();
+  if (r.ok()) return Action::kHealthy;
+
+  switch (config_.policy) {
+    case HealthPolicy::kWarn:
+      MV_LOG_WARN << r.describe();
+      return Action::kWarned;
+
+    case HealthPolicy::kAbort:
+      abort_run("policy=abort");
+
+    case HealthPolicy::kRollback: {
+      const std::int64_t fault_step = r.step;
+      if (checkpoint_prefix_.empty() ||
+          Checkpoint::latest_step(checkpoint_prefix_) < 0)
+        abort_run("policy=rollback but no checkpoint set is available");
+      if (rolled_back_ &&
+          fault_step <= rollback_fault_step_ + config_.rollback_window)
+        abort_run("fault recurred within " +
+                  std::to_string(config_.rollback_window) +
+                  " steps of the previous rollback");
+      MV_LOG_WARN << r.describe();
+      Checkpoint::rollback(*sim_, checkpoint_prefix_);
+      MV_LOG_WARN << "health monitor rolled back to checkpoint step "
+                  << sim_->step_index();
+      rolled_back_ = true;
+      rollback_fault_step_ = fault_step;
+      return Action::kRolledBack;
+    }
+  }
+  return Action::kHealthy;  // unreachable
+}
+
+}  // namespace minivpic::sim

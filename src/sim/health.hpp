@@ -1,0 +1,78 @@
+// Runtime health sentinels for long campaigns: the classic PIC failure mode
+// is a NaN or an energy blow-up at step N silently poisoning every step
+// after it, discovered only when the multi-day run ends. HealthMonitor
+// scans fields and particle momenta for non-finite values and checks the
+// global energy budget and particle count against deck-configured
+// thresholds every `period` steps, then applies the deck-selected policy:
+// abort (log a final diagnostic dump, throw), rollback (restore the last
+// good checkpoint once, abort if the fault recurs within a window), or
+// warn. All verdicts are global: counts and energies are reduced across
+// ranks, so every rank takes the same action on the same step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace minivpic::sim {
+
+/// One scan's findings (globally reduced).
+struct HealthReport {
+  std::int64_t step = 0;
+  std::int64_t nan_field_values = 0;  ///< non-finite field array entries
+  std::int64_t nan_particles = 0;     ///< particles with non-finite momentum
+  double energy_total = 0;
+  double energy_ref = 0;       ///< reference captured at the first scan
+  std::int64_t particles = 0;
+  std::int64_t particles_ref = 0;
+  bool nan_fault = false;
+  bool energy_fault = false;
+  bool particle_fault = false;
+
+  bool ok() const { return !nan_fault && !energy_fault && !particle_fault; }
+  /// Human-readable one-line summary for logs and error messages.
+  std::string describe() const;
+};
+
+class HealthMonitor {
+ public:
+  /// What check() did. kAbort never returns — it throws minivpic::Error.
+  enum class Action { kSkipped, kHealthy, kWarned, kRolledBack };
+
+  /// Captures the reference energy and particle count from the current
+  /// (initialized or restored) state. `checkpoint_prefix` names the
+  /// rotation set the kRollback policy restores from; may be empty for
+  /// abort/warn policies (rollback without a prefix escalates to abort).
+  HealthMonitor(Simulation& sim, const HealthConfig& config,
+                std::string checkpoint_prefix = "");
+
+  /// True when the monitor is enabled and the current step is a scan step.
+  bool due() const;
+
+  /// Scans unconditionally (collective when multi-rank) and records the
+  /// report; applies no policy.
+  const HealthReport& scan();
+
+  /// If due(): scan and apply the configured policy. Collective. Returns
+  /// what happened; throws minivpic::Error on abort (including a rollback
+  /// that found no checkpoint or a fault recurring within the window).
+  Action check();
+
+  const HealthReport& last_report() const { return report_; }
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  [[noreturn]] void abort_run(const std::string& why);
+
+  Simulation* sim_;
+  HealthConfig config_;
+  std::string checkpoint_prefix_;
+  HealthReport report_;
+  double energy_ref_ = 0;
+  std::int64_t particles_ref_ = 0;
+  bool rolled_back_ = false;
+  std::int64_t rollback_fault_step_ = 0;  ///< step of the fault we rolled back
+};
+
+}  // namespace minivpic::sim

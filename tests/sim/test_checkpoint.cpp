@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <fstream>
 
 #include "util/error.hpp"
@@ -77,7 +76,23 @@ TEST(CheckpointTest, RoundTripResumesBitExact) {
   expect_fields_equal(ref.fields(), restarted.fields());
   for (std::size_t s = 0; s < ref.num_species(); ++s)
     expect_species_equal(ref.species(s), restarted.species(s));
-  std::remove((prefix + ".rank0").c_str());
+  Checkpoint::remove_all(prefix);
+}
+
+TEST(CheckpointTest, ManifestNamesLatestCompleteSet) {
+  const Deck deck = demo_deck();
+  const std::string prefix = temp_prefix("manifest");
+  Simulation a(deck);
+  a.initialize();
+  a.run(3);
+  Checkpoint::save(a, prefix);
+  a.run(4);
+  Checkpoint::save(a, prefix);
+  EXPECT_EQ(Checkpoint::latest_step(prefix), 7);
+  EXPECT_EQ(Checkpoint::manifest_steps(prefix),
+            (std::vector<std::int64_t>{3, 7}));
+  Checkpoint::remove_all(prefix);
+  EXPECT_EQ(Checkpoint::latest_step(prefix), -1);
 }
 
 TEST(CheckpointTest, RestoreIntoInitializedRejected) {
@@ -87,7 +102,7 @@ TEST(CheckpointTest, RestoreIntoInitializedRejected) {
   a.initialize();
   Checkpoint::save(a, prefix);
   EXPECT_THROW(Checkpoint::restore(a, prefix), Error);
-  std::remove((prefix + ".rank0").c_str());
+  Checkpoint::remove_all(prefix);
 }
 
 TEST(CheckpointTest, MissingFileRejected) {
@@ -104,15 +119,16 @@ TEST(CheckpointTest, CorruptMagicRejected) {
     Checkpoint::save(a, prefix);
   }
   {
-    std::fstream f(prefix + ".rank0",
+    std::fstream f(Checkpoint::set_path(prefix, 0, 0),
                    std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
     f.seekp(0);
     const char junk[4] = {'J', 'U', 'N', 'K'};
     f.write(junk, 4);
   }
   Simulation b(deck);
   EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
-  std::remove((prefix + ".rank0").c_str());
+  Checkpoint::remove_all(prefix);
 }
 
 TEST(CheckpointTest, TruncatedFileRejected) {
@@ -124,16 +140,17 @@ TEST(CheckpointTest, TruncatedFileRejected) {
     Checkpoint::save(a, prefix);
   }
   // Truncate to half size.
+  const std::string path = Checkpoint::set_path(prefix, 0, 0);
   {
-    std::ifstream in(prefix + ".rank0", std::ios::binary);
+    std::ifstream in(path, std::ios::binary);
     std::string data((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
-    std::ofstream out(prefix + ".rank0", std::ios::binary | std::ios::trunc);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(data.data(), std::streamsize(data.size() / 2));
   }
   Simulation b(deck);
   EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
-  std::remove((prefix + ".rank0").c_str());
+  Checkpoint::remove_all(prefix);
 }
 
 TEST(CheckpointTest, GridShapeMismatchRejected) {
@@ -147,7 +164,7 @@ TEST(CheckpointTest, GridShapeMismatchRejected) {
   other.grid.nx = 8;
   Simulation b(other);
   EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
-  std::remove((prefix + ".rank0").c_str());
+  Checkpoint::remove_all(prefix);
 }
 
 TEST(CheckpointTest, SpeciesMismatchRejected) {
@@ -161,7 +178,7 @@ TEST(CheckpointTest, SpeciesMismatchRejected) {
   other.species[0].m = 2.0;  // different electron mass
   Simulation b(other);
   EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
-  std::remove((prefix + ".rank0").c_str());
+  Checkpoint::remove_all(prefix);
 }
 
 TEST(CheckpointTest, MultiRankRoundTrip) {
@@ -184,8 +201,7 @@ TEST(CheckpointTest, MultiRankRoundTrip) {
     EXPECT_DOUBLE_EQ(energy.field.total(), ref_energy.field.total());
     expect_fields_equal(a.fields(), b.fields());
   });
-  std::remove((prefix + ".rank0").c_str());
-  std::remove((prefix + ".rank1").c_str());
+  Checkpoint::remove_all(prefix, 2);
 }
 
 TEST(CheckpointTest, RankLayoutMismatchRejected) {
@@ -200,11 +216,12 @@ TEST(CheckpointTest, RankLayoutMismatchRejected) {
     const vmpi::CartTopology topo({2, 1, 1}, {true, true, true});
     Simulation b(deck, &comm, &topo);
     if (comm.rank() == 0) {
-      // rank0 file exists but was written by a 1-rank run.
-      EXPECT_THROW(Checkpoint::restore(b, prefix), Error);
+      // The rank0 file exists but was written by a 1-rank run; a 2-rank
+      // restore is collective, so probe the set directly instead.
+      EXPECT_THROW(Checkpoint::restore_step(b, prefix, 0), Error);
     }
   });
-  std::remove((prefix + ".rank0").c_str());
+  Checkpoint::remove_all(prefix);
 }
 
 }  // namespace

@@ -1,0 +1,44 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace minivpic {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32::of(check.data(), check.size()), 0xCBF43926u);
+  EXPECT_EQ(Crc32::of("", 0), 0x00000000u);
+  const std::string a = "a";
+  EXPECT_EQ(Crc32::of(a.data(), a.size()), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "sectioned checkpoint payloads are streamed";
+  Crc32 inc;
+  inc.update(data.data(), 10);
+  inc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(inc.value(), Crc32::of(data.data(), data.size()));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(1024, 'x');
+  const std::uint32_t clean = Crc32::of(data.data(), data.size());
+  data[512] = char(data[512] ^ 0x08);
+  EXPECT_NE(Crc32::of(data.data(), data.size()), clean);
+}
+
+TEST(Crc32Test, ResetStartsFresh) {
+  Crc32 c;
+  c.update("junk", 4);
+  c.reset();
+  const std::string check = "123456789";
+  c.update(check.data(), check.size());
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace minivpic
