@@ -9,6 +9,8 @@
 // paper's per-node parallel layer): by default {1, 2, 4, ..., hardware}.
 //   --pipelines=N   pin the advance to exactly N pipelines (1 = the serial
 //                   reference path; google-benchmark flags still apply)
+//   --json=PATH     machine-readable results; shorthand for google-benchmark's
+//                   --benchmark_out=PATH --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -181,8 +183,11 @@ void register_advance_benchmarks(const std::vector<int>& pipeline_counts) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off our own --pipelines flag before google-benchmark sees argv.
+  // Peel off our own --pipelines/--json flags before google-benchmark sees
+  // argv. --json is rewritten into the library's own JSON reporter flags so
+  // every bench shares the one --json=PATH convention.
   std::vector<int> counts;
+  std::vector<std::string> extra;
   std::vector<char*> bargv;
   for (int i = 0; i < argc; ++i) {
     const char* a = argv[i];
@@ -190,10 +195,14 @@ int main(int argc, char** argv) {
       counts = {std::max(1, std::atoi(a + 12))};
     } else if (std::strcmp(a, "--pipelines") == 0 && i + 1 < argc) {
       counts = {std::max(1, std::atoi(argv[++i]))};
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      extra.push_back(std::string("--benchmark_out=") + (a + 7));
+      extra.push_back("--benchmark_out_format=json");
     } else {
       bargv.push_back(argv[i]);
     }
   }
+  for (std::string& s : extra) bargv.push_back(s.data());
   if (counts.empty()) counts = pipeline_sweep();
   register_advance_benchmarks(counts);
   int bargc = int(bargv.size());

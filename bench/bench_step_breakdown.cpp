@@ -8,14 +8,22 @@
 //   --pipelines=N   run the breakdown at exactly N pipelines
 //                   (default: sweep 1, 2, 4, ..., hardware threads)
 //   --steps=N       timed steps per configuration (default 100)
+//   --json=PATH     machine-readable results: one record per swept
+//                   pipeline count carrying the full telemetry metric
+//                   catalogue (see docs/OBSERVABILITY.md)
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "perf/costs.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/sampler.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/pipeline.hpp"
+#include "util/timer.hpp"
 
 using namespace minivpic;
 
@@ -40,6 +48,7 @@ struct SweepPoint {
   double reduce_seconds = 0;
   double step_seconds = 0;
   double push_rate = 0;  ///< particles/s inside the advance
+  telemetry::StepSample sample;  ///< full derived metric set for --json
 };
 
 SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
@@ -51,7 +60,9 @@ SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
   }
   sim::Simulation timed(breakdown_deck(pipelines));  // fresh timers, same deck
   timed.initialize();
+  const Timer wall;
   timed.run(steps);
+  const double wall_seconds = wall.seconds();
 
   const auto& t = timed.timings();
   const double total = t.total_seconds();
@@ -75,11 +86,15 @@ SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
                                std::to_string(timed.pipelines()) +
                                " pipeline(s))");
 
-    const double pushed = double(timed.particle_stats().pushed);
-    std::cout << "\npush rate: " << pushed / t.push.total_seconds() / 1e6
+    // Rates come from the shared StepSampler derivations so this table, the
+    // NDJSON stream, and run_deck agree by construction.
+    const std::int64_t pushed = timed.particle_stats().pushed;
+    std::cout << "\npush rate: "
+              << telemetry::StepSampler::particles_per_second(
+                     pushed, t.push.total_seconds()) /
+                     1e6
               << " M particles/s; sustained (whole step): "
-              << pushed * perf::KernelCosts::push_flops_per_particle() /
-                     total / 1e9
+              << telemetry::StepSampler::push_gflops(pushed, total)
               << " Gflop/s s.p. on this host\n";
     std::cout << "inner-loop share of step: "
               << 100.0 * t.push.total_seconds() / total
@@ -91,16 +106,46 @@ SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
   pt.push_seconds = t.push.total_seconds();
   pt.reduce_seconds = t.reduce.total_seconds();
   pt.step_seconds = total;
-  pt.push_rate =
-      double(timed.particle_stats().pushed) / t.push.total_seconds();
+  pt.push_rate = telemetry::StepSampler::particles_per_second(
+      timed.particle_stats().pushed, t.push.total_seconds());
+  pt.sample = telemetry::StepSampler::derive_total(timed, wall_seconds);
   return pt;
+}
+
+/// Machine-readable results: one record per swept pipeline count with the
+/// full metric catalogue, plus enough provenance (steps, deck shape) to
+/// compare runs.
+void write_json(const std::string& path, int steps,
+                const std::vector<SweepPoint>& sweep) {
+  telemetry::Json points = telemetry::Json::array();
+  for (const SweepPoint& pt : sweep) {
+    telemetry::Json metrics = telemetry::Json::object();
+    for (const telemetry::ScalarMetric& m : pt.sample.scalars()) {
+      telemetry::Json entry = telemetry::Json::object();
+      entry.set("value", telemetry::Json::number(m.value));
+      entry.set("unit", telemetry::Json::string(m.unit));
+      metrics.set(m.name, std::move(entry));
+    }
+    telemetry::Json rec = telemetry::Json::object();
+    rec.set("pipelines", telemetry::Json::number(std::int64_t{pt.pipelines}));
+    rec.set("metrics", std::move(metrics));
+    points.push_back(std::move(rec));
+  }
+  telemetry::Json doc = telemetry::Json::object();
+  doc.set("bench", telemetry::Json::string("bench_step_breakdown"));
+  doc.set("steps", telemetry::Json::number(std::int64_t{steps}));
+  doc.set("points", std::move(points));
+  std::ofstream os(path, std::ios::trunc);
+  MV_REQUIRE(os.good(), "cannot open --json file: " << path);
+  os << doc.dump() << "\n";
+  std::cout << "\nJSON results written: " << path << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.check_known({"pipelines", "steps"});
+  args.check_known({"pipelines", "steps", "json"});
   const int steps = int(args.get_int("steps", 100));
 
   std::vector<int> counts;
@@ -130,5 +175,6 @@ int main(int argc, char** argv) {
     table.print(std::cout,
                 "pipeline sweep: particle advance vs intra-rank pipelines");
   }
+  if (args.has("json")) write_json(args.get("json", ""), steps, sweep);
   return 0;
 }

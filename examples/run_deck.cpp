@@ -10,6 +10,17 @@
 //              [--max-walltime=seconds]  # checkpoint + exit 3 when exceeded
 //              [--history=energies.csv]
 //              [--pipelines=N]   # particle-advance threads; 0 = hardware
+//              [--metrics=PATH]  # NDJSON metrics stream (rank-reduced)
+//              [--metrics-every=N]       # sample cadence (default: --report)
+//              [--trace=PATH]    # Chrome trace (open in ui.perfetto.dev)
+//              [--log-level=debug|info|warn|error]
+//
+// Telemetry (see docs/OBSERVABILITY.md): --metrics streams one
+// self-describing JSON record per sample cadence with per-phase seconds,
+// achieved Gflop/s, particles/s, and pipeline load imbalance, reduced to
+// min/mean/max/sum across ranks; --trace records nested per-phase spans
+// plus health-sentinel and checkpoint instant events. An end-of-run
+// rank-reduced summary table is always printed.
 //
 // SIGINT/SIGTERM finish the current step, write a final checkpoint set, and
 // exit with code 3 ("interrupted but resumable"), as does --max-walltime.
@@ -41,13 +52,44 @@
 #include "sim/health.hpp"
 #include "sim/history.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/ndjson.hpp"
+#include "telemetry/reduce.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
 
 using namespace minivpic;
 
 namespace {
+
+LogLevel parse_log_level(const std::string& s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  MV_REQUIRE(false, "unknown --log-level '" << s
+                                            << "' (debug|info|warn|error)");
+}
+
+/// End-of-run whole-run telemetry: one rank-reduced row per metric.
+void print_summary(std::ostream& os, const sim::Simulation& sim,
+                   double wall_seconds, const telemetry::RankReducer& reducer) {
+  const telemetry::StepSample total =
+      telemetry::StepSampler::derive_total(sim, wall_seconds);
+  const auto reduced = reducer.reduce(total.scalars());
+  if (!reducer.root()) return;
+  Table table({"metric", "unit", "min", "mean", "max", "sum"});
+  for (const auto& m : reduced) {
+    table.add_row({m.name, m.unit, m.stats.min, m.stats.mean, m.stats.max,
+                   m.stats.sum});
+  }
+  table.print(os, "telemetry summary (" + std::to_string(reducer.ranks()) +
+                      " rank(s), min/mean/max/sum across ranks)");
+}
 
 /// Exit code for "stopped early but a final checkpoint set was written":
 /// distinct from success (0), errors (1) and usage (2) so schedulers can
@@ -62,17 +104,26 @@ int run(int argc, char** argv) {
   Args args(argc, argv);
   args.check_known({"steps", "report", "probe_plane", "checkpoint",
                     "checkpoint-every", "resume", "max-walltime", "history",
-                    "pipelines"});
+                    "pipelines", "metrics", "metrics-every", "trace",
+                    "log-level"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
                  "       [--probe_plane=I] [--checkpoint=prefix] "
                  "[--checkpoint-every=N]\n"
                  "       [--resume[=prefix]] [--max-walltime=seconds] "
-                 "[--history=csv] [--pipelines=N]\n";
+                 "[--history=csv] [--pipelines=N]\n"
+                 "       [--metrics=ndjson] [--metrics-every=N] "
+                 "[--trace=json] [--log-level=LVL]\n";
     return 2;
+  }
+  if (args.has("log-level")) {
+    set_log_level(parse_log_level(args.get("log-level", "info")));
   }
   const int steps = int(args.get_int("steps", 200));
   const int report = int(args.get_int("report", std::max(1, steps / 10)));
+  const int metrics_every =
+      int(args.get_int("metrics-every", std::max(1, report)));
+  MV_REQUIRE(metrics_every >= 1, "--metrics-every must be >= 1");
   const double max_walltime = args.get_double("max-walltime", 0);
 
   sim::Deck deck = sim::load_deck_file(args.positional()[0]);
@@ -97,6 +148,16 @@ int run(int argc, char** argv) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   sim::Simulation sim(deck);
+
+  // Telemetry sinks. The trace writer must be attached before restore() so
+  // the checkpoint.restore instant lands in the trace too.
+  std::unique_ptr<telemetry::TraceWriter> trace;
+  if (args.has("trace")) {
+    trace = std::make_unique<telemetry::TraceWriter>(args.get("trace", ""),
+                                                     /*pid=*/0);
+    sim.set_trace(trace.get());
+  }
+
   if (resume) {
     sim::Checkpoint::restore(sim, resume_prefix);
     std::cout << "resumed from " << resume_prefix << " at step "
@@ -119,6 +180,19 @@ int run(int argc, char** argv) {
   sim::EnergyHistory history(sim);
   history.sample();
 
+  // NDJSON metrics stream: per-interval derived metrics, rank-reduced
+  // (degenerate single-rank reduction here; run_deck drives one rank).
+  telemetry::StepSampler sampler(sim);
+  telemetry::RankReducer reducer(sim.comm());
+  std::unique_ptr<telemetry::NdjsonWriter> metrics;
+  if (args.has("metrics") && reducer.root()) {
+    metrics = std::make_unique<telemetry::NdjsonWriter>(
+        args.get("metrics", ""));
+  }
+  bool metrics_meta_written = false;
+  Timer sample_timer;
+  const Timer loop_timer;
+
   Table table(probe ? std::vector<std::string>{"step", "time", "E_total",
                                                "reflectivity"}
                     : std::vector<std::string>{"step", "time", "E_total"});
@@ -133,6 +207,23 @@ int run(int argc, char** argv) {
     const std::int64_t s = sim.step_index();
     if (deck.checkpoint_every > 0 && s % deck.checkpoint_every == 0) {
       sim::Checkpoint::save(sim, ckpt_prefix, deck.checkpoint_keep);
+    }
+    if (args.has("metrics") && s % metrics_every == 0) {
+      const telemetry::StepSample smp = sampler.sample(sample_timer.seconds());
+      sample_timer.reset();
+      const auto reduced = reducer.reduce(smp.scalars());
+      if (metrics) {
+        if (!metrics_meta_written) {
+          telemetry::Json extra = telemetry::Json::object();
+          extra.set("deck", telemetry::Json::string(args.positional()[0]));
+          extra.set("sample_every",
+                    telemetry::Json::number(std::int64_t{metrics_every}));
+          metrics->write(telemetry::meta_record(
+              reducer.ranks(), sim.pipelines(), reduced, extra));
+          metrics_meta_written = true;
+        }
+        metrics->write(telemetry::sample_record(smp, reduced));
+      }
     }
     if (s % report == 0) {
       std::vector<Cell> row{(long long)s, sim.time(), sim.energies().total};
@@ -161,16 +252,22 @@ int run(int argc, char** argv) {
     std::cerr << "checkpoint set written at step " << sim.step_index()
               << "; resume with --resume"
               << (args.has("checkpoint") ? "=" + ckpt_prefix : "") << "\n";
+    if (trace) trace->close();  // keep the partial trace loadable
     return kExitInterrupted;
   }
 
   table.print(std::cout, "run history");
+  // The whole-run telemetry summary; the push rate below is derived by the
+  // same StepSampler formula the NDJSON stream and the benches use.
+  const double loop_seconds = loop_timer.seconds();
+  print_summary(std::cout, sim, loop_seconds, reducer);
+  const telemetry::StepSample total =
+      telemetry::StepSampler::derive_total(sim, loop_seconds);
   std::cout << "\nGauss residual: " << sim.gauss_error()
             << ", energy drift: " << 100 * history.worst_relative_drift()
-            << "%, push rate: "
-            << double(sim.particle_stats().pushed) /
-                   sim.timings().push.total_seconds() / 1e6
-            << " M particles/s\n";
+            << "%, push rate: " << total.particles_per_sec / 1e6
+            << " M particles/s (" << total.push_gflops
+            << " Gflop/s s.p. in the advance)\n";
 
   if (args.has("history")) history.write_csv(args.get("history", ""));
   if (args.has("checkpoint") || deck.checkpoint_every > 0) {
@@ -178,6 +275,15 @@ int run(int argc, char** argv) {
     std::cout << "checkpoint set written: "
               << sim::Checkpoint::set_path(ckpt_prefix, sim.step_index(), 0)
               << "\n";
+  }
+  if (trace) {
+    trace->close();
+    std::cout << "trace written: " << args.get("trace", "")
+              << " (open in ui.perfetto.dev or chrome://tracing)\n";
+  }
+  if (metrics) {
+    std::cout << "metrics stream written: " << args.get("metrics", "") << " ("
+              << metrics->records_written() << " records)\n";
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace minivpic::particles {
 
@@ -319,14 +320,17 @@ Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
   struct Lane {
     Result res;
     std::vector<std::size_t> dead;
+    double seconds = 0;  ///< busy wall time of this pipeline's slice
   };
   std::vector<Lane> lanes(static_cast<std::size_t>(n_pipe));
 
   auto run = [&](int p) {
+    const Timer lane_timer;
     const auto r = Pipeline::partition(sp.size(), n_pipe, p);
     advance_range(sp, interp, acc.block(p), r.begin, r.end,
                   reflux_streams_[std::size_t(p)], lanes[std::size_t(p)].res,
                   lanes[std::size_t(p)].dead);
+    lanes[std::size_t(p)].seconds = lane_timer.seconds();
   };
   if (pipeline == nullptr) {
     run(0);
@@ -336,6 +340,8 @@ Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
 
   Result res = std::move(lanes[0].res);
   std::vector<std::size_t> dead = std::move(lanes[0].dead);
+  res.pipeline_seconds.reserve(std::size_t(n_pipe));
+  for (const Lane& lane : lanes) res.pipeline_seconds.push_back(lane.seconds);
   for (int p = 1; p < n_pipe; ++p) {
     Lane& lane = lanes[std::size_t(p)];
     res.pushed += lane.res.pushed;

@@ -64,6 +64,10 @@ class Pusher {
     std::int64_t reflected = 0;   ///< wall reflections
     std::int64_t refluxed = 0;    ///< wall thermal re-emissions
     std::vector<Emigrant> emigrants;  ///< particles leaving this rank
+    /// Wall seconds each pipeline spent in its advance_range slice (size =
+    /// pipeline count). The spread is the telemetry layer's load-imbalance
+    /// signal (max/mean across pipelines).
+    std::vector<double> pipeline_seconds;
   };
 
   /// Advances every particle of `sp` one step, depositing current into

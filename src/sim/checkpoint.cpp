@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "grid/halo.hpp"
+#include "telemetry/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -16,6 +17,18 @@
 namespace minivpic::sim {
 
 namespace {
+
+/// Instant trace event for checkpoint activity (write / restore /
+/// rollback), visible in Perfetto next to the step spans. No-op without an
+/// attached trace sink.
+void trace_checkpoint_event(const Simulation& sim, const char* name,
+                            std::int64_t step) {
+  telemetry::TraceWriter* t = sim.trace();
+  if (t == nullptr) return;
+  telemetry::Json args = telemetry::Json::object();
+  args.set("step", telemetry::Json::number(step));
+  t->instant(name, "checkpoint", std::move(args));
+}
 
 constexpr std::uint32_t kMagic = 0x4D56434Bu;  // "MVCK"
 constexpr std::uint32_t kVersion = 2;
@@ -416,6 +429,7 @@ void Checkpoint::save(const Simulation& sim, const std::string& prefix,
     write_manifest(manifest_path(prefix), g.nranks(), steps);
   }
   if (comm != nullptr) comm->barrier();
+  trace_checkpoint_event(sim, "checkpoint.save", step);
 }
 
 void Checkpoint::commit(Simulation& sim, Staged&& st) {
@@ -462,6 +476,7 @@ void Checkpoint::restore(Simulation& sim, const std::string& prefix) {
       ok = sim.comm_->allreduce_value(ok, vmpi::Op::kMin);
     if (ok == 1) {
       commit(sim, std::move(st));
+      trace_checkpoint_event(sim, "checkpoint.restore", sim.step_index());
       return;
     }
     MV_LOG_WARN << "checkpoint set at step " << *it
@@ -478,6 +493,7 @@ void Checkpoint::rollback(Simulation& sim, const std::string& prefix) {
   // the same manifest walk.
   sim.initialized_ = false;
   restore(sim, prefix);
+  trace_checkpoint_event(sim, "checkpoint.rollback", sim.step_index());
 }
 
 }  // namespace minivpic::sim

@@ -5,12 +5,36 @@
 
 #include "grid/halo.hpp"
 #include "sim/checkpoint.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace minivpic::sim {
 
 namespace {
+
+/// Instant trace event for a sentinel verdict, visible in Perfetto next to
+/// the step spans. No-op when the simulation has no trace sink attached.
+void trace_health_event(const Simulation& sim, const char* name,
+                        const HealthReport& r) {
+  telemetry::TraceWriter* t = sim.trace();
+  if (t == nullptr) return;
+  // A NaN fault means energy_total itself may be non-finite, which strict
+  // JSON cannot carry — encode those as null.
+  auto finite_or_null = [](double v) {
+    return std::isfinite(v) ? telemetry::Json::number(v)
+                            : telemetry::Json::null();
+  };
+  telemetry::Json args = telemetry::Json::object();
+  args.set("step", telemetry::Json::number(r.step));
+  args.set("nan_field_values", telemetry::Json::number(r.nan_field_values));
+  args.set("nan_particles", telemetry::Json::number(r.nan_particles));
+  args.set("energy_total", finite_or_null(r.energy_total));
+  args.set("energy_ref", finite_or_null(r.energy_ref));
+  args.set("particles", telemetry::Json::number(r.particles));
+  args.set("summary", telemetry::Json::string(r.describe()));
+  t->instant(name, "health", std::move(args));
+}
 
 const std::vector<grid::Component>& all_components() {
   static const std::vector<grid::Component> comps = [] {
@@ -117,6 +141,7 @@ const HealthReport& HealthMonitor::scan() {
 void HealthMonitor::abort_run(const std::string& why) {
   // Final diagnostic dump: everything a post-mortem needs to locate the
   // fault without re-running the campaign.
+  trace_health_event(*sim_, "health.abort", report_);
   MV_LOG_ERROR << "health monitor aborting: " << why;
   MV_LOG_ERROR << report_.describe();
   MV_LOG_ERROR << "step " << sim_->step_index() << ", time " << sim_->time()
@@ -132,6 +157,7 @@ HealthMonitor::Action HealthMonitor::check() {
   const HealthReport& r = scan();
   if (r.ok()) return Action::kHealthy;
 
+  trace_health_event(*sim_, "health.fault", r);
   switch (config_.policy) {
     case HealthPolicy::kWarn:
       MV_LOG_WARN << r.describe();
@@ -154,6 +180,7 @@ HealthMonitor::Action HealthMonitor::check() {
       Checkpoint::rollback(*sim_, checkpoint_prefix_);
       MV_LOG_WARN << "health monitor rolled back to checkpoint step "
                   << sim_->step_index();
+      trace_health_event(*sim_, "health.rollback", report_);
       rolled_back_ = true;
       rollback_fault_step_ = fault_step;
       return Action::kRolledBack;

@@ -4,6 +4,7 @@
 
 #include "particles/collisions.hpp"
 #include "particles/rho.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 
 namespace minivpic::sim {
@@ -111,8 +112,14 @@ void Simulation::initialize() {
 void Simulation::step() {
   MV_REQUIRE(initialized_, "initialize() must be called before step()");
 
+  // Every phase below is timed into timings_ AND mirrored as a nested
+  // Chrome-trace span when a TraceWriter is attached (telemetry::PhaseSpan
+  // degrades to a plain ScopedLap plus one pointer test when trace_ is
+  // null — the disabled-sink overhead the OBSERVABILITY doc quantifies).
+  telemetry::ScopedSpan step_span(trace_, "step");
+
   {
-    ScopedLap lap(timings_.interpolate);
+    telemetry::PhaseSpan lap(timings_.interpolate, trace_, "interpolate");
     interp_.load(fields_);
   }
 
@@ -133,7 +140,7 @@ void Simulation::step() {
     pusher_.set_reflux_uth(ruth);
     particles::Pusher::Result res;
     {
-      ScopedLap lap(timings_.push);
+      telemetry::PhaseSpan lap(timings_.push, trace_, "push");
       res = pusher_.advance(*species_[s], interp_, acc_, &pipeline_);
     }
     stats_.pushed += res.pushed;
@@ -141,8 +148,12 @@ void Simulation::step() {
     stats_.absorbed += res.absorbed;
     stats_.reflected += res.reflected;
     stats_.refluxed += res.refluxed;
+    if (pipeline_busy_.size() < res.pipeline_seconds.size())
+      pipeline_busy_.resize(res.pipeline_seconds.size(), 0.0);
+    for (std::size_t p = 0; p < res.pipeline_seconds.size(); ++p)
+      pipeline_busy_[p] += res.pipeline_seconds[p];
     {
-      ScopedLap lap(timings_.migrate);
+      telemetry::PhaseSpan lap(timings_.migrate, trace_, "migrate");
       const auto m = particles::migrate_particles(
           std::move(res.emigrants), *species_[s], pusher_, acc_, grid_, comm_);
       stats_.migrated += m.sent;
@@ -156,14 +167,14 @@ void Simulation::step() {
   }
 
   if (sort_now || collide_now) {
-    ScopedLap lap(timings_.sort);
+    telemetry::PhaseSpan lap(timings_.sort, trace_, "sort");
     for (std::size_t s = 0; s < species_.size(); ++s) {
       if (mobile_[s]) species_[s]->sort(grid_);
     }
   }
 
   if (collide_now) {
-    ScopedLap lap(timings_.collide);
+    telemetry::PhaseSpan lap(timings_.collide, trace_, "collide");
     for (const auto& rc : collisions_) {
       if ((step_ + 1) % rc.period != 0) continue;
       const double dt_coll = rc.period * grid_.dt();
@@ -189,12 +200,12 @@ void Simulation::step() {
     // Fold the per-pipeline accumulator blocks into block 0 (deterministic
     // block order; see AccumulatorArray::reduce). Timed separately: this is
     // the serial cost the pipeline layer pays per step.
-    ScopedLap lap(timings_.reduce);
+    telemetry::PhaseSpan lap(timings_.reduce, trace_, "reduce");
     acc_.reduce();
   }
 
   {
-    ScopedLap lap(timings_.sources);
+    telemetry::PhaseSpan lap(timings_.sources, trace_, "sources");
     acc_.unload(fields_);
     if (clean_now) {
       for (auto& sp : species_) particles::accumulate_rho(*sp, fields_);
@@ -203,14 +214,14 @@ void Simulation::step() {
   }
 
   {
-    ScopedLap lap(timings_.field);
+    telemetry::PhaseSpan lap(timings_.field, trace_, "field");
     solver_.advance_b(fields_, 0.5);
     solver_.advance_e(fields_);
     solver_.advance_b(fields_, 0.5);
   }
 
   if (clean_now) {
-    ScopedLap lap(timings_.clean);
+    telemetry::PhaseSpan lap(timings_.clean, trace_, "clean");
     cleaner_.clean_e(fields_, deck_.clean_passes);
     cleaner_.clean_b(fields_, 1);
   }

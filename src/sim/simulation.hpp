@@ -27,6 +27,12 @@
 #include "vmpi/cart.hpp"
 #include "vmpi/comm.hpp"
 
+namespace minivpic::telemetry {
+class TraceWriter;  // telemetry/trace.hpp; sim depends on telemetry, not
+                    // vice versa (the sampler reads sim through inline
+                    // accessors only)
+}  // namespace minivpic::telemetry
+
 namespace minivpic::sim {
 
 /// Wall-clock cost of each phase of the steps taken so far.
@@ -107,6 +113,20 @@ class Simulation {
   /// Resolved intra-rank pipeline count used by the particle advance.
   int pipelines() const { return pipeline_.size(); }
   const ParticleStats& particle_stats() const { return stats_; }
+  /// Cumulative busy wall seconds per pipeline inside the particle advance
+  /// (index = pipeline id; empty before the first step). The spread across
+  /// entries is the per-pipeline load imbalance telemetry reports.
+  const std::vector<double>& pipeline_busy_seconds() const {
+    return pipeline_busy_;
+  }
+
+  // -- telemetry -----------------------------------------------------------
+  /// Attaches (or detaches, with nullptr) a Chrome-trace sink: every step
+  /// phase is emitted as a nested span, and health/checkpoint events as
+  /// instants. The writer must outlive the simulation or be detached
+  /// first. Null pointer = zero-overhead disabled path.
+  void set_trace(telemetry::TraceWriter* trace) { trace_ = trace; }
+  telemetry::TraceWriter* trace() const { return trace_; }
   /// Deposits rho for the current particle positions (into fields().rhof).
   void deposit_rho();
   /// RMS Gauss-law residual (div E - rho) over the global interior; calls
@@ -147,6 +167,8 @@ class Simulation {
   bool initialized_ = false;
   StepTimings timings_;
   ParticleStats stats_;
+  std::vector<double> pipeline_busy_;  ///< per-pipeline advance seconds
+  telemetry::TraceWriter* trace_ = nullptr;  ///< optional span/event sink
 };
 
 }  // namespace minivpic::sim

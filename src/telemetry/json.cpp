@@ -1,0 +1,417 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace minivpic::telemetry {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::number(std::int64_t v) { return number(double(v)); }
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  MV_REQUIRE(kind_ == Kind::kBool, "json value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  MV_REQUIRE(kind_ == Kind::kNumber, "json value is not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  MV_REQUIRE(kind_ == Kind::kString, "json value is not a string");
+  return str_;
+}
+
+void Json::push_back(Json v) {
+  MV_REQUIRE(kind_ == Kind::kArray, "push_back on a non-array json value");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  MV_REQUIRE(kind_ == Kind::kObject, "size() on a non-container json value");
+  return obj_.size();
+}
+
+const Json& Json::at(std::size_t i) const {
+  MV_REQUIRE(kind_ == Kind::kArray, "indexing a non-array json value");
+  MV_REQUIRE(i < arr_.size(), "json array index " << i << " out of range");
+  return arr_[i];
+}
+
+void Json::set(const std::string& key, Json v) {
+  MV_REQUIRE(kind_ == Kind::kObject, "set on a non-object json value");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Json* Json::find(const std::string& key) const {
+  MV_REQUIRE(kind_ == Kind::kObject, "find on a non-object json value");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  MV_REQUIRE(v != nullptr, "json object has no key '" << key << "'");
+  return *v;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  MV_REQUIRE(kind_ == Kind::kObject, "members on a non-object json value");
+  return obj_;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest decimal form that parses back to the same double (try
+/// increasing precision; 17 significant digits always round-trips).
+std::string format_number(double v) {
+  if (v == std::int64_t(v) && std::abs(v) < 9.0e15) {
+    return std::to_string(std::int64_t(v));
+  }
+  char buf[32];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      MV_REQUIRE(std::isfinite(num_),
+                 "cannot serialize non-finite number to json");
+      out += format_number(num_);
+      return;
+    case Kind::kString:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+// -- parser -------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    MV_REQUIRE(pos_ == s_.size(),
+               "trailing garbage after json value at byte " << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    MV_REQUIRE(false, "json parse error at byte " << pos_ << ": " << what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json::string(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return Json::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return Json::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return Json::null();
+    }
+    return parse_number();
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += char(cp);
+    } else if (cp < 0x800) {
+      out += char(0xC0 | (cp >> 6));
+      out += char(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += char(0xE0 | (cp >> 12));
+      out += char(0x80 | ((cp >> 6) & 0x3F));
+      out += char(0x80 | (cp & 0x3F));
+    } else {
+      out += char(0xF0 | (cp >> 18));
+      out += char(0x80 | ((cp >> 12) & 0x3F));
+      out += char(0x80 | ((cp >> 6) & 0x3F));
+      out += char(0x80 | (cp & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= unsigned(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= unsigned(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= unsigned(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return cp;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+            if (pos_ + 1 < s_.size() && s_[pos_] == '\\' &&
+                s_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned lo = parse_hex4();
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-'))
+      ++pos_;
+    MV_REQUIRE(pos_ > start, "json parse error at byte " << pos_
+                                                         << ": bad number");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("bad number '" + tok + "'");
+    }
+    return Json::number(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace minivpic::telemetry

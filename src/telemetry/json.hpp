@@ -1,0 +1,78 @@
+// Minimal JSON value: enough to emit the telemetry sinks (NDJSON records,
+// Chrome trace events) and to parse them back in tests and the smoke-check
+// tool. Objects preserve insertion order so emitted records have a stable,
+// diffable key order. Not a general-purpose JSON library: no comments, no
+// NaN/Inf (rejected on emit — the trace/NDJSON consumers are strict JSON).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace minivpic::telemetry {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json number(std::int64_t v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors throw minivpic::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // -- array ---------------------------------------------------------------
+  void push_back(Json v);
+  std::size_t size() const;  ///< array elements or object members
+  const Json& at(std::size_t i) const;
+
+  // -- object (insertion-ordered) ------------------------------------------
+  /// Sets `key` (replacing an existing member in place).
+  void set(const std::string& key, Json v);
+  /// nullptr when absent.
+  const Json* find(const std::string& key) const;
+  /// Throws minivpic::Error when absent.
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Compact single-line serialization. Numbers round-trip (shortest form
+  /// that parses back to the same double); non-finite numbers throw.
+  std::string dump() const;
+
+  /// Strict parser; throws minivpic::Error with a byte offset on malformed
+  /// input or trailing garbage.
+  static Json parse(const std::string& text);
+
+  /// Escapes one string body (no surrounding quotes) per RFC 8259.
+  static std::string escape(const std::string& s);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace minivpic::telemetry

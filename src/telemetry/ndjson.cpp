@@ -1,0 +1,58 @@
+#include "telemetry/ndjson.hpp"
+
+#include "util/error.hpp"
+
+namespace minivpic::telemetry {
+
+NdjsonWriter::NdjsonWriter(const std::string& path)
+    : os_(path, std::ios::trunc), path_(path) {
+  MV_REQUIRE(os_.good(), "cannot open metrics output file: " << path);
+}
+
+void NdjsonWriter::write(const Json& record) {
+  os_ << record.dump() << '\n';
+  os_.flush();
+  MV_REQUIRE(os_.good(), "failed writing metrics record to " << path_);
+  ++records_;
+}
+
+Json meta_record(int ranks, int pipelines,
+                 const std::vector<ReducedMetric>& sample_metrics,
+                 const Json& extra) {
+  Json meta = Json::object();
+  meta.set("type", Json::string("meta"));
+  meta.set("schema", Json::number(std::int64_t{kNdjsonSchemaVersion}));
+  meta.set("ranks", Json::number(std::int64_t{ranks}));
+  meta.set("pipelines", Json::number(std::int64_t{pipelines}));
+  Json units = Json::object();
+  for (const ReducedMetric& m : sample_metrics)
+    units.set(m.name, Json::string(m.unit));
+  meta.set("units", std::move(units));
+  if (extra.is_object()) {
+    for (const auto& [k, v] : extra.members()) meta.set(k, v);
+  }
+  return meta;
+}
+
+Json sample_record(const StepSample& sample,
+                   const std::vector<ReducedMetric>& reduced) {
+  Json rec = Json::object();
+  rec.set("type", Json::string("step_sample"));
+  rec.set("schema", Json::number(std::int64_t{kNdjsonSchemaVersion}));
+  rec.set("step", Json::number(sample.step_end));
+  rec.set("step_begin", Json::number(sample.step_begin));
+  rec.set("t", Json::number(sample.sim_time));
+  Json metrics = Json::object();
+  for (const ReducedMetric& m : reduced) {
+    Json stats = Json::object();
+    stats.set("min", Json::number(m.stats.min));
+    stats.set("mean", Json::number(m.stats.mean));
+    stats.set("max", Json::number(m.stats.max));
+    stats.set("sum", Json::number(m.stats.sum));
+    metrics.set(m.name, std::move(stats));
+  }
+  rec.set("metrics", std::move(metrics));
+  return rec;
+}
+
+}  // namespace minivpic::telemetry

@@ -1,0 +1,60 @@
+// NDJSON metrics stream: one self-describing JSON record per line, the
+// machine-readable counterpart of the console tables. The first record is a
+// `meta` record carrying the schema version, run topology, and the metric
+// catalogue (name -> unit); every subsequent record is a `step_sample`
+// carrying min/mean/max/sum per metric (degenerate — all four equal — for
+// single-rank runs). Records are flushed per line so a killed run keeps
+// every sample written so far.
+//
+// Schema (version 1, see docs/OBSERVABILITY.md):
+//   {"type":"meta","schema":1,"ranks":R,"pipelines":P,
+//    "units":{"phase.push.s":"s", ...}, ...}
+//   {"type":"step_sample","schema":1,"step":N,"step_begin":M,"t":...,
+//    "metrics":{"phase.push.s":{"min":..,"mean":..,"max":..,"sum":..},...}}
+//
+// Multi-rank usage: reduce first (RankReducer), then write on the root
+// rank only — the stream carries whole-machine numbers, never per-rank
+// shards.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/reduce.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace minivpic::telemetry {
+
+inline constexpr int kNdjsonSchemaVersion = 1;
+
+class NdjsonWriter {
+ public:
+  /// Opens (truncates) `path`; throws on failure.
+  explicit NdjsonWriter(const std::string& path);
+
+  /// Writes one record as a single line and flushes.
+  void write(const Json& record);
+
+  std::int64_t records_written() const { return records_; }
+
+ private:
+  std::ofstream os_;
+  std::string path_;
+  std::int64_t records_ = 0;
+};
+
+/// Builds the stream's leading meta record. `extra` members (deck path,
+/// bench name, ...) are appended verbatim. The unit catalogue is taken
+/// from `sample_metrics` (one reduced sample's names/units).
+Json meta_record(int ranks, int pipelines,
+                 const std::vector<ReducedMetric>& sample_metrics,
+                 const Json& extra = Json());
+
+/// Builds one step_sample record from a reduced sample.
+Json sample_record(const StepSample& sample,
+                   const std::vector<ReducedMetric>& reduced);
+
+}  // namespace minivpic::telemetry

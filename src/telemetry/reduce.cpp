@@ -1,0 +1,35 @@
+#include "telemetry/reduce.hpp"
+
+#include <span>
+
+namespace minivpic::telemetry {
+
+std::vector<ReducedMetric> RankReducer::reduce(
+    const std::vector<ScalarMetric>& local) const {
+  std::vector<ReducedMetric> out;
+  out.reserve(local.size());
+  if (comm_ == nullptr || comm_->size() == 1) {
+    for (const ScalarMetric& m : local)
+      out.push_back({m.name, m.unit, {m.value, m.value, m.value, m.value}});
+    return out;
+  }
+
+  std::vector<double> mins, maxs, sums;
+  mins.reserve(local.size());
+  for (const ScalarMetric& m : local) mins.push_back(m.value);
+  maxs = mins;
+  sums = mins;
+  comm_->allreduce(std::span<double>(mins), vmpi::Op::kMin);
+  comm_->allreduce(std::span<double>(maxs), vmpi::Op::kMax);
+  comm_->allreduce(std::span<double>(sums), vmpi::Op::kSum);
+
+  const double n = double(comm_->size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    out.push_back({local[i].name,
+                   local[i].unit,
+                   {mins[i], sums[i] / n, maxs[i], sums[i]}});
+  }
+  return out;
+}
+
+}  // namespace minivpic::telemetry

@@ -1,0 +1,53 @@
+// RankReducer: folds every scalar metric to min/mean/max/sum across the
+// ranks of a vmpi communicator, so reported numbers match the paper's
+// whole-machine accounting (a per-rank push rate is meaningless at scale;
+// the sum is the machine rate and max/mean is the imbalance). With a null
+// communicator (serial runs) the reduction is degenerate: min = mean =
+// max = sum = the local value.
+//
+// reduce() is collective: every rank must call it with the same metric
+// names in the same order (guaranteed when all ranks flatten the same
+// StepSample schema). Three element-wise allreduces (min, max, sum) cover
+// the whole metric vector regardless of its length.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "vmpi/comm.hpp"
+
+namespace minivpic::telemetry {
+
+/// Cross-rank statistics of one scalar metric.
+struct Reduced {
+  double min = 0;
+  double mean = 0;
+  double max = 0;
+  double sum = 0;
+};
+
+struct ReducedMetric {
+  std::string name;
+  std::string unit;
+  Reduced stats;
+};
+
+class RankReducer {
+ public:
+  /// `comm` may be null: single-rank (degenerate) reduction.
+  explicit RankReducer(vmpi::Comm* comm) : comm_(comm) {}
+
+  int ranks() const { return comm_ == nullptr ? 1 : comm_->size(); }
+  /// True on the rank that should emit reduced records (rank 0 / serial).
+  bool root() const { return comm_ == nullptr || comm_->rank() == 0; }
+
+  /// Collective. All ranks receive the full reduced vector.
+  std::vector<ReducedMetric> reduce(
+      const std::vector<ScalarMetric>& local) const;
+
+ private:
+  vmpi::Comm* comm_;
+};
+
+}  // namespace minivpic::telemetry

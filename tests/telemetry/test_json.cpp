@@ -1,0 +1,108 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace minivpic::telemetry {
+namespace {
+
+TEST(JsonTest, KindsAndAccessors) {
+  EXPECT_TRUE(Json::null().is_null());
+  EXPECT_TRUE(Json::boolean(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json::number(2.5).as_number(), 2.5);
+  EXPECT_EQ(Json::string("hi").as_string(), "hi");
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+  EXPECT_THROW(Json::number(1.0).as_string(), Error);
+  EXPECT_THROW(Json::string("x").as_number(), Error);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json o = Json::object();
+  o.set("zulu", Json::number(std::int64_t{1}));
+  o.set("alpha", Json::number(std::int64_t{2}));
+  o.set("mike", Json::number(std::int64_t{3}));
+  EXPECT_EQ(o.dump(), R"({"zulu":1,"alpha":2,"mike":3})");
+  // Re-setting replaces in place, keeping the original position.
+  o.set("alpha", Json::number(std::int64_t{9}));
+  EXPECT_EQ(o.dump(), R"({"zulu":1,"alpha":9,"mike":3})");
+}
+
+TEST(JsonTest, ObjectLookup) {
+  Json o = Json::object();
+  o.set("k", Json::string("v"));
+  EXPECT_NE(o.find("k"), nullptr);
+  EXPECT_EQ(o.find("missing"), nullptr);
+  EXPECT_EQ(o.at("k").as_string(), "v");
+  EXPECT_THROW(o.at("missing"), Error);
+}
+
+TEST(JsonTest, IntegersDumpWithoutExponent) {
+  EXPECT_EQ(Json::number(std::int64_t{0}).dump(), "0");
+  EXPECT_EQ(Json::number(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json::number(1048576.0).dump(), "1048576");
+}
+
+TEST(JsonTest, NumbersRoundTripThroughDump) {
+  const double values[] = {0.0,    1.0 / 3.0, 6.02214076e23, -2.5e-300,
+                           0.1,    1e-9,      123456.789,    -0.0,
+                           3.14159265358979};
+  for (const double v : values) {
+    const Json parsed = Json::parse(Json::number(v).dump());
+    EXPECT_EQ(parsed.as_number(), v) << "value " << v;
+  }
+}
+
+TEST(JsonTest, NonFiniteNumbersThrowOnDump) {
+  EXPECT_THROW(Json::number(std::numeric_limits<double>::infinity()).dump(),
+               Error);
+  EXPECT_THROW(Json::number(std::nan("")).dump(), Error);
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json::string("a\"b\\c\n\t").dump(), R"("a\"b\\c\n\t")");
+  EXPECT_EQ(Json::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string text =
+      R"({"s":"he\"llo","n":-1.5,"b":true,"z":null,"a":[1,2,[3]],"o":{"k":"v"}})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.at("s").as_string(), "he\"llo");
+  EXPECT_DOUBLE_EQ(j.at("n").as_number(), -1.5);
+  EXPECT_TRUE(j.at("b").as_bool());
+  EXPECT_TRUE(j.at("z").is_null());
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(j.at("a").at(2).at(0).as_number(), 3.0);
+  // dump() of a parse() is stable (fixed point after one cycle).
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  // Surrogate pair: U+1F600 in UTF-8.
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(Json::parse("nul"), Error);
+  EXPECT_THROW(Json::parse("1 2"), Error);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("{'a':1}"), Error);
+}
+
+TEST(JsonTest, ParseAcceptsWhitespace) {
+  const Json j = Json::parse(" { \"a\" : [ 1 , 2 ] } ");
+  EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+}  // namespace
+}  // namespace minivpic::telemetry

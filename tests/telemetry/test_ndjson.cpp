@@ -1,0 +1,109 @@
+#include "telemetry/ndjson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/reduce.hpp"
+#include "telemetry/sampler.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::telemetry {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return ::testing::TempDir() + "/minivpic_ndjson_" + tag + ".ndjson";
+}
+
+std::vector<ReducedMetric> reduced_fixture() {
+  return {
+      {"phase.push.s", "s", {0.1, 0.2, 0.3, 0.6}},
+      {"push.rate", "1/s", {1e6, 2e6, 3e6, 6e6}},
+  };
+}
+
+StepSample sample_fixture() {
+  StepSample s;
+  s.step_begin = 10;
+  s.step_end = 20;
+  s.sim_time = 1.25;
+  s.wall_seconds = 0.5;
+  return s;
+}
+
+TEST(NdjsonTest, WriterThrowsOnBadPath) {
+  EXPECT_THROW(NdjsonWriter("/nonexistent-dir/x.ndjson"), Error);
+}
+
+TEST(NdjsonTest, MetaRecordCarriesSchemaAndUnits) {
+  Json extra = Json::object();
+  extra.set("deck", Json::string("two_stream.deck"));
+  const Json meta = meta_record(4, 8, reduced_fixture(), extra);
+  EXPECT_EQ(meta.at("type").as_string(), "meta");
+  EXPECT_DOUBLE_EQ(meta.at("schema").as_number(),
+                   double(kNdjsonSchemaVersion));
+  EXPECT_DOUBLE_EQ(meta.at("ranks").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(meta.at("pipelines").as_number(), 8.0);
+  EXPECT_EQ(meta.at("units").at("phase.push.s").as_string(), "s");
+  EXPECT_EQ(meta.at("units").at("push.rate").as_string(), "1/s");
+  EXPECT_EQ(meta.at("deck").as_string(), "two_stream.deck");
+}
+
+TEST(NdjsonTest, SampleRecordCarriesReducedStats) {
+  const Json rec = sample_record(sample_fixture(), reduced_fixture());
+  EXPECT_EQ(rec.at("type").as_string(), "step_sample");
+  EXPECT_DOUBLE_EQ(rec.at("step").as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(rec.at("step_begin").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.at("t").as_number(), 1.25);
+  const Json& m = rec.at("metrics").at("push.rate");
+  EXPECT_DOUBLE_EQ(m.at("min").as_number(), 1e6);
+  EXPECT_DOUBLE_EQ(m.at("mean").as_number(), 2e6);
+  EXPECT_DOUBLE_EQ(m.at("max").as_number(), 3e6);
+  EXPECT_DOUBLE_EQ(m.at("sum").as_number(), 6e6);
+}
+
+TEST(NdjsonTest, StreamRoundTripsLineByLine) {
+  const std::string path = temp_path("roundtrip");
+  {
+    NdjsonWriter w(path);
+    w.write(meta_record(1, 2, reduced_fixture()));
+    for (int i = 0; i < 3; ++i) {
+      StepSample s = sample_fixture();
+      s.step_end = 20 + i;
+      w.write(sample_record(s, reduced_fixture()));
+    }
+    EXPECT_EQ(w.records_written(), 4);
+  }
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    ASSERT_FALSE(line.empty()) << "line " << lineno;
+    const Json rec = Json::parse(line);  // throws on malformed output
+    EXPECT_EQ(rec.at("type").as_string(),
+              lineno == 1 ? "meta" : "step_sample");
+    if (lineno > 1) {
+      EXPECT_DOUBLE_EQ(rec.at("step").as_number(), double(20 + lineno - 2));
+    }
+  }
+  EXPECT_EQ(lineno, 4);
+}
+
+TEST(NdjsonTest, TruncatesPreviousStream) {
+  const std::string path = temp_path("truncate");
+  { NdjsonWriter w(path); w.write(meta_record(1, 1, reduced_fixture())); }
+  { NdjsonWriter w(path); w.write(meta_record(1, 1, reduced_fixture())); }
+  std::ifstream is(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 1);  // second run starts a fresh stream
+}
+
+}  // namespace
+}  // namespace minivpic::telemetry

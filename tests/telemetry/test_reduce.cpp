@@ -1,0 +1,90 @@
+#include "telemetry/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::telemetry {
+namespace {
+
+std::vector<ScalarMetric> rank_metrics(int rank) {
+  // Distinct per-rank values so min/mean/max/sum are all different.
+  return {
+      {"a", "s", double(rank + 1)},
+      {"b", "count", 10.0 * rank},
+      {"c", "ratio", 1.0},  // identical on every rank
+  };
+}
+
+TEST(RankReducerTest, NullCommIsDegenerate) {
+  RankReducer red(nullptr);
+  EXPECT_EQ(red.ranks(), 1);
+  EXPECT_TRUE(red.root());
+  const auto out = red.reduce(rank_metrics(3));
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& m : out) {
+    EXPECT_DOUBLE_EQ(m.stats.min, m.stats.mean);
+    EXPECT_DOUBLE_EQ(m.stats.mean, m.stats.max);
+    EXPECT_DOUBLE_EQ(m.stats.sum, m.stats.max);
+  }
+  EXPECT_EQ(out[0].name, "a");
+  EXPECT_EQ(out[0].unit, "s");
+  EXPECT_DOUBLE_EQ(out[0].stats.mean, 4.0);
+}
+
+TEST(RankReducerTest, MultiRankStatistics) {
+  for (const int n : {2, 4, 7}) {
+    vmpi::run(n, [&](vmpi::Comm& comm) {
+      RankReducer red(&comm);
+      EXPECT_EQ(red.ranks(), n);
+      EXPECT_EQ(red.root(), comm.rank() == 0);
+      const auto out = red.reduce(rank_metrics(comm.rank()));
+      ASSERT_EQ(out.size(), 3u);
+
+      // metric "a": rank r contributes r + 1.
+      EXPECT_DOUBLE_EQ(out[0].stats.min, 1.0);
+      EXPECT_DOUBLE_EQ(out[0].stats.max, double(n));
+      EXPECT_DOUBLE_EQ(out[0].stats.sum, double(n) * (n + 1) / 2.0);
+      EXPECT_DOUBLE_EQ(out[0].stats.mean, (n + 1) / 2.0);
+
+      // metric "c" is identical everywhere: fully degenerate stats except
+      // the sum, which counts ranks.
+      EXPECT_DOUBLE_EQ(out[2].stats.min, 1.0);
+      EXPECT_DOUBLE_EQ(out[2].stats.mean, 1.0);
+      EXPECT_DOUBLE_EQ(out[2].stats.max, 1.0);
+      EXPECT_DOUBLE_EQ(out[2].stats.sum, double(n));
+    });
+  }
+}
+
+TEST(RankReducerTest, OrderingInvariantHolds) {
+  // min <= mean <= max and sum == mean * n, for arbitrary per-rank values.
+  const int n = 5;
+  vmpi::run(n, [&](vmpi::Comm& comm) {
+    const double v = double((comm.rank() * 7919) % 13) - 6.0;
+    RankReducer red(&comm);
+    const auto out = red.reduce({{"x", "", v}});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_LE(out[0].stats.min, out[0].stats.mean);
+    EXPECT_LE(out[0].stats.mean, out[0].stats.max);
+    EXPECT_NEAR(out[0].stats.sum, out[0].stats.mean * n,
+                1e-12 * std::abs(out[0].stats.sum));
+  });
+}
+
+TEST(RankReducerTest, AllRanksReceiveTheSameResult) {
+  const int n = 3;
+  std::vector<double> means(n, 0.0);
+  vmpi::run(n, [&](vmpi::Comm& comm) {
+    RankReducer red(&comm);
+    const auto out = red.reduce({{"x", "", double(comm.rank())}});
+    means[std::size_t(comm.rank())] = out[0].stats.mean;
+  });
+  EXPECT_DOUBLE_EQ(means[0], means[1]);
+  EXPECT_DOUBLE_EQ(means[1], means[2]);
+}
+
+}  // namespace
+}  // namespace minivpic::telemetry
