@@ -6,9 +6,13 @@
 // reduction, sort).
 //
 // The particle advance is swept over intra-rank pipeline counts (the
-// paper's per-node parallel layer): by default {1, 2, 4, ..., hardware}.
+// paper's per-node parallel layer): by default {1, 2, 4, ..., hardware},
+// and over advance kernels (docs/KERNELS.md): by default every kernel the
+// host can run (scalar + each compiled-in SIMD width the CPU supports).
 //   --pipelines=N   pin the advance to exactly N pipelines (1 = the serial
 //                   reference path; google-benchmark flags still apply)
+//   --kernel=NAME   pin the advance to one kernel: scalar|sse|avx2|avx512|
+//                   auto (auto = widest available)
 //   --json=PATH     machine-readable results; shorthand for google-benchmark's
 //                   --benchmark_out=PATH --benchmark_out_format=json
 #include <benchmark/benchmark.h>
@@ -30,7 +34,8 @@ using namespace minivpic::particles;
 namespace {
 
 struct PushFixture {
-  PushFixture(int cells, int ppc, int pipelines = 1)
+  PushFixture(int cells, int ppc, int pipelines = 1,
+              Kernel kernel = Kernel::kScalar)
       : grid(make_grid(cells)),
         fields(grid),
         interp(grid),
@@ -38,6 +43,7 @@ struct PushFixture {
         pusher(grid, periodic_particles()),
         pipeline(pipelines),
         sp("e", -1.0, 1.0) {
+    pusher.set_kernel(kernel);
     for (int k = 0; k <= cells + 1; ++k)
       for (int j = 0; j <= cells + 1; ++j)
         for (int i = 0; i <= cells + 1; ++i) {
@@ -69,8 +75,8 @@ struct PushFixture {
 };
 
 void BM_ParticleAdvance(benchmark::State& state, int cells, int ppc,
-                        int pipelines) {
-  PushFixture fx(cells, ppc, pipelines);
+                        int pipelines, Kernel kernel) {
+  PushFixture fx(cells, ppc, pipelines, kernel);
   std::int64_t pushed = 0;
   for (auto _ : state) {
     fx.acc.clear();
@@ -87,6 +93,8 @@ void BM_ParticleAdvance(benchmark::State& state, int cells, int ppc,
   state.counters["flops/particle"] =
       perf::KernelCosts::push_flops_per_particle();
   state.counters["pipelines"] = double(pipelines);
+  state.counters["lane_width"] =
+      double(perf::KernelCosts::push_lane_width(fx.pusher.kernel()));
 }
 
 void BM_InterpolatorLoad(benchmark::State& state) {
@@ -159,23 +167,28 @@ std::vector<int> pipeline_sweep() {
   return counts;
 }
 
-void register_advance_benchmarks(const std::vector<int>& pipeline_counts) {
+void register_advance_benchmarks(const std::vector<int>& pipeline_counts,
+                                 const std::vector<Kernel>& kernels) {
   struct Case {
     int cells, ppc;
   };
   const Case cases[] = {{16, 16}, {16, 64}, {32, 16}, {32, 64}, {32, 256}};
   for (const Case& c : cases) {
     for (int np : pipeline_counts) {
-      const std::string name = "BM_ParticleAdvance/" + std::to_string(c.cells) +
-                               "/" + std::to_string(c.ppc) + "/pipelines:" +
-                               std::to_string(np);
-      // The advance is internally threaded, so rate counters must divide by
-      // wall time — the default (main-thread CPU time) would credit an
-      // N-pipeline run with N× throughput even when the host can't run them.
-      benchmark::RegisterBenchmark(name.c_str(), BM_ParticleAdvance, c.cells,
-                                   c.ppc, np)
-          ->Unit(benchmark::kMillisecond)
-          ->UseRealTime();
+      for (Kernel k : kernels) {
+        const std::string name =
+            "BM_ParticleAdvance/" + std::to_string(c.cells) + "/" +
+            std::to_string(c.ppc) + "/pipelines:" + std::to_string(np) +
+            "/kernel:" + kernel_name(k);
+        // The advance is internally threaded, so rate counters must divide
+        // by wall time — the default (main-thread CPU time) would credit an
+        // N-pipeline run with N× throughput even when the host can't run
+        // them.
+        benchmark::RegisterBenchmark(name.c_str(), BM_ParticleAdvance,
+                                     c.cells, c.ppc, np, k)
+            ->Unit(benchmark::kMillisecond)
+            ->UseRealTime();
+      }
     }
   }
 }
@@ -187,6 +200,7 @@ int main(int argc, char** argv) {
   // argv. --json is rewritten into the library's own JSON reporter flags so
   // every bench shares the one --json=PATH convention.
   std::vector<int> counts;
+  std::vector<Kernel> kernels;
   std::vector<std::string> extra;
   std::vector<char*> bargv;
   for (int i = 0; i < argc; ++i) {
@@ -195,6 +209,10 @@ int main(int argc, char** argv) {
       counts = {std::max(1, std::atoi(a + 12))};
     } else if (std::strcmp(a, "--pipelines") == 0 && i + 1 < argc) {
       counts = {std::max(1, std::atoi(argv[++i]))};
+    } else if (std::strncmp(a, "--kernel=", 9) == 0) {
+      kernels = {resolve_kernel(parse_kernel(a + 9))};
+    } else if (std::strcmp(a, "--kernel") == 0 && i + 1 < argc) {
+      kernels = {resolve_kernel(parse_kernel(argv[++i]))};
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       extra.push_back(std::string("--benchmark_out=") + (a + 7));
       extra.push_back("--benchmark_out_format=json");
@@ -204,7 +222,14 @@ int main(int argc, char** argv) {
   }
   for (std::string& s : extra) bargv.push_back(s.data());
   if (counts.empty()) counts = pipeline_sweep();
-  register_advance_benchmarks(counts);
+  if (kernels.empty()) kernels = available_kernels();
+  {
+    std::string names;
+    for (Kernel k : kernels)
+      names += (names.empty() ? "" : ",") + std::string(kernel_name(k));
+    benchmark::AddCustomContext("kernels", names);
+  }
+  register_advance_benchmarks(counts, kernels);
   int bargc = int(bargv.size());
   benchmark::Initialize(&bargc, bargv.data());
   if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;

@@ -51,7 +51,7 @@ int main() {
             << cfg.flops_per_particle << " flops/particle = "
             << cfg.flops_per_particle / cfg.bytes_per_particle
             << " flops/byte (vs SPE machine balance "
-            << cfg.spes_per_cell * cfg.clock_hz * cfg.sp_flops_per_spe_clock /
+            << cfg.spes_per_cell * cfg.clock_hz * cfg.sp_flops_per_spe_clock() /
                    cfg.mem_bw_per_cell
             << " flops/byte)\n\n";
 

@@ -4,13 +4,16 @@
 // the inner loop dominates (0.488 Pflop/s inner vs 0.374 Pflop/s whole-code
 // ~ 77%) should reproduce as a push fraction around 70-85%.
 //
-// Also sweeps the intra-rank pipeline count of the particle advance:
+// Also sweeps the intra-rank pipeline count and the advance kernel
+// (docs/KERNELS.md) of the particle advance:
 //   --pipelines=N   run the breakdown at exactly N pipelines
 //                   (default: sweep 1, 2, 4, ..., hardware threads)
+//   --kernel=NAME   run at exactly one kernel: scalar|sse|avx2|avx512|auto
+//                   (default: sweep scalar plus the widest available)
 //   --steps=N       timed steps per configuration (default 100)
 //   --json=PATH     machine-readable results: one record per swept
-//                   pipeline count carrying the full telemetry metric
-//                   catalogue (see docs/OBSERVABILITY.md)
+//                   (pipelines, kernel) point carrying the full telemetry
+//                   metric catalogue (see docs/OBSERVABILITY.md)
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -29,7 +32,7 @@ using namespace minivpic;
 
 namespace {
 
-sim::Deck breakdown_deck(int pipelines) {
+sim::Deck breakdown_deck(int pipelines, particles::Kernel kernel) {
   sim::LpiParams p;
   p.nx = 192;
   p.ny = p.nz = 2;
@@ -39,11 +42,13 @@ sim::Deck breakdown_deck(int pipelines) {
   p.vacuum_cells = 24;
   sim::Deck deck = sim::lpi_deck(p);
   deck.pipelines = pipelines;
+  deck.kernel = kernel;
   return deck;
 }
 
 struct SweepPoint {
   int pipelines = 1;
+  std::string kernel = "scalar";
   double push_seconds = 0;
   double reduce_seconds = 0;
   double step_seconds = 0;
@@ -51,14 +56,16 @@ struct SweepPoint {
   telemetry::StepSample sample;  ///< full derived metric set for --json
 };
 
-SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
+SweepPoint run_breakdown(int pipelines, particles::Kernel kernel, int steps,
+                         bool print_table) {
   const int warmup = 10;
   {
-    sim::Simulation warm(breakdown_deck(pipelines));
+    sim::Simulation warm(breakdown_deck(pipelines, kernel));
     warm.initialize();
     warm.run(warmup);  // let caches and particle lists settle
   }
-  sim::Simulation timed(breakdown_deck(pipelines));  // fresh timers, same deck
+  // fresh timers, same deck
+  sim::Simulation timed(breakdown_deck(pipelines, kernel));
   timed.initialize();
   const Timer wall;
   timed.run(steps);
@@ -84,7 +91,9 @@ SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
     table.print(std::cout, "T2: step cost breakdown (LPI deck, " +
                                std::to_string(steps) + " steps, " +
                                std::to_string(timed.pipelines()) +
-                               " pipeline(s))");
+                               " pipeline(s), " +
+                               particles::kernel_name(timed.kernel()) +
+                               " kernel)");
 
     // Rates come from the shared StepSampler derivations so this table, the
     // NDJSON stream, and run_deck agree by construction.
@@ -103,6 +112,7 @@ SweepPoint run_breakdown(int pipelines, int steps, bool print_table) {
 
   SweepPoint pt;
   pt.pipelines = timed.pipelines();
+  pt.kernel = particles::kernel_name(timed.kernel());
   pt.push_seconds = t.push.total_seconds();
   pt.reduce_seconds = t.reduce.total_seconds();
   pt.step_seconds = total;
@@ -128,6 +138,7 @@ void write_json(const std::string& path, int steps,
     }
     telemetry::Json rec = telemetry::Json::object();
     rec.set("pipelines", telemetry::Json::number(std::int64_t{pt.pipelines}));
+    rec.set("kernel", telemetry::Json::string(pt.kernel));
     rec.set("metrics", std::move(metrics));
     points.push_back(std::move(rec));
   }
@@ -145,7 +156,7 @@ void write_json(const std::string& path, int steps,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.check_known({"pipelines", "steps", "json"});
+  args.check_known({"pipelines", "kernel", "steps", "json"});
   const int steps = int(args.get_int("steps", 100));
 
   std::vector<int> counts;
@@ -157,23 +168,40 @@ int main(int argc, char** argv) {
     counts.push_back(hw);
   }
 
-  // Detailed breakdown at the first requested count; sweep summary after.
+  // Kernel axis: one kernel when pinned, else the scalar baseline plus the
+  // widest this host runs (when they differ).
+  std::vector<particles::Kernel> kernels;
+  if (args.has("kernel")) {
+    kernels = {particles::resolve_kernel(
+        particles::parse_kernel(args.get("kernel", "auto")))};
+  } else {
+    kernels = {particles::Kernel::kScalar};
+    const particles::Kernel widest =
+        particles::resolve_kernel(particles::Kernel::kAuto);
+    if (widest != particles::Kernel::kScalar) kernels.push_back(widest);
+  }
+
+  // Detailed breakdown at the first requested point; sweep summary after.
   std::vector<SweepPoint> sweep;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    sweep.push_back(run_breakdown(counts[i], steps, i == 0));
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      sweep.push_back(
+          run_breakdown(counts[i], kernels[k], steps, i == 0 && k == 0));
+    }
   }
 
   if (sweep.size() > 1) {
     std::cout << "\n";
-    Table table({"pipelines", "push s", "reduce s", "step s", "Mpart/s",
-                 "push speedup"});
+    Table table({"pipelines", "kernel", "push s", "reduce s", "step s",
+                 "Mpart/s", "push speedup"});
     for (const SweepPoint& pt : sweep) {
-      table.add_row({(long long)pt.pipelines, pt.push_seconds,
+      table.add_row({(long long)pt.pipelines, pt.kernel, pt.push_seconds,
                      pt.reduce_seconds, pt.step_seconds, pt.push_rate / 1e6,
                      sweep[0].push_seconds / pt.push_seconds});
     }
     table.print(std::cout,
-                "pipeline sweep: particle advance vs intra-rank pipelines");
+                "sweep: particle advance vs intra-rank pipelines x kernel "
+                "(speedup vs the first row)");
   }
   if (args.has("json")) write_json(args.get("json", ""), steps, sweep);
   return 0;

@@ -10,6 +10,7 @@
 //              [--max-walltime=seconds]  # checkpoint + exit 3 when exceeded
 //              [--history=energies.csv]
 //              [--pipelines=N]   # particle-advance threads; 0 = hardware
+//              [--kernel=NAME]   # scalar|sse|avx2|avx512|auto (default auto)
 //              [--metrics=PATH]  # NDJSON metrics stream (rank-reduced)
 //              [--metrics-every=N]       # sample cadence (default: --report)
 //              [--trace=PATH]    # Chrome trace (open in ui.perfetto.dev)
@@ -104,7 +105,7 @@ int run(int argc, char** argv) {
   Args args(argc, argv);
   args.check_known({"steps", "report", "probe_plane", "checkpoint",
                     "checkpoint-every", "resume", "max-walltime", "history",
-                    "pipelines", "metrics", "metrics-every", "trace",
+                    "pipelines", "kernel", "metrics", "metrics-every", "trace",
                     "log-level"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
@@ -113,7 +114,8 @@ int run(int argc, char** argv) {
                  "       [--resume[=prefix]] [--max-walltime=seconds] "
                  "[--history=csv] [--pipelines=N]\n"
                  "       [--metrics=ndjson] [--metrics-every=N] "
-                 "[--trace=json] [--log-level=LVL]\n";
+                 "[--trace=json] [--log-level=LVL]\n"
+                 "       [--kernel=scalar|sse|avx2|avx512|auto]\n";
     return 2;
   }
   if (args.has("log-level")) {
@@ -131,6 +133,11 @@ int run(int argc, char** argv) {
   // hardware-aware (0 = one pipeline per hardware thread).
   if (args.has("pipelines")) {
     deck.pipelines = int(args.get_int("pipelines", 0));
+  }
+  // Advance kernel follows the same convention: the deck's [control]
+  // `kernel` key (default auto for deck files) overridden by --kernel.
+  if (args.has("kernel")) {
+    deck.kernel = particles::parse_kernel(args.get("kernel", "auto"));
   }
   if (args.has("checkpoint-every")) {
     deck.checkpoint_every = int(args.get_int("checkpoint-every", 0));
@@ -168,7 +175,7 @@ int run(int argc, char** argv) {
   std::cout << "deck: " << args.positional()[0] << " — "
             << sim.global_particle_count() << " particles, dt = "
             << sim.local_grid().dt() << ", pipelines = " << sim.pipelines()
-            << "\n\n";
+            << ", kernel = " << particles::kernel_name(sim.kernel()) << "\n\n";
 
   sim::HealthMonitor health(sim, deck.health, ckpt_prefix);
 
@@ -219,7 +226,8 @@ int run(int argc, char** argv) {
           extra.set("sample_every",
                     telemetry::Json::number(std::int64_t{metrics_every}));
           metrics->write(telemetry::meta_record(
-              reducer.ranks(), sim.pipelines(), reduced, extra));
+              reducer.ranks(), sim.pipelines(),
+              particles::kernel_name(sim.kernel()), reduced, extra));
           metrics_meta_written = true;
         }
         metrics->write(telemetry::sample_record(smp, reduced));

@@ -39,7 +39,7 @@ const std::vector<std::string> kRequiredMetrics = {
     "phase.field.s",       "phase.clean.s",     "phase.collide.s",
     "step.s",              "particles.pushed",  "push.rate",
     "push.gflops",         "push.gbytes_per_s", "pipeline.count",
-    "pipeline.imbalance",
+    "pipeline.imbalance",  "push.lane_width",
 };
 
 int check_metrics(const std::string& path) {
@@ -75,6 +75,7 @@ int check_metrics(const std::string& path) {
         saw_meta = true;
         rec.at("schema").as_number();
         rec.at("ranks").as_number();
+        rec.at("kernel").as_string();
         rec.at("units").members();
         continue;
       }

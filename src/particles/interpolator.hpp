@@ -20,16 +20,27 @@
 
 namespace minivpic::particles {
 
-struct Interpolator {
+struct alignas(16) Interpolator {
   float ex = 0, dexdy = 0, dexdz = 0, d2exdydz = 0;
   float ey = 0, deydz = 0, deydx = 0, d2eydzdx = 0;
   float ez = 0, dezdx = 0, dezdy = 0, d2ezdxdy = 0;
   float cbx = 0, dcbxdx = 0;
   float cby = 0, dcbydy = 0;
   float cbz = 0, dcbzdz = 0;
-  float pad0 = 0, pad1 = 0;  ///< pad to 80 bytes as VPIC does
+  /// VPIC's padding, not waste: it rounds the 18 coefficients up to an
+  /// 80-byte (= 5 x 16 B) element, so the per-particle gather is a fixed
+  /// vector-friendly stride and the SIMD kernels' 4-wide transpose can read
+  /// columns in full 16-byte blocks — the final block covers {cbz, dcbzdz,
+  /// pad0, pad1} without stepping outside the element (util/simd.hpp).
+  float pad0 = 0, pad1 = 0;
 };
 static_assert(sizeof(Interpolator) == 80, "interpolator layout");
+// The SIMD gather loads 16-byte column blocks; keep elements 16-aligned so
+// those loads never split across elements (the backing store is 64-aligned
+// via util::AlignedBuffer, see below).
+static_assert(alignof(Interpolator) >= 16, "interpolator alignment");
+static_assert(sizeof(Interpolator) % alignof(Interpolator) == 0,
+              "array elements must preserve the alignment");
 
 /// Interpolator array for one rank's voxels.
 class InterpolatorArray {

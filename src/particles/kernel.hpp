@@ -1,0 +1,55 @@
+// Particle-advance kernel registry.
+//
+// The advance has one scalar reference kernel and a family of SIMD kernels
+// (see push_simd.hpp and docs/KERNELS.md). Which one runs is a runtime
+// choice: decks say `[control] kernel = auto`, the CLI says `--kernel=...`,
+// and `auto` resolves to the widest kernel this build compiled *and* this
+// CPU can execute. The enum below is the registry key; names are the
+// user-facing spellings accepted everywhere a kernel can be named.
+//
+// Naming note: `sse` is the 4-wide kernel. On x86-64 it maps to SSE2 (part
+// of the baseline, so it is always available); on AArch64 the same 4-wide
+// kernel is backed by NEON, and on anything else by the portable scalar
+// fallback of util/simd.hpp — the name stays `sse` so decks and scripts are
+// portable across hosts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace minivpic::particles {
+
+enum class Kernel {
+  kScalar,  ///< the reference loop in push.cpp
+  kSse,     ///< 4-wide (SSE2 on x86, NEON on AArch64, portable elsewhere)
+  kAvx2,    ///< 8-wide AVX2
+  kAvx512,  ///< 16-wide AVX-512F
+  kAuto,    ///< resolve at runtime to the widest available kernel
+};
+
+/// Parses a user-facing kernel name ("scalar", "sse", "avx2", "avx512",
+/// "auto"); throws util::Error on anything else.
+Kernel parse_kernel(const std::string& name);
+
+/// The user-facing name ("scalar", ..., "auto").
+const char* kernel_name(Kernel k);
+
+/// SIMD lane width of a resolved kernel (scalar 1, sse 4, avx2 8,
+/// avx512 16). Requires k != kAuto — resolve first.
+int kernel_lane_width(Kernel k);
+
+/// True when this build compiled the kernel and the host CPU can run it.
+/// kScalar and kAuto are always available; kSse always has at least the
+/// portable fallback.
+bool kernel_available(Kernel k);
+
+/// kAuto -> the widest available kernel (kScalar if no SIMD kernel is
+/// usable). An explicitly requested kernel is validated: throws util::Error
+/// when this build/host cannot run it. Never returns kAuto.
+Kernel resolve_kernel(Kernel k);
+
+/// Every kernel available on this build/host, scalar first, then by
+/// ascending lane width. What benches sweep.
+std::vector<Kernel> available_kernels();
+
+}  // namespace minivpic::particles

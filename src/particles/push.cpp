@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "particles/push_simd.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -211,10 +212,27 @@ Pusher::MoveStatus Pusher::continue_move(Particle& p, Mover& m,
                 migrate_reflux_rng_);
 }
 
+void Pusher::set_kernel(Kernel k) { kernel_ = resolve_kernel(k); }
+
 void Pusher::advance_range(Species& sp, const InterpolatorArray& interp,
                            CellAccum* acc_block, std::size_t begin,
                            std::size_t end, Rng& reflux_rng, Result& res,
                            std::vector<std::size_t>& dead) const {
+  if (kernel_ != Kernel::kScalar) {
+    if (const SimdAdvanceFn fn = simd_advance_entry(kernel_)) {
+      fn(*this, sp, interp, acc_block, begin, end, reflux_rng, res, dead);
+      return;
+    }
+  }
+  advance_range_scalar(sp, interp, acc_block, begin, end, reflux_rng, res,
+                       dead);
+}
+
+void Pusher::advance_range_scalar(Species& sp, const InterpolatorArray& interp,
+                                  CellAccum* acc_block, std::size_t begin,
+                                  std::size_t end, Rng& reflux_rng,
+                                  Result& res,
+                                  std::vector<std::size_t>& dead) const {
   const auto& g = *grid_;
   const float qdt_2mc = float(sp.q() * g.dt() / (2.0 * sp.m()));
   const float cdt_dx = float(g.dt() / g.dx());

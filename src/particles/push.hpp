@@ -31,6 +31,19 @@
 // count every run is bit-wise reproducible. Reflux draws come from
 // per-pipeline streams, so refluxed momenta differ *statistically* (not
 // physically) across pipeline counts.
+//
+// SIMD kernels (push_simd.hpp, docs/KERNELS.md): set_kernel() swaps the
+// per-slice advance for a W-wide vector kernel that mirrors the scalar
+// operation sequence exactly — same IEEE correctly-rounded add/mul/div/
+// sqrt, no FMA contraction, deposits and move_p spills executed in particle
+// order. The SIMD kernels are therefore designed to be bit-identical to
+// the scalar reference (trajectories, counters, emigrant order, reflux
+// draws, and J alike); the *documented* contract the tests assert is the
+// same one as the pipeline layer's — exact counters, trajectories to
+// <= 4 ULP, bit-exact J at <= 1 deposit per cell per block — so a future
+// kernel with a weaker guarantee (e.g. an FMA variant) has room to exist
+// without rewording every test. Kernel choice composes with pipelines:
+// each pipeline runs the selected kernel over its own contiguous slice.
 #pragma once
 
 #include <cstdint>
@@ -38,11 +51,14 @@
 
 #include "particles/accumulator.hpp"
 #include "particles/interpolator.hpp"
+#include "particles/kernel.hpp"
 #include "particles/species.hpp"
 #include "util/pipeline.hpp"
 #include "util/rng.hpp"
 
 namespace minivpic::particles {
+
+struct SimdKernelAccess;
 
 class Pusher {
  public:
@@ -94,22 +110,43 @@ class Pusher {
 
   const ParticleBcSpec& bc() const { return bc_; }
 
+  /// Selects the advance kernel. kAuto resolves immediately to the widest
+  /// kernel this build/host supports; an explicitly named kernel throws
+  /// util::Error when unavailable. Default is the scalar reference.
+  void set_kernel(Kernel k);
+
+  /// The resolved kernel the next advance() will run (never kAuto).
+  Kernel kernel() const { return kernel_; }
+
   /// Floating-point operations per particle advance for the common in-cell
   /// case, counted from the kernel source (see push.cpp); used by the
   /// performance model and benches.
   static constexpr double flops_per_particle() { return 182.0; }
 
  private:
+  /// Back door for the SIMD kernels (push_simd.hpp): they live in separate
+  /// per-ISA translation units but need move_p, the scalar remainder path,
+  /// and the grid.
+  friend struct SimdKernelAccess;
+
   MoveStatus move_p(Particle& p, Mover& m, float macro_charge, CellAccum* acc,
                     Emigrant* out, Result* stats, Rng& reflux_rng) const;
 
-  /// Advances particles [begin, end) of `sp`, depositing into `acc_block`.
-  /// Removals are deferred: dead (emigrated/absorbed) indices are appended
-  /// to `dead` in ascending order for the caller to splice and remove.
+  /// Advances particles [begin, end) of `sp` with the selected kernel,
+  /// depositing into `acc_block`. Removals are deferred: dead (emigrated/
+  /// absorbed) indices are appended to `dead` in ascending order for the
+  /// caller to splice and remove.
   void advance_range(Species& sp, const InterpolatorArray& interp,
                      CellAccum* acc_block, std::size_t begin, std::size_t end,
                      Rng& reflux_rng, Result& res,
                      std::vector<std::size_t>& dead) const;
+
+  /// The scalar reference loop (also the remainder path of every SIMD
+  /// kernel: the last size % W particles of a slice run here).
+  void advance_range_scalar(Species& sp, const InterpolatorArray& interp,
+                            CellAccum* acc_block, std::size_t begin,
+                            std::size_t end, Rng& reflux_rng, Result& res,
+                            std::vector<std::size_t>& dead) const;
 
   /// Per-pipeline reflux streams exist for pipelines [0, n); streams are
   /// persistent across steps so draw sequences stay reproducible.
@@ -117,6 +154,7 @@ class Pusher {
 
   const grid::LocalGrid* grid_;
   ParticleBcSpec bc_;
+  Kernel kernel_ = Kernel::kScalar;
   double reflux_uth_;
   std::uint64_t reflux_seed_;
   /// One independent counter-based stream per pipeline: stream p is

@@ -1,0 +1,118 @@
+// Baseline-ISA translation unit: the 4-wide kernel (SSE2 on x86-64, where
+// it is part of the baseline; NEON on AArch64; the portable pack fallback
+// elsewhere) plus the kernel registry and runtime dispatch.
+#include "particles/push_simd.hpp"
+
+#include "particles/push_simd_impl.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::particles {
+
+namespace detail {
+
+SimdAdvanceFn advance_entry_w4() { return &advance_range_simd<4>; }
+
+}  // namespace detail
+
+namespace {
+
+/// Runtime CPU support for a kernel's ISA (independent of what this build
+/// compiled — kernel_available() intersects the two).
+bool cpu_supports(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+    case Kernel::kAuto:
+      return true;
+    case Kernel::kSse:
+      // 4-wide needs nothing beyond the baseline on any supported host
+      // (SSE2 is x86-64 baseline; the NEON/portable backends always run).
+      return true;
+    case Kernel::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Kernel::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+}  // namespace
+
+Kernel parse_kernel(const std::string& name) {
+  if (name == "scalar") return Kernel::kScalar;
+  if (name == "sse") return Kernel::kSse;
+  if (name == "avx2") return Kernel::kAvx2;
+  if (name == "avx512") return Kernel::kAvx512;
+  if (name == "auto") return Kernel::kAuto;
+  MV_REQUIRE(false, "unknown kernel '"
+                        << name << "' (scalar | sse | avx2 | avx512 | auto)");
+  return Kernel::kScalar;  // unreachable
+}
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar: return "scalar";
+    case Kernel::kSse: return "sse";
+    case Kernel::kAvx2: return "avx2";
+    case Kernel::kAvx512: return "avx512";
+    case Kernel::kAuto: return "auto";
+  }
+  return "?";
+}
+
+int kernel_lane_width(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar: return 1;
+    case Kernel::kSse: return 4;
+    case Kernel::kAvx2: return 8;
+    case Kernel::kAvx512: return 16;
+    case Kernel::kAuto: break;
+  }
+  MV_REQUIRE(false, "kernel_lane_width needs a resolved kernel, not 'auto'");
+  return 1;  // unreachable
+}
+
+bool kernel_available(Kernel k) {
+  if (k == Kernel::kScalar || k == Kernel::kAuto) return true;
+  return simd_advance_entry(k) != nullptr && cpu_supports(k);
+}
+
+Kernel resolve_kernel(Kernel k) {
+  if (k == Kernel::kAuto) {
+    for (Kernel c : {Kernel::kAvx512, Kernel::kAvx2, Kernel::kSse})
+      if (kernel_available(c)) return c;
+    return Kernel::kScalar;
+  }
+  MV_REQUIRE(kernel_available(k),
+             "kernel '" << kernel_name(k)
+                        << "' is not available on this build/host");
+  return k;
+}
+
+std::vector<Kernel> available_kernels() {
+  std::vector<Kernel> out{Kernel::kScalar};
+  for (Kernel c : {Kernel::kSse, Kernel::kAvx2, Kernel::kAvx512})
+    if (kernel_available(c)) out.push_back(c);
+  return out;
+}
+
+SimdAdvanceFn simd_advance_entry(Kernel k) {
+  switch (k) {
+    case Kernel::kSse: return detail::advance_entry_w4();
+    case Kernel::kAvx2: return detail::advance_entry_avx2();
+    case Kernel::kAvx512: return detail::advance_entry_avx512();
+    case Kernel::kScalar:
+    case Kernel::kAuto:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace minivpic::particles

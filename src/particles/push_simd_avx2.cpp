@@ -1,0 +1,24 @@
+// AVX2 translation unit: compiled with -mavx2 when the compiler supports it
+// (particles/CMakeLists.txt), baseline flags otherwise. The TU self-gates
+// on the resulting predefines, so no build-system feature macro is needed:
+// without __AVX2__ the 8-wide kernel simply is not compiled and the entry
+// is null. The instantiation lives in util/simd.hpp's arch inline
+// namespace, so this TU's pack<8> types never ODR-collide with another
+// TU's fallback pack<8>.
+#include "particles/push_simd.hpp"
+
+#if defined(__AVX2__)
+#include "particles/push_simd_impl.hpp"
+#endif
+
+namespace minivpic::particles::detail {
+
+SimdAdvanceFn advance_entry_avx2() {
+#if defined(__AVX2__)
+  return &advance_range_simd<8>;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace minivpic::particles::detail

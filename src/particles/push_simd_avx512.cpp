@@ -1,0 +1,22 @@
+// AVX-512F translation unit: compiled with -mavx512f when the compiler
+// supports it (particles/CMakeLists.txt), baseline flags otherwise; the TU
+// self-gates on __AVX512F__ exactly like the AVX2 one. Only AVX-512F
+// intrinsics are used (gather/scatter/mask-blend), so plain -mavx512f is
+// sufficient — no VL/DQ/BW subsets.
+#include "particles/push_simd.hpp"
+
+#if defined(__AVX512F__)
+#include "particles/push_simd_impl.hpp"
+#endif
+
+namespace minivpic::particles::detail {
+
+SimdAdvanceFn advance_entry_avx512() {
+#if defined(__AVX512F__)
+  return &advance_range_simd<16>;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace minivpic::particles::detail

@@ -9,6 +9,10 @@ double KernelCosts::push_flops_per_particle() {
   return particles::Pusher::flops_per_particle();
 }
 
+int KernelCosts::push_lane_width(particles::Kernel k) {
+  return particles::kernel_lane_width(k);
+}
+
 double KernelCosts::push_bytes_per_particle(double particles_per_cell) {
   // Particle read + write (32 B each), accumulator 12 floats RMW (96 B),
   // interpolator 80 B read amortized across the cell's particles.

@@ -6,12 +6,21 @@
 
 #include <cstdint>
 
+#include "particles/kernel.hpp"
+
 namespace minivpic::perf {
 
 struct KernelCosts {
   // -- particle advance (the paper's inner loop) ---------------------------
   /// Flops per particle per step, common in-cell case (see push.cpp).
+  /// Identical for every kernel: the SIMD kernels execute the same
+  /// arithmetic, W particles at a time.
   static double push_flops_per_particle();
+
+  /// SIMD lanes the given advance kernel retires per operation (scalar 1,
+  /// sse 4, avx2 8, avx512 16) — the flops/clock axis of the roofline
+  /// (RoadrunnerConfig::simd_lane_width).
+  static int push_lane_width(particles::Kernel k);
 
   /// Algorithmic bytes moved per particle per step when particles are
   /// sorted (VPIC's operating point): the 32 B particle is read and written,

@@ -34,7 +34,7 @@ int RoadrunnerModel::total_spes() const {
 }
 
 double RoadrunnerModel::peak_sp_flops() const {
-  return double(total_spes()) * cfg_.clock_hz * cfg_.sp_flops_per_spe_clock;
+  return double(total_spes()) * cfg_.clock_hz * cfg_.sp_flops_per_spe_clock();
 }
 
 RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
@@ -46,7 +46,7 @@ RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
 
   RoadrunnerPrediction out;
   const double chip_flops =
-      cfg_.spes_per_cell * cfg_.clock_hz * cfg_.sp_flops_per_spe_clock;
+      cfg_.spes_per_cell * cfg_.clock_hz * cfg_.sp_flops_per_spe_clock();
   out.peak_sp_flops = double(chips) * chip_flops;
 
   const double np = particles / chips;  // particles per Cell chip
@@ -55,7 +55,7 @@ RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
   // Particle advance roofline. The compute side only counts the SPEs that
   // actually run pipelines: fewer pipelines than SPEs idles compute.
   const double pipeline_flops = cfg_.pipelines_per_chip * cfg_.clock_hz *
-                                cfg_.sp_flops_per_spe_clock;
+                                cfg_.sp_flops_per_spe_clock();
   const double t_compute = np * cfg_.flops_per_particle /
                            (pipeline_flops * cfg_.spe_push_efficiency);
   const double t_memory = np * cfg_.bytes_per_particle / cfg_.mem_bw_per_cell;

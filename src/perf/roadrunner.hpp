@@ -36,7 +36,14 @@ struct RoadrunnerConfig {
   int cells_per_triblade = 4;
   int spes_per_cell = 8;
   double clock_hz = 3.2e9;
-  double sp_flops_per_spe_clock = 8.0;
+  /// SPE SIMD width in SP lanes (Cell: 128-bit = 4 floats). Our host
+  /// kernels map onto the same axis: scalar 1, sse 4, avx2 8, avx512 16
+  /// (particles::kernel_lane_width); swap this in to model other ISAs.
+  int simd_lane_width = 4;
+  /// SP flops each lane retires per clock (Cell SPE: one fused
+  /// multiply-add pipe = 2 flops/lane/clock, giving the quoted 8
+  /// flops/clock per SPE).
+  double flops_per_lane_per_clock = 2.0;
   double mem_bw_per_cell = 25.6e9;     ///< bytes/s
   double ib_bw_per_triblade = 2.0e9;   ///< bytes/s per direction
   double ib_latency = 2e-6;            ///< seconds per exchange phase
@@ -61,6 +68,12 @@ struct RoadrunnerConfig {
   double spe_push_efficiency = 0.30;   ///< compute-side ceiling, frac of peak
   double host_overhead_fraction = 0.18;  ///< DaCS/PCIe staging vs t_push
   int sort_period = 20;
+
+  /// SP flops per SPE per clock: lanes x flops/lane (Cell: 4 x 2 = the
+  /// public 8 flops/clock figure).
+  double sp_flops_per_spe_clock() const {
+    return double(simd_lane_width) * flops_per_lane_per_clock;
+  }
 };
 
 struct RoadrunnerPrediction {

@@ -8,6 +8,7 @@
 
 #include "field/antenna.hpp"
 #include "grid/geometry.hpp"
+#include "particles/kernel.hpp"
 #include "particles/loader.hpp"
 #include "particles/particle.hpp"
 
@@ -73,6 +74,14 @@ struct Deck {
   /// single-rank decks are deterministic without configuration; the CLI
   /// front ends (`--pipelines`) default to hardware-aware.
   int pipelines = 1;
+
+  /// Particle-advance kernel (see particles/kernel.hpp and docs/KERNELS.md).
+  /// Mirrors the `pipelines` convention: the library default is the scalar
+  /// reference kernel so programmatic decks are conservative without
+  /// configuration; the deck-file and CLI front ends (`kernel = auto`,
+  /// `--kernel`) default to the widest kernel the host supports. kAuto is
+  /// resolved at Simulation construction.
+  particles::Kernel kernel = particles::Kernel::kScalar;
 
   int sort_period = 20;   ///< steps between particle sorts (0 = never)
   int clean_period = 0;   ///< steps between Marder cleanings (0 = never)

@@ -218,6 +218,7 @@ Deck parse_deck(std::istream& in) {
     } else if (kind == "control") {
       check_known(s, {"sort_period", "clean_period", "clean_passes",
                       "init_settle_passes", "collision_seed", "pipelines",
+                      "kernel",
                       "checkpoint_every", "checkpoint_keep", "health_period",
                       "health_policy", "health_max_energy_growth",
                       "health_max_particle_loss", "health_rollback_window"});
@@ -226,6 +227,15 @@ Deck parse_deck(std::istream& in) {
       // (0 = one pipeline per hardware thread). Programmatic decks keep the
       // serial default of the Deck struct.
       deck.pipelines = to_int(s, "pipelines", 0);
+      // Same production-front-end convention for the advance kernel: deck
+      // files default to the widest kernel the host supports; programmatic
+      // decks keep the Deck struct's scalar default. Unknown names throw
+      // with the valid set (particles::parse_kernel).
+      if (const auto it = s.values.find("kernel"); it != s.values.end()) {
+        deck.kernel = particles::parse_kernel(it->second);
+      } else {
+        deck.kernel = particles::Kernel::kAuto;
+      }
       deck.clean_period = to_int(s, "clean_period", 0);
       deck.clean_passes = to_int(s, "clean_passes", 2);
       deck.init_settle_passes = to_int(s, "init_settle_passes", 0);

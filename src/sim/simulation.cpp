@@ -41,6 +41,10 @@ Simulation::Simulation(const Deck& deck, vmpi::Comm* comm,
       interp_(grid_),
       acc_(grid_, pipeline_.size()),
       pusher_(grid_, deck.particle_bc) {
+  // Resolves kAuto to the widest kernel this host supports and validates
+  // explicit choices (an explicitly requested unavailable kernel throws
+  // here, before any particles are loaded).
+  pusher_.set_kernel(deck.kernel);
   MV_REQUIRE(!deck.species.empty(), "deck has no species");
   MV_REQUIRE(deck.sort_period >= 0 && deck.clean_period >= 0 &&
                  deck.clean_passes >= 1,

@@ -112,6 +112,8 @@ class Simulation {
   const StepTimings& timings() const { return timings_; }
   /// Resolved intra-rank pipeline count used by the particle advance.
   int pipelines() const { return pipeline_.size(); }
+  /// Resolved particle-advance kernel (never kAuto; see particles/kernel.hpp).
+  particles::Kernel kernel() const { return pusher_.kernel(); }
   const ParticleStats& particle_stats() const { return stats_; }
   /// Cumulative busy wall seconds per pipeline inside the particle advance
   /// (index = pipeline id; empty before the first step). The spread across

@@ -16,7 +16,7 @@ void NdjsonWriter::write(const Json& record) {
   ++records_;
 }
 
-Json meta_record(int ranks, int pipelines,
+Json meta_record(int ranks, int pipelines, const std::string& kernel,
                  const std::vector<ReducedMetric>& sample_metrics,
                  const Json& extra) {
   Json meta = Json::object();
@@ -24,6 +24,7 @@ Json meta_record(int ranks, int pipelines,
   meta.set("schema", Json::number(std::int64_t{kNdjsonSchemaVersion}));
   meta.set("ranks", Json::number(std::int64_t{ranks}));
   meta.set("pipelines", Json::number(std::int64_t{pipelines}));
+  meta.set("kernel", Json::string(kernel));
   Json units = Json::object();
   for (const ReducedMetric& m : sample_metrics)
     units.set(m.name, Json::string(m.unit));

@@ -7,7 +7,7 @@
 // every sample written so far.
 //
 // Schema (version 1, see docs/OBSERVABILITY.md):
-//   {"type":"meta","schema":1,"ranks":R,"pipelines":P,
+//   {"type":"meta","schema":1,"ranks":R,"pipelines":P,"kernel":"avx2",
 //    "units":{"phase.push.s":"s", ...}, ...}
 //   {"type":"step_sample","schema":1,"step":N,"step_begin":M,"t":...,
 //    "metrics":{"phase.push.s":{"min":..,"mean":..,"max":..,"sum":..},...}}
@@ -46,10 +46,12 @@ class NdjsonWriter {
   std::int64_t records_ = 0;
 };
 
-/// Builds the stream's leading meta record. `extra` members (deck path,
-/// bench name, ...) are appended verbatim. The unit catalogue is taken
-/// from `sample_metrics` (one reduced sample's names/units).
-Json meta_record(int ranks, int pipelines,
+/// Builds the stream's leading meta record. `kernel` is the resolved
+/// particle-advance kernel name (particles::kernel_name; the numeric shadow
+/// push.lane_width rides in the samples). `extra` members (deck path, bench
+/// name, ...) are appended verbatim. The unit catalogue is taken from
+/// `sample_metrics` (one reduced sample's names/units).
+Json meta_record(int ranks, int pipelines, const std::string& kernel,
                  const std::vector<ReducedMetric>& sample_metrics,
                  const Json& extra = Json());
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "particles/kernel.hpp"
 #include "perf/costs.hpp"
 
 namespace minivpic::telemetry {
@@ -40,6 +41,10 @@ std::vector<ScalarMetric> StepSample::scalars() const {
   out.push_back({"pipeline.count", "count", pipelines});
   out.push_back({"pipeline.imbalance", "ratio", pipeline_imbalance});
   out.push_back({"pipeline.occupancy", "ratio", pipeline_occupancy});
+  // The kernel name itself is a string and rides in the meta record; the
+  // lane width is the numeric shadow so reductions can flag heterogeneous
+  // fleets (min != max across ranks).
+  out.push_back({"push.lane_width", "count", lane_width});
   return out;
 }
 
@@ -143,6 +148,9 @@ StepSample StepSampler::derive(const sim::Simulation& sim,
     s.pipeline_imbalance = busy_max / busy_mean;
     s.pipeline_occupancy = busy_mean / busy_max;
   }
+
+  s.kernel = particles::kernel_name(sim.kernel());
+  s.lane_width = double(particles::kernel_lane_width(sim.kernel()));
   return s;
 }
 

@@ -59,6 +59,9 @@ struct StepSample {
   double pipeline_imbalance = 1;    ///< max/mean per-pipeline busy seconds
   double pipeline_occupancy = 1;    ///< mean busy / max busy (1 = balanced)
 
+  std::string kernel = "scalar";    ///< resolved advance kernel name
+  double lane_width = 1;            ///< SIMD lanes of that kernel (1|4|8|16)
+
   std::vector<ScalarMetric> scalars() const;
 };
 

@@ -59,6 +59,35 @@ TEST(DeckIoTest, ParsesFullLpiDeck) {
   EXPECT_DOUBLE_EQ(d.laser->a0, 0.1);
   EXPECT_EQ(d.sort_period, 10);
   EXPECT_EQ(d.clean_period, 25);
+  // [control] without a kernel key defaults to auto (deck files are the
+  // production front end; the Deck struct default stays scalar).
+  EXPECT_EQ(d.kernel, particles::Kernel::kAuto);
+}
+
+TEST(DeckIoTest, KernelKey) {
+  const char* tmpl = R"(
+[grid]
+nx = 4  ny = 4  nz = 4  dx = 0.5
+[species electron]
+ppc = 4  uth = 0.1
+[control]
+kernel = )";
+  EXPECT_EQ(parse(std::string(tmpl) + "scalar\n").kernel,
+            particles::Kernel::kScalar);
+  EXPECT_EQ(parse(std::string(tmpl) + "sse\n").kernel,
+            particles::Kernel::kSse);
+  EXPECT_EQ(parse(std::string(tmpl) + "avx512\n").kernel,
+            particles::Kernel::kAvx512);
+  EXPECT_EQ(parse(std::string(tmpl) + "auto\n").kernel,
+            particles::Kernel::kAuto);
+  EXPECT_THROW(parse(std::string(tmpl) + "altivec\n"), Error);
+  // No [control] section at all: the conservative struct default.
+  EXPECT_EQ(parse(R"(
+[grid]
+nx = 4  dx = 0.5
+[species electron]
+ppc = 4  uth = 0.1
+)").kernel, particles::Kernel::kScalar);
 }
 
 TEST(DeckIoTest, ParsedDeckRuns) {

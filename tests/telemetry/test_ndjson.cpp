@@ -40,12 +40,13 @@ TEST(NdjsonTest, WriterThrowsOnBadPath) {
 TEST(NdjsonTest, MetaRecordCarriesSchemaAndUnits) {
   Json extra = Json::object();
   extra.set("deck", Json::string("two_stream.deck"));
-  const Json meta = meta_record(4, 8, reduced_fixture(), extra);
+  const Json meta = meta_record(4, 8, "avx2", reduced_fixture(), extra);
   EXPECT_EQ(meta.at("type").as_string(), "meta");
   EXPECT_DOUBLE_EQ(meta.at("schema").as_number(),
                    double(kNdjsonSchemaVersion));
   EXPECT_DOUBLE_EQ(meta.at("ranks").as_number(), 4.0);
   EXPECT_DOUBLE_EQ(meta.at("pipelines").as_number(), 8.0);
+  EXPECT_EQ(meta.at("kernel").as_string(), "avx2");
   EXPECT_EQ(meta.at("units").at("phase.push.s").as_string(), "s");
   EXPECT_EQ(meta.at("units").at("push.rate").as_string(), "1/s");
   EXPECT_EQ(meta.at("deck").as_string(), "two_stream.deck");
@@ -68,7 +69,7 @@ TEST(NdjsonTest, StreamRoundTripsLineByLine) {
   const std::string path = temp_path("roundtrip");
   {
     NdjsonWriter w(path);
-    w.write(meta_record(1, 2, reduced_fixture()));
+    w.write(meta_record(1, 2, "scalar", reduced_fixture()));
     for (int i = 0; i < 3; ++i) {
       StepSample s = sample_fixture();
       s.step_end = 20 + i;
@@ -96,8 +97,8 @@ TEST(NdjsonTest, StreamRoundTripsLineByLine) {
 
 TEST(NdjsonTest, TruncatesPreviousStream) {
   const std::string path = temp_path("truncate");
-  { NdjsonWriter w(path); w.write(meta_record(1, 1, reduced_fixture())); }
-  { NdjsonWriter w(path); w.write(meta_record(1, 1, reduced_fixture())); }
+  { NdjsonWriter w(path); w.write(meta_record(1, 1, "sse", reduced_fixture())); }
+  { NdjsonWriter w(path); w.write(meta_record(1, 1, "sse", reduced_fixture())); }
   std::ifstream is(path);
   std::string line;
   int lines = 0;
