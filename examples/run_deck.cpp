@@ -11,6 +11,7 @@
 //              [--history=energies.csv]
 //              [--pipelines=N]   # particle-advance threads; 0 = hardware
 //              [--kernel=NAME]   # scalar|sse|avx2|avx512|auto (default auto)
+//              [--set=section.key=value] # deck override (repeatable)
 //              [--metrics=PATH]  # NDJSON metrics stream (rank-reduced)
 //              [--metrics-every=N]       # sample cadence (default: --report)
 //              [--trace=PATH]    # Chrome trace (open in ui.perfetto.dev)
@@ -106,7 +107,7 @@ int run(int argc, char** argv) {
   args.check_known({"steps", "report", "probe_plane", "checkpoint",
                     "checkpoint-every", "resume", "max-walltime", "history",
                     "pipelines", "kernel", "metrics", "metrics-every", "trace",
-                    "log-level"});
+                    "log-level", "set"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
                  "       [--probe_plane=I] [--checkpoint=prefix] "
@@ -115,7 +116,8 @@ int run(int argc, char** argv) {
                  "[--history=csv] [--pipelines=N]\n"
                  "       [--metrics=ndjson] [--metrics-every=N] "
                  "[--trace=json] [--log-level=LVL]\n"
-                 "       [--kernel=scalar|sse|avx2|avx512|auto]\n";
+                 "       [--kernel=scalar|sse|avx2|avx512|auto] "
+                 "[--set=section.key=value ...]\n";
     return 2;
   }
   if (args.has("log-level")) {
@@ -128,7 +130,12 @@ int run(int argc, char** argv) {
   MV_REQUIRE(metrics_every >= 1, "--metrics-every must be >= 1");
   const double max_walltime = args.get_double("max-walltime", 0);
 
-  sim::Deck deck = sim::load_deck_file(args.positional()[0]);
+  // --set patches individual deck keys before the deck is built; unknown
+  // sections/keys are rejected with the same errors a deck file would get.
+  std::vector<sim::DeckOverride> overrides;
+  for (const std::string& spec : args.get_all("set"))
+    overrides.push_back(sim::parse_override(spec));
+  sim::Deck deck = sim::load_deck_file(args.positional()[0], overrides);
   // CLI overrides the deck's [control] settings; pipelines both default to
   // hardware-aware (0 = one pipeline per hardware thread).
   if (args.has("pipelines")) {

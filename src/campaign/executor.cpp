@@ -1,0 +1,284 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/checkpoint.hpp"
+#include "sim/diagnostics.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/sampler.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/pipeline.hpp"
+#include "util/timer.hpp"
+#include "vmpi/cart.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::campaign {
+
+CampaignExecutor::CampaignExecutor(const CampaignSpec& spec,
+                                   ExecutorConfig config)
+    : spec_(&spec), config_(std::move(config)) {
+  MV_REQUIRE(config_.workers >= 1, "campaign needs at least one worker");
+  MV_REQUIRE(config_.ranks_per_job >= 1, "campaign needs >= 1 rank per job");
+  MV_REQUIRE(config_.pipelines_per_job >= 1,
+             "campaign needs an explicit pipelines_per_job >= 1 (the thread "
+             "budget cannot resolve 'auto' per job)");
+  const int budget = config_.max_threads > 0 ? config_.max_threads
+                                             : Pipeline::hardware_pipelines();
+  const int per_job = config_.ranks_per_job * config_.pipelines_per_job;
+  MV_REQUIRE(per_job <= budget || config_.workers == 1,
+             "one job already needs " << per_job << " threads but the budget "
+                                      << "is " << budget);
+  workers_ = std::min(config_.workers, std::max(1, budget / per_job));
+  if (workers_ < config_.workers) {
+    MV_LOG_WARN << "campaign: clamping " << config_.workers << " workers to "
+                << workers_ << " (thread budget " << budget << " = workers x "
+                << config_.ranks_per_job << " rank(s) x "
+                << config_.pipelines_per_job << " pipeline(s))";
+  }
+  // Pre-register every campaign metric on the caller's thread: registry
+  // lookup/creation is not thread-safe, so workers only touch existing
+  // Counter/Gauge objects (under metrics_mu_).
+  if (config_.metrics != nullptr) {
+    auto& m = *config_.metrics;
+    m.counter("campaign.jobs.done", "count");
+    m.counter("campaign.jobs.failed", "count");
+    m.counter("campaign.jobs.skipped", "count");
+    m.counter("campaign.retries", "count");
+    m.counter("campaign.resumes", "count");
+    m.counter("campaign.steps", "count");
+    m.gauge("campaign.queue.depth", "count");
+    m.gauge("campaign.workers", "count");
+  }
+}
+
+std::string CampaignExecutor::scratch_prefix(const Job& job) const {
+  return config_.scratch_dir + "/campaign_" + job.id + ".ckpt";
+}
+
+void CampaignExecutor::count(const char* counter, double d) {
+  if (config_.metrics == nullptr) return;
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  config_.metrics->counter(counter).add(d);
+}
+
+void CampaignExecutor::set_queue_gauge(const JobQueue& queue) {
+  if (config_.metrics == nullptr) return;
+  const JobQueue::Counts c = queue.counts();
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  config_.metrics->gauge("campaign.queue.depth")
+      .set(double(c.pending + c.running));
+}
+
+CampaignExecutor::AttemptOutcome CampaignExecutor::run_attempt(
+    const Lease& lease) {
+  AttemptOutcome out;
+  Timer wall;
+  const std::string prefix = scratch_prefix(lease.job);
+  try {
+    sim::Deck deck = spec_->make_deck(lease.job);
+    deck.pipelines = config_.pipelines_per_job;
+    const int ranks = config_.ranks_per_job;
+    const double timeout = config_.retry.timeout_seconds;
+    const auto& hook = config_.per_step_hook;
+    const auto& done_hook = config_.on_complete;
+
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      // x-only decomposition: every canned/LPI deck is longest along x, and
+      // a 1-D split keeps the smallest surface for these job sizes.
+      const vmpi::CartTopology topo(
+          {ranks, 1, 1},
+          {deck.grid.boundary[0] == grid::BoundaryKind::kPeriodic,
+           deck.grid.boundary[2] == grid::BoundaryKind::kPeriodic,
+           deck.grid.boundary[4] == grid::BoundaryKind::kPeriodic});
+      sim::Simulation sim(deck, ranks > 1 ? &comm : nullptr,
+                          ranks > 1 ? &topo : nullptr);
+      if (lease.resume_step >= 0) {
+        sim::Checkpoint::restore(sim, lease.resume_prefix);
+      } else {
+        sim.initialize();
+      }
+      std::optional<sim::ReflectivityProbe> probe;
+      if (lease.job.probe_plane >= 0)
+        probe.emplace(sim, lease.job.probe_plane);
+
+      Timer attempt_timer;
+      const std::int64_t start_step = sim.step_index();
+      bool yielded = false;
+      while (sim.step_index() < lease.job.steps) {
+        sim.step();
+        if (probe) probe->sample(lease.job.warmup);
+        if (hook) hook(sim, lease.job, lease.attempt);
+        if (timeout > 0 && sim.step_index() < lease.job.steps) {
+          // Rank 0's clock decides; the decision is broadcast so every rank
+          // takes the same branch (a split would deadlock the collectives).
+          int stop = (comm.rank() == 0 &&
+                      attempt_timer.seconds() >= timeout)
+                         ? 1
+                         : 0;
+          if (ranks > 1) stop = comm.allreduce_value(stop, vmpi::Op::kMax);
+          if (stop != 0) {
+            sim::Checkpoint::save(sim, prefix, /*keep=*/2);
+            if (comm.rank() == 0) {
+              out.timed_out = true;
+              out.ckpt_step = sim.step_index();
+            }
+            yielded = true;
+            break;
+          }
+        }
+      }
+      if (comm.rank() == 0)
+        out.steps_advanced = sim.step_index() - start_step;
+      if (yielded) return;
+
+      // Terminal success: gather the result (collectives — all ranks).
+      const sim::EnergyReport energies = sim.energies();
+      const std::int64_t particles = sim.global_particle_count();
+      const double refl = probe ? probe->reflectivity() : -1.0;
+      if (done_hook) {
+        done_hook(sim, lease.job, probe ? &*probe : nullptr,
+                  comm.rank() == 0 ? &out.result : nullptr);
+      }
+      if (comm.rank() == 0) {
+        JobResult& r = out.result;
+        r.id = lease.job.id;
+        r.label = lease.job.label;
+        r.overrides = lease.job.overrides;
+        r.status = "done";
+        r.steps = sim.step_index();
+        r.reflectivity = refl;
+        r.energy_total = energies.total;
+        r.kinetic_total = energies.kinetic_total;
+        r.particles = particles;
+        const telemetry::StepSample total = telemetry::StepSampler::
+            derive_total(sim, attempt_timer.seconds());
+        r.particles_per_sec = total.particles_per_sec;
+      }
+    });
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  out.seconds = wall.seconds();
+  return out;
+}
+
+void CampaignExecutor::worker_loop(JobQueue& queue, ResultStore& results) {
+  while (std::optional<Lease> lease = queue.acquire()) {
+    const std::string& id = lease->job.id;
+    AttemptOutcome out = run_attempt(*lease);
+    count("campaign.steps", double(out.steps_advanced));
+    double total_seconds = 0;
+    {
+      std::lock_guard<std::mutex> lock(seconds_mu_);
+      total_seconds = (seconds_acc_[id] += out.seconds);
+    }
+    if (out.timed_out) {
+      if (queue.yield_resume(id, scratch_prefix(lease->job), out.ckpt_step)) {
+        count("campaign.resumes");
+      } else {
+        JobResult r;
+        r.id = id;
+        r.label = lease->job.label;
+        r.overrides = lease->job.overrides;
+        r.status = "failed";
+        r.attempts = lease->attempt;
+        r.resumes = lease->resumes;
+        r.steps = out.ckpt_step;
+        r.seconds = total_seconds;
+        r.error = "resume budget exhausted";
+        results.append(r);
+        count("campaign.jobs.failed");
+      }
+    } else if (out.failed) {
+      MV_LOG_WARN << "campaign job " << id << " (" << lease->job.label
+                  << ") attempt " << lease->attempt << " failed: "
+                  << out.error;
+      if (queue.fail(id, out.error)) {
+        count("campaign.retries");
+      } else {
+        JobResult r;
+        r.id = id;
+        r.label = lease->job.label;
+        r.overrides = lease->job.overrides;
+        r.status = "failed";
+        r.attempts = lease->attempt;
+        r.resumes = lease->resumes;
+        r.seconds = total_seconds;
+        r.error = out.error;
+        results.append(r);
+        count("campaign.jobs.failed");
+      }
+    } else {
+      queue.complete(id);
+      out.result.attempts = lease->attempt;
+      out.result.resumes = lease->resumes;
+      out.result.seconds = total_seconds;
+      results.append(out.result);
+      count("campaign.jobs.done");
+      // Scratch checkpoints of a finished job are dead weight.
+      try {
+        sim::Checkpoint::remove_all(scratch_prefix(lease->job),
+                                    config_.ranks_per_job);
+      } catch (const std::exception& e) {
+        MV_LOG_WARN << "campaign: could not clean checkpoints of job " << id
+                    << ": " << e.what();
+      }
+    }
+    set_queue_gauge(queue);
+  }
+}
+
+CampaignSummary CampaignExecutor::run(ResultStore& results) {
+  Timer wall;
+  std::vector<Job> jobs = spec_->expand();
+  CampaignSummary summary;
+  summary.total = int(jobs.size());
+
+  // Resume: jobs the ledger already holds as done never reach the queue.
+  std::vector<Job> todo;
+  todo.reserve(jobs.size());
+  for (Job& j : jobs) {
+    if (results.completed_ids().count(j.id) != 0) {
+      ++summary.skipped;
+    } else {
+      todo.push_back(std::move(j));
+    }
+  }
+  count("campaign.jobs.skipped", double(summary.skipped));
+
+  JobQueue queue(std::move(todo), config_.retry);
+  const int nworkers =
+      std::max(1, std::min(workers_, queue.counts().total()));
+  summary.workers = nworkers;
+  if (config_.metrics != nullptr) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    config_.metrics->gauge("campaign.workers").set(double(nworkers));
+  }
+  set_queue_gauge(queue);
+
+  std::vector<std::thread> pool;
+  pool.reserve(std::size_t(nworkers - 1));
+  for (int w = 1; w < nworkers; ++w)
+    pool.emplace_back([&] { worker_loop(queue, results); });
+  worker_loop(queue, results);
+  for (std::thread& t : pool) t.join();
+
+  const JobQueue::Counts c = queue.counts();
+  summary.done = c.done;
+  summary.failed = c.failed;
+  summary.retries = c.retries;
+  summary.resumes = c.resumes;
+  summary.wall_seconds = wall.seconds();
+  summary.jobs_per_hour = summary.wall_seconds > 0
+                              ? double(summary.done) * 3600.0 /
+                                    summary.wall_seconds
+                              : 0.0;
+  return summary;
+}
+
+}  // namespace minivpic::campaign

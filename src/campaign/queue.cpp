@@ -1,0 +1,182 @@
+#include "campaign/queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace minivpic::campaign {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+JobQueue::JobQueue(std::vector<Job> jobs, RetryPolicy policy)
+    : policy_(policy) {
+  MV_REQUIRE(policy_.max_attempts >= 1, "retry policy needs max_attempts >= 1");
+  MV_REQUIRE(policy_.max_resumes >= 0, "retry policy needs max_resumes >= 0");
+  MV_REQUIRE(policy_.timeout_seconds >= 0,
+             "retry policy needs timeout_seconds >= 0");
+  entries_.reserve(jobs.size());
+  for (Job& j : jobs) {
+    for (const Entry& e : entries_)
+      MV_REQUIRE(e.job.id != j.id,
+                 "duplicate campaign job id " << j.id << " (" << j.label
+                                              << ")");
+    Entry e;
+    e.job = std::move(j);
+    entries_.push_back(std::move(e));
+  }
+}
+
+JobQueue::Entry* JobQueue::find(const std::string& id) {
+  for (Entry& e : entries_)
+    if (e.job.id == id) return &e;
+  MV_REQUIRE(false, "unknown campaign job id " << id);
+  return nullptr;
+}
+
+std::optional<Lease> JobQueue::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    Entry* ready = nullptr;
+    std::optional<SteadyTime> earliest;
+    bool any_pending_or_running = false;
+    for (Entry& e : entries_) {
+      if (e.state == JobState::kRunning) {
+        any_pending_or_running = true;
+        continue;
+      }
+      if (e.state != JobState::kPending) continue;
+      any_pending_or_running = true;
+      if (e.not_before <= now) {
+        ready = &e;
+        break;
+      }
+      if (!earliest || e.not_before < *earliest) earliest = e.not_before;
+    }
+    if (ready != nullptr) {
+      ready->state = JobState::kRunning;
+      const bool resuming = ready->resume_step >= 0;
+      if (!resuming) ++ready->attempts;
+      Lease lease;
+      lease.job = ready->job;
+      lease.attempt = std::max(1, ready->attempts);
+      lease.resumes = ready->resumes;
+      lease.resume_step = ready->resume_step;
+      lease.resume_prefix = ready->resume_prefix;
+      return lease;
+    }
+    if (!any_pending_or_running) return std::nullopt;
+    // Nothing runnable right now: wait for a state change (complete/fail/
+    // yield wake us) or for the earliest backoff gate to open.
+    if (earliest) {
+      cv_.wait_until(lock, *earliest);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void JobQueue::complete(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = find(id);
+    MV_REQUIRE(e->state == JobState::kRunning,
+               "complete() on a job that is not running: " << id);
+    e->state = JobState::kDone;
+    e->last_error.clear();
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::fail(const std::string& id, const std::string& error) {
+  bool will_retry = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = find(id);
+    MV_REQUIRE(e->state == JobState::kRunning,
+               "fail() on a job that is not running: " << id);
+    e->last_error = error;
+    // A failed attempt restarts the job from scratch — a checkpoint written
+    // before a later crash is not trusted.
+    e->resume_step = -1;
+    e->resume_prefix.clear();
+    if (e->attempts >= policy_.max_attempts) {
+      e->state = JobState::kFailed;
+    } else {
+      e->state = JobState::kPending;
+      double delay = policy_.backoff_seconds;
+      for (int i = 1; i < e->attempts; ++i) delay *= policy_.backoff_factor;
+      e->not_before = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<SteadyTime::duration>(
+                          std::chrono::duration<double>(delay));
+      ++retries_handed_;
+      will_retry = true;
+    }
+  }
+  cv_.notify_all();
+  return will_retry;
+}
+
+bool JobQueue::yield_resume(const std::string& id, const std::string& prefix,
+                            std::int64_t step) {
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = find(id);
+    MV_REQUIRE(e->state == JobState::kRunning,
+               "yield_resume() on a job that is not running: " << id);
+    if (e->resumes >= policy_.max_resumes) {
+      e->state = JobState::kFailed;
+      e->last_error = "resume budget exhausted (" +
+                      std::to_string(policy_.max_resumes) +
+                      " wall-time yields)";
+    } else {
+      ++e->resumes;
+      ++resumes_handed_;
+      e->state = JobState::kPending;
+      e->not_before = {};  // no backoff: the attempt made progress
+      e->resume_step = step;
+      e->resume_prefix = prefix;
+      accepted = true;
+    }
+  }
+  cv_.notify_all();
+  return accepted;
+}
+
+JobQueue::Counts JobQueue::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counts c;
+  for (const Entry& e : entries_) {
+    switch (e.state) {
+      case JobState::kPending: ++c.pending; break;
+      case JobState::kRunning: ++c.running; break;
+      case JobState::kDone: ++c.done; break;
+      case JobState::kFailed: ++c.failed; break;
+    }
+  }
+  c.retries = retries_handed_;
+  c.resumes = resumes_handed_;
+  return c;
+}
+
+std::vector<JobQueue::JobStatus> JobQueue::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back({e.job.id, e.job.label, e.state, e.attempts, e.resumes,
+                   e.last_error});
+  }
+  return out;
+}
+
+}  // namespace minivpic::campaign

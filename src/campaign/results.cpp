@@ -1,0 +1,231 @@
+#include "campaign/results.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace minivpic::campaign {
+
+namespace {
+
+/// Built-in numeric result fields addressable as curve metrics.
+bool builtin_metric(const JobResult& r, const std::string& name, double* out) {
+  if (name == "reflectivity") {
+    if (r.reflectivity < 0) return false;
+    *out = r.reflectivity;
+    return true;
+  }
+  if (name == "energy_total") { *out = r.energy_total; return true; }
+  if (name == "kinetic_total") { *out = r.kinetic_total; return true; }
+  if (name == "particles_per_sec") { *out = r.particles_per_sec; return true; }
+  if (name == "seconds") { *out = r.seconds; return true; }
+  return false;
+}
+
+}  // namespace
+
+telemetry::Json result_to_json(const JobResult& r) {
+  using telemetry::Json;
+  Json j = Json::object();
+  j.set("type", Json::string("job_result"));
+  j.set("schema", Json::number(std::int64_t{kResultSchemaVersion}));
+  j.set("id", Json::string(r.id));
+  j.set("label", Json::string(r.label));
+  Json ovs = Json::object();
+  for (const sim::DeckOverride& ov : r.overrides)
+    ovs.set(ov.section + "." + ov.key, Json::string(ov.value));
+  j.set("overrides", std::move(ovs));
+  j.set("status", Json::string(r.status));
+  j.set("attempts", Json::number(std::int64_t{r.attempts}));
+  j.set("resumes", Json::number(std::int64_t{r.resumes}));
+  j.set("steps", Json::number(r.steps));
+  j.set("seconds", Json::number(r.seconds));
+  Json metrics = Json::object();
+  if (r.reflectivity >= 0)
+    metrics.set("reflectivity", Json::number(r.reflectivity));
+  metrics.set("energy_total", Json::number(r.energy_total));
+  metrics.set("kinetic_total", Json::number(r.kinetic_total));
+  metrics.set("particles", Json::number(r.particles));
+  metrics.set("particles_per_sec", Json::number(r.particles_per_sec));
+  j.set("metrics", std::move(metrics));
+  if (!r.extra.empty()) {
+    Json extra = Json::object();
+    for (const auto& [k, v] : r.extra) extra.set(k, Json::number(v));
+    j.set("extra", std::move(extra));
+  }
+  if (!r.error.empty()) j.set("error", Json::string(r.error));
+  return j;
+}
+
+JobResult result_from_json(const telemetry::Json& j) {
+  MV_REQUIRE(j.is_object() && j.at("type").as_string() == "job_result",
+             "campaign result record: not a job_result object");
+  MV_REQUIRE(std::int64_t(j.at("schema").as_number()) == kResultSchemaVersion,
+             "campaign result record: unsupported schema "
+                 << j.at("schema").as_number());
+  JobResult r;
+  r.id = j.at("id").as_string();
+  r.label = j.at("label").as_string();
+  for (const auto& [key, value] : j.at("overrides").members()) {
+    r.overrides.push_back(sim::parse_override(key + "=" + value.as_string()));
+  }
+  r.status = j.at("status").as_string();
+  MV_REQUIRE(r.status == "done" || r.status == "failed",
+             "campaign result record: unknown status '" << r.status << "'");
+  r.attempts = int(j.at("attempts").as_number());
+  r.resumes = int(j.at("resumes").as_number());
+  r.steps = std::int64_t(j.at("steps").as_number());
+  r.seconds = j.at("seconds").as_number();
+  const telemetry::Json& m = j.at("metrics");
+  if (const auto* v = m.find("reflectivity")) r.reflectivity = v->as_number();
+  r.energy_total = m.at("energy_total").as_number();
+  r.kinetic_total = m.at("kinetic_total").as_number();
+  r.particles = std::int64_t(m.at("particles").as_number());
+  r.particles_per_sec = m.at("particles_per_sec").as_number();
+  if (const auto* extra = j.find("extra")) {
+    for (const auto& [k, v] : extra->members())
+      r.extra.emplace_back(k, v.as_number());
+  }
+  if (const auto* err = j.find("error")) r.error = err->as_string();
+  return r;
+}
+
+ResultStore::ResultStore(std::string path, bool resume)
+    : path_(std::move(path)) {
+  if (resume) {
+    for (const JobResult& r : read_all(path_)) {
+      ++records_;
+      if (r.status == "done") completed_.insert(r.id);
+    }
+  } else {
+    std::ofstream out(path_, std::ios::trunc);
+    MV_REQUIRE(out.good(), "cannot open results file: " << path_);
+  }
+}
+
+void ResultStore::append(const JobResult& r) {
+  const std::string line = result_to_json(r).dump();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Reopened per record: append + flush + close is the simplest sequence
+  // that leaves at most one (trailing, tolerated) partial line on a crash.
+  std::ofstream out(path_, std::ios::app);
+  MV_REQUIRE(out.good(), "cannot append to results file: " << path_);
+  out << line << "\n";
+  out.flush();
+  MV_REQUIRE(out.good(), "write to results file failed: " << path_);
+  ++records_;
+}
+
+std::int64_t ResultStore::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<JobResult> ResultStore::read_all(const std::string& path) {
+  std::vector<JobResult> out;
+  std::ifstream in(path);
+  if (!in.good()) return out;  // no file yet: an empty (fresh) campaign
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    try {
+      out.push_back(result_from_json(telemetry::Json::parse(lines[i])));
+    } catch (const Error& e) {
+      // A crash mid-append leaves at most one partial trailing line; that
+      // job simply reruns. Corruption anywhere else is a real problem.
+      MV_REQUIRE(i + 1 == lines.size(),
+                 "results file " << path << " line " << (i + 1)
+                                 << ": " << e.what());
+      MV_LOG_WARN << "results file " << path
+                  << ": dropping partial trailing line (" << e.what() << ")";
+    }
+  }
+  return out;
+}
+
+std::vector<CurvePoint> aggregate_curve(const std::vector<JobResult>& results,
+                                        const std::string& axis_key,
+                                        const std::string& metric) {
+  std::map<double, std::vector<double>> by_x;
+  for (const JobResult& r : results) {
+    if (r.status != "done") continue;
+    const sim::DeckOverride* axis = nullptr;
+    for (const sim::DeckOverride& ov : r.overrides)
+      if (ov.section + "." + ov.key == axis_key) axis = &ov;
+    if (axis == nullptr) continue;
+    char* end = nullptr;
+    const double x = std::strtod(axis->value.c_str(), &end);
+    if (end == nullptr || *end != '\0') continue;  // non-numeric axis value
+    double y = 0;
+    bool have = builtin_metric(r, metric, &y);
+    if (!have) {
+      for (const auto& [k, v] : r.extra)
+        if (k == metric) { y = v; have = true; }
+    }
+    if (!have) continue;
+    by_x[x].push_back(y);
+  }
+  std::vector<CurvePoint> curve;
+  curve.reserve(by_x.size());
+  for (const auto& [x, ys] : by_x) {
+    CurvePoint p;
+    p.x = x;
+    p.n = int(ys.size());
+    p.min = p.max = ys.front();
+    double sum = 0;
+    for (const double y : ys) {
+      sum += y;
+      p.min = std::min(p.min, y);
+      p.max = std::max(p.max, y);
+    }
+    p.mean = sum / double(ys.size());
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+void write_curve_csv(const std::string& path, const std::string& axis_key,
+                     const std::string& metric,
+                     const std::vector<CurvePoint>& curve) {
+  std::ofstream out(path, std::ios::trunc);
+  MV_REQUIRE(out.good(), "cannot open curve file: " << path);
+  out << axis_key << "," << metric << "_mean," << metric << "_min,"
+      << metric << "_max,jobs\n";
+  out.precision(17);
+  for (const CurvePoint& p : curve) {
+    out << p.x << "," << p.mean << "," << p.min << "," << p.max << "," << p.n
+        << "\n";
+  }
+  MV_REQUIRE(out.good(), "write to curve file failed: " << path);
+}
+
+telemetry::Json curve_to_json(const std::string& axis_key,
+                              const std::string& metric,
+                              const std::vector<CurvePoint>& curve) {
+  using telemetry::Json;
+  Json j = Json::object();
+  j.set("type", Json::string("campaign_curve"));
+  j.set("schema", Json::number(std::int64_t{kResultSchemaVersion}));
+  j.set("axis", Json::string(axis_key));
+  j.set("metric", Json::string(metric));
+  Json points = Json::array();
+  for (const CurvePoint& p : curve) {
+    Json pt = Json::object();
+    pt.set("x", Json::number(p.x));
+    pt.set("mean", Json::number(p.mean));
+    pt.set("min", Json::number(p.min));
+    pt.set("max", Json::number(p.max));
+    pt.set("jobs", Json::number(std::int64_t{p.n}));
+    points.push_back(std::move(pt));
+  }
+  j.set("points", std::move(points));
+  return j;
+}
+
+}  // namespace minivpic::campaign

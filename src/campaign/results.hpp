@@ -1,0 +1,113 @@
+// ResultStore: the campaign's crash-safe ledger. One NDJSON line per
+// terminal job (schema v1, see docs/CAMPAIGNS.md), appended and flushed as
+// each job finishes, so a killed campaign keeps every result written so far
+// — and a restarted campaign scans the file to skip jobs already done,
+// which composes with the stable content-hashed job ids of CampaignSpec.
+//
+// Record shape:
+//   {"type":"job_result","schema":1,"id":"<16hex>","label":"laser.a0=0.10",
+//    "overrides":{"laser.a0":"0.10"},"status":"done","attempts":1,
+//    "resumes":0,"steps":2000,"seconds":3.2,
+//    "metrics":{"reflectivity":0.18,"energy_total":...,"kinetic_total":...,
+//               "particles":123456,"particles_per_sec":1.2e7},
+//    "extra":{...},"error":"..."}   # extra/error only when present
+//
+// Aggregation: aggregate_curve() folds done jobs into the paper's science
+// output — the observable (reflectivity by default) as a function of one
+// axis value, with min/mean/max over jobs sharing an x (seeds, duplicate
+// runs) — written as CSV or JSON.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "telemetry/json.hpp"
+
+namespace minivpic::campaign {
+
+inline constexpr int kResultSchemaVersion = 1;
+
+/// Terminal outcome of one job.
+struct JobResult {
+  std::string id;
+  std::string label;
+  std::vector<sim::DeckOverride> overrides;
+  std::string status = "done";  ///< "done" | "failed"
+  int attempts = 1;
+  int resumes = 0;
+  std::int64_t steps = 0;
+  double seconds = 0;           ///< summed wall seconds across attempts
+  double reflectivity = -1;     ///< < 0 = no probe configured
+  double energy_total = 0;
+  double kinetic_total = 0;
+  std::int64_t particles = 0;
+  double particles_per_sec = 0; ///< StepSampler formula (push-phase rate)
+  std::string error;            ///< failed jobs: the last attempt's error
+  /// Science extras a completion hook attached (spectrum fractions, ...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+telemetry::Json result_to_json(const JobResult& r);
+JobResult result_from_json(const telemetry::Json& j);
+
+class ResultStore {
+ public:
+  /// Opens `path` for appending. With resume = false any existing file is
+  /// truncated; with resume = true existing records are loaded first and
+  /// their done-job ids become completed_ids(). A trailing partial line
+  /// (crash mid-append) is tolerated and dropped; any other malformed line
+  /// throws.
+  ResultStore(std::string path, bool resume);
+
+  const std::string& path() const { return path_; }
+
+  /// Ids recorded as done before this store was opened (resume mode).
+  const std::set<std::string>& completed_ids() const { return completed_; }
+
+  /// Appends one record and flushes (thread-safe).
+  void append(const JobResult& r);
+
+  std::int64_t records_written() const;
+
+  /// Parses every record of a results file (same tolerance as resume).
+  static std::vector<JobResult> read_all(const std::string& path);
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::int64_t records_ = 0;
+  std::set<std::string> completed_;
+};
+
+/// One point of an aggregated campaign curve.
+struct CurvePoint {
+  double x = 0;     ///< numeric axis value
+  double mean = 0;  ///< mean observable over jobs at this x
+  double min = 0;
+  double max = 0;
+  int n = 0;        ///< jobs folded into this point
+};
+
+/// Folds done jobs into observable-vs-axis points, sorted by x. `axis_key`
+/// is the dotted override key ("laser.a0"); `metric` is "reflectivity",
+/// a built-in result field, or an extra key. Jobs missing the axis or the
+/// metric are skipped.
+std::vector<CurvePoint> aggregate_curve(const std::vector<JobResult>& results,
+                                        const std::string& axis_key,
+                                        const std::string& metric =
+                                            "reflectivity");
+
+/// Writes an aggregated curve as CSV (header: axis, mean, min, max, n).
+void write_curve_csv(const std::string& path, const std::string& axis_key,
+                     const std::string& metric,
+                     const std::vector<CurvePoint>& curve);
+
+/// The same curve as a JSON object (schema v1).
+telemetry::Json curve_to_json(const std::string& axis_key,
+                              const std::string& metric,
+                              const std::vector<CurvePoint>& curve);
+
+}  // namespace minivpic::campaign

@@ -11,12 +11,6 @@ namespace minivpic::sim {
 
 namespace {
 
-struct Section {
-  std::string header;  ///< e.g. "grid", "species electron"
-  std::map<std::string, std::string> values;
-  int line = 0;
-};
-
 std::string trim(const std::string& s) {
   const auto a = s.find_first_not_of(" \t\r");
   if (a == std::string::npos) return "";
@@ -24,8 +18,8 @@ std::string trim(const std::string& s) {
   return s.substr(a, b - a + 1);
 }
 
-std::vector<Section> tokenize(std::istream& in) {
-  std::vector<Section> sections;
+std::vector<DeckSection> tokenize(std::istream& in) {
+  std::vector<DeckSection> sections;
   std::string line;
   int lineno = 0;
   while (std::getline(in, line)) {
@@ -37,13 +31,20 @@ std::vector<Section> tokenize(std::istream& in) {
     if (line.front() == '[') {
       MV_REQUIRE(line.back() == ']',
                  "deck line " << lineno << ": unterminated section header");
-      sections.push_back({trim(line.substr(1, line.size() - 2)), {}, lineno});
+      sections.push_back({trim(line.substr(1, line.size() - 2)), {}, {}, lineno});
       MV_REQUIRE(!sections.back().header.empty(),
                  "deck line " << lineno << ": empty section header");
       continue;
     }
     MV_REQUIRE(!sections.empty(),
                "deck line " << lineno << ": key before any [section]");
+    // [campaign] values are comma lists ("laser.a0 = 0.05, 0.10") that the
+    // whitespace tokenizer below would mangle; keep the raw lines and let
+    // campaign::CampaignSpec parse them with its own grammar.
+    if (sections.back().header == "campaign") {
+      sections.back().raw_lines.push_back(line);
+      continue;
+    }
     // Multiple `key = value` pairs per line: split on '=' with the key
     // being the last token before it and the value the first after it.
     std::istringstream ss(line);
@@ -74,7 +75,7 @@ std::vector<Section> tokenize(std::istream& in) {
   return sections;
 }
 
-double to_double(const Section& s, const std::string& key, double fallback,
+double to_double(const DeckSection& s, const std::string& key, double fallback,
                  bool* used = nullptr) {
   const auto it = s.values.find(key);
   if (it == s.values.end()) return fallback;
@@ -87,14 +88,14 @@ double to_double(const Section& s, const std::string& key, double fallback,
   return v;
 }
 
-int to_int(const Section& s, const std::string& key, int fallback) {
+int to_int(const DeckSection& s, const std::string& key, int fallback) {
   const double v = to_double(s, key, fallback);
   MV_REQUIRE(v == std::int64_t(v),
              "deck [" << s.header << "] " << key << ": expected an integer");
   return int(v);
 }
 
-bool to_bool(const Section& s, const std::string& key, bool fallback) {
+bool to_bool(const DeckSection& s, const std::string& key, bool fallback) {
   const auto it = s.values.find(key);
   if (it == s.values.end()) return fallback;
   if (it->second == "true" || it->second == "1" || it->second == "yes")
@@ -106,7 +107,7 @@ bool to_bool(const Section& s, const std::string& key, bool fallback) {
   return fallback;
 }
 
-grid::BoundaryKind field_bc(const Section& s, const std::string& key) {
+grid::BoundaryKind field_bc(const DeckSection& s, const std::string& key) {
   const auto it = s.values.find(key);
   if (it == s.values.end()) return grid::BoundaryKind::kPeriodic;
   if (it->second == "periodic") return grid::BoundaryKind::kPeriodic;
@@ -117,7 +118,8 @@ grid::BoundaryKind field_bc(const Section& s, const std::string& key) {
   return grid::BoundaryKind::kPeriodic;
 }
 
-particles::ParticleBc particle_bc(const Section& s, const std::string& key) {
+particles::ParticleBc particle_bc(const DeckSection& s,
+                                  const std::string& key) {
   const auto it = s.values.find(key);
   if (it == s.values.end()) return particles::ParticleBc::kPeriodic;
   if (it->second == "periodic") return particles::ParticleBc::kPeriodic;
@@ -129,7 +131,8 @@ particles::ParticleBc particle_bc(const Section& s, const std::string& key) {
   return particles::ParticleBc::kPeriodic;
 }
 
-void check_known(const Section& s, std::initializer_list<const char*> keys) {
+void check_known(const DeckSection& s,
+                 std::initializer_list<const char*> keys) {
   for (const auto& [key, value] : s.values) {
     (void)value;
     bool ok = false;
@@ -140,13 +143,97 @@ void check_known(const Section& s, std::initializer_list<const char*> keys) {
 
 }  // namespace
 
-Deck parse_deck(std::istream& in) {
+DeckOverride parse_override(const std::string& spec) {
+  const auto eq = spec.find('=');
+  MV_REQUIRE(eq != std::string::npos && eq > 0,
+             "override '" << spec << "': expected section.key=value");
+  const std::string dotted = trim(spec.substr(0, eq));
+  const std::string value = trim(spec.substr(eq + 1));
+  // The last dot splits section from key, so multi-word headers work:
+  // "species electron.uth" -> section "species electron", key "uth".
+  const auto dot = dotted.rfind('.');
+  MV_REQUIRE(dot != std::string::npos && dot > 0 && dot + 1 < dotted.size(),
+             "override '" << spec << "': expected section.key=value");
+  MV_REQUIRE(!value.empty(), "override '" << spec << "': empty value");
+  return {trim(dotted.substr(0, dot)), trim(dotted.substr(dot + 1)), value};
+}
+
+DeckSource DeckSource::from_stream(std::istream& in) {
+  DeckSource src;
+  src.sections_ = tokenize(in);
+  return src;
+}
+
+DeckSource DeckSource::from_text(const std::string& text) {
+  std::istringstream in(text);
+  return from_stream(in);
+}
+
+DeckSource DeckSource::from_file(const std::string& path) {
+  std::ifstream in(path);
+  MV_REQUIRE(in.good(), "cannot open deck file: " << path);
+  return from_stream(in);
+}
+
+void DeckSource::apply_override(const DeckOverride& ov) {
+  MV_REQUIRE(!ov.key.empty() && !ov.section.empty() && !ov.value.empty(),
+             "deck override needs section, key and value");
+  for (DeckSection& s : sections_) {
+    if (s.header == ov.section) {
+      s.values[ov.key] = ov.value;
+      return;
+    }
+  }
+  // Singleton sections may be created on demand ("control.sort_period = 10"
+  // on a deck with no [control] block); a species or collision section must
+  // exist — an override cannot invent one.
+  const std::string kind = ov.section.substr(0, ov.section.find(' '));
+  MV_REQUIRE(kind == "grid" || kind == "control" || kind == "laser",
+             "deck override '" << ov.spec() << "': no section ["
+                               << ov.section << "] in the deck");
+  MV_REQUIRE(kind == ov.section, "deck override '"
+                                     << ov.spec() << "': malformed section ["
+                                     << ov.section << "]");
+  sections_.push_back({ov.section, {{ov.key, ov.value}}, {}, 0});
+}
+
+void DeckSource::apply_override(const std::string& dotted_key,
+                                const std::string& value) {
+  apply_override(parse_override(dotted_key + "=" + value));
+}
+
+std::vector<std::string> DeckSource::campaign_lines() const {
+  std::vector<std::string> lines;
+  for (const DeckSection& s : sections_) {
+    if (s.header != "campaign") continue;
+    lines.insert(lines.end(), s.raw_lines.begin(), s.raw_lines.end());
+  }
+  return lines;
+}
+
+std::string DeckSource::canonical_text() const {
+  std::string out;
+  for (const DeckSection& s : sections_) {
+    if (s.header == "campaign") continue;
+    out += "[" + s.header + "]\n";
+    for (const auto& [key, value] : s.values)  // std::map: sorted by key
+      out += key + " = " + value + "\n";
+  }
+  return out;
+}
+
+Deck DeckSource::build() const {
   Deck deck;
   bool have_grid = false;
-  for (const Section& s : tokenize(in)) {
+  for (const DeckSection& s : sections_) {
     std::istringstream hs(s.header);
     std::string kind;
     hs >> kind;
+    if (kind == "campaign") {
+      // Batch-orchestration axes (campaign/spec.hpp); not part of a single
+      // simulation's configuration.
+      continue;
+    }
     if (kind == "grid") {
       check_known(s, {"nx", "ny", "nz", "dx", "dy", "dz", "x0", "y0", "z0",
                       "dt", "cfl", "boundary_x", "boundary_y", "boundary_z",
@@ -288,10 +375,17 @@ Deck parse_deck(std::istream& in) {
   return deck;
 }
 
+Deck parse_deck(std::istream& in) { return DeckSource::from_stream(in).build(); }
+
 Deck load_deck_file(const std::string& path) {
-  std::ifstream in(path);
-  MV_REQUIRE(in.good(), "cannot open deck file: " << path);
-  return parse_deck(in);
+  return DeckSource::from_file(path).build();
+}
+
+Deck load_deck_file(const std::string& path,
+                    const std::vector<DeckOverride>& overrides) {
+  DeckSource src = DeckSource::from_file(path);
+  for (const DeckOverride& ov : overrides) src.apply_override(ov);
+  return src.build();
 }
 
 }  // namespace minivpic::sim

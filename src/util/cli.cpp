@@ -16,13 +16,19 @@ Args::Args(int argc, const char* const* argv) {
     }
     arg.erase(0, 2);
     const auto eq = arg.find('=');
+    std::string key, value;
     if (eq != std::string::npos) {
-      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      options_[arg] = argv[++i];
+      key = arg;
+      value = argv[++i];
     } else {
-      options_[arg] = "true";
+      key = arg;
+      value = "true";
     }
+    options_[key] = value;
+    ordered_.emplace_back(std::move(key), std::move(value));
   }
 }
 
@@ -61,6 +67,13 @@ bool Args::get_bool(const std::string& key, bool fallback) const {
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   MV_REQUIRE(false, "option --" << key << " is not a boolean: " << v);
   return fallback;
+}
+
+std::vector<std::string> Args::get_all(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : ordered_)
+    if (k == key) values.push_back(v);
+  return values;
 }
 
 void Args::check_known(const std::vector<std::string>& allowed) const {

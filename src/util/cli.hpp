@@ -9,7 +9,9 @@ namespace minivpic {
 
 /// Parses `--key=value`, `--key value` and boolean `--flag` arguments.
 /// Positional arguments are collected in order. Unknown keys are kept so the
-/// caller can reject or ignore them.
+/// caller can reject or ignore them. A repeated option keeps every
+/// occurrence (get_all), with the single-value accessors returning the last
+/// one — `--set a=1 --set b=2` style flags need the full list.
 class Args {
  public:
   Args(int argc, const char* const* argv);
@@ -21,6 +23,9 @@ class Args {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Every value given for `key`, in command-line order (empty when absent).
+  std::vector<std::string> get_all(const std::string& key) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::map<std::string, std::string>& options() const { return options_; }
 
@@ -28,7 +33,8 @@ class Args {
   void check_known(const std::vector<std::string>& allowed) const;
 
  private:
-  std::map<std::string, std::string> options_;
+  std::map<std::string, std::string> options_;  ///< last occurrence per key
+  std::vector<std::pair<std::string, std::string>> ordered_;  ///< all
   std::vector<std::string> positional_;
 };
 

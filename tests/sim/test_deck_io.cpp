@@ -179,5 +179,62 @@ TEST(DeckIoTest, FileRoundTrip) {
   EXPECT_THROW(load_deck_file("/nonexistent.deck"), Error);
 }
 
+// -- overrides (--set and campaign axes) --------------------------------------
+
+TEST(DeckOverrideTest, ParseSplitsAtLastDot) {
+  const DeckOverride ov = parse_override("species electron.uth=0.07");
+  EXPECT_EQ(ov.section, "species electron");
+  EXPECT_EQ(ov.key, "uth");
+  EXPECT_EQ(ov.value, "0.07");
+  EXPECT_EQ(ov.spec(), "species electron.uth=0.07");
+  EXPECT_THROW(parse_override("no_dot=1"), Error);
+  EXPECT_THROW(parse_override("grid.nx"), Error);  // no value
+  EXPECT_THROW(parse_override(".nx=4"), Error);    // empty section
+}
+
+TEST(DeckOverrideTest, AppliedOverridesRewriteTheDeck) {
+  DeckSource src = DeckSource::from_text(kLpiDeck);
+  src.apply_override("grid.nx", "64");
+  src.apply_override("species electron.uth", "0.1");
+  src.apply_override(parse_override("laser.a0=0.25"));
+  const Deck d = src.build();
+  EXPECT_EQ(d.grid.nx, 64);
+  EXPECT_DOUBLE_EQ(d.species[0].load.uth, 0.1);
+  EXPECT_DOUBLE_EQ(d.laser->a0, 0.25);
+}
+
+TEST(DeckOverrideTest, UnknownKeysAndSectionsRejected) {
+  DeckSource src = DeckSource::from_text(kLpiDeck);
+  // An unknown key in a real section fails at build() via check_known.
+  src.apply_override("grid.bogus", "1");
+  EXPECT_THROW(src.build(), Error);
+  // A species that does not exist cannot be created by an override.
+  DeckSource src2 = DeckSource::from_text(kLpiDeck);
+  EXPECT_THROW(src2.apply_override("species muon.uth", "0.1"), Error);
+}
+
+TEST(DeckOverrideTest, OverrideCreatesSingletonSectionOnDemand) {
+  // A deck with no [control] section still accepts control overrides.
+  DeckSource src = DeckSource::from_text(
+      "[grid]\nnx = 8\n[species e]\nq = -1\nm = 1\nppc = 2\n");
+  src.apply_override("control.sort_period", "5");
+  EXPECT_EQ(src.build().sort_period, 5);
+}
+
+TEST(DeckSourceTest, CampaignSectionCarriedButIgnoredByBuild) {
+  DeckSource src = DeckSource::from_text(
+      "[grid]\nnx = 8\n[species e]\nq = -1\nm = 1\nppc = 2\n"
+      "[campaign]\ngrid.nx = 8, 16   # a sweep\nsteps = 4\n");
+  ASSERT_EQ(src.campaign_lines().size(), 2u);
+  EXPECT_EQ(src.campaign_lines()[0], "grid.nx = 8, 16");
+  EXPECT_EQ(src.build().grid.nx, 8);  // campaign lines don't touch the deck
+  // The canonical text (the job-id fingerprint) excludes the campaign
+  // section but reflects overrides.
+  const std::string before = src.canonical_text();
+  EXPECT_EQ(before.find("campaign"), std::string::npos);
+  src.apply_override("grid.nx", "32");
+  EXPECT_NE(src.canonical_text(), before);
+}
+
 }  // namespace
 }  // namespace minivpic::sim

@@ -1,8 +1,14 @@
 // Randomized traffic stress: many ranks exchanging unpredictable message
 // patterns must neither deadlock, drop, nor cross-deliver. Every payload is
-// self-describing so corruption is detectable.
+// self-describing so corruption is detectable. Also the concurrency audit
+// behind the campaign executor: several vmpi worlds driven from separate
+// host threads at once must stay fully isolated (runtime.cpp keeps all
+// world state — mailboxes, barrier, error flag — inside each run() call;
+// there are no mutable globals in vmpi).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -54,6 +60,73 @@ TEST(VmpiStress, ManyShortLivedWorlds) {
       ASSERT_EQ(v, 2 + i);
     });
   }
+}
+
+TEST(VmpiStress, ConcurrentWorlds) {
+  // Four host threads each drive their own 3-rank world through p2p +
+  // collective traffic, concurrently — the shape of a 4-worker campaign.
+  // Payloads are world-tagged so any cross-world delivery is detected.
+  constexpr int kWorlds = 4;
+  constexpr int kWorldRanks = 3;
+  std::atomic<int> worlds_ok{0};
+  std::vector<std::thread> hosts;
+  hosts.reserve(kWorlds);
+  for (int w = 0; w < kWorlds; ++w) {
+    hosts.emplace_back([w, &worlds_ok] {
+      run(kWorldRanks, [w](Comm& comm) {
+        for (int round = 0; round < 20; ++round) {
+          const int dst = (comm.rank() + 1) % kWorldRanks;
+          const int src = (comm.rank() + kWorldRanks - 1) % kWorldRanks;
+          const std::int64_t payload =
+              w * 1000000 + comm.rank() * 1000 + round;
+          comm.send(dst, 40 + round, std::span<const std::int64_t>(&payload, 1));
+          const auto got = comm.recv_any<std::int64_t>(src, 40 + round);
+          ASSERT_EQ(got.size(), 1u);
+          ASSERT_EQ(got[0], w * 1000000 + src * 1000 + round)
+              << "world " << w << " round " << round;
+          const long long sum =
+              comm.allreduce_value<long long>(comm.rank(), Op::kSum);
+          ASSERT_EQ(sum, kWorldRanks * (kWorldRanks - 1) / 2);
+        }
+      });
+      worlds_ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : hosts) t.join();
+  EXPECT_EQ(worlds_ok.load(), kWorlds);
+}
+
+TEST(VmpiStress, ConcurrentWorldsSurviveAThrowingNeighbor) {
+  // A rank throwing in one world must poison only its own world; sibling
+  // worlds running concurrently finish untouched.
+  std::atomic<int> clean_ok{0};
+  std::atomic<int> poisoned_ok{0};
+  std::vector<std::thread> hosts;
+  for (int w = 0; w < 3; ++w) {
+    hosts.emplace_back([w, &clean_ok, &poisoned_ok] {
+      if (w == 1) {
+        EXPECT_THROW(run(3,
+                         [](Comm& comm) {
+                           if (comm.rank() == 2) throw std::runtime_error("boom");
+                           // Blocked peers must be released, not hung.
+                           comm.barrier();
+                         }),
+                     std::exception);
+        poisoned_ok.fetch_add(1);
+        return;
+      }
+      run(3, [](Comm& comm) {
+        for (int round = 0; round < 50; ++round) {
+          const long long sum = comm.allreduce_value<long long>(1, Op::kSum);
+          ASSERT_EQ(sum, 3);
+        }
+      });
+      clean_ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : hosts) t.join();
+  EXPECT_EQ(clean_ok.load(), 2);
+  EXPECT_EQ(poisoned_ok.load(), 1);
 }
 
 TEST(VmpiStress, LargeMessages) {
