@@ -13,8 +13,22 @@
 //                   reference path; google-benchmark flags still apply)
 //   --kernel=NAME   pin the advance to one kernel: scalar|sse|avx2|avx512|
 //                   auto (auto = widest available)
+//   --shuffle       start from a fully shuffled particle list (worst-case
+//                   gather order) instead of the default voxel-sorted one
+//   --sort-every=N  bin-sort the species once per N advances inside the
+//                   timed region (0 = never, the default): each timed
+//                   iteration then spans a whole sort period (1 sort +
+//                   N advances), so the reported particles/s amortizes the
+//                   sort cost exactly like the stepping loop's cadence —
+//                   pair with --shuffle for the sorted-vs-unsorted
+//                   experiment (docs/SORTING.md). Per-iteration times are
+//                   per *period* in this mode, not per advance.
 //   --json=PATH     machine-readable results; shorthand for google-benchmark's
 //                   --benchmark_out=PATH --benchmark_out_format=json
+// The JSON context records the kernel sweep plus `sort_every` and
+// `initial_order`, and every advance benchmark reports an end-of-run
+// `sortedness` counter (fraction of adjacent particles in voxel order), so
+// result files are self-describing about the locality they measured.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -35,7 +49,7 @@ namespace {
 
 struct PushFixture {
   PushFixture(int cells, int ppc, int pipelines = 1,
-              Kernel kernel = Kernel::kScalar)
+              Kernel kernel = Kernel::kScalar, bool shuffle = false)
       : grid(make_grid(cells)),
         fields(grid),
         interp(grid),
@@ -54,8 +68,19 @@ struct PushFixture {
     LoadConfig cfg;
     cfg.ppc = ppc;
     cfg.uth = 0.05;
+    // load_uniform emits particles cell-by-cell in ascending voxel order,
+    // so the default warm-up is already the sorted best case and no extra
+    // sort pass is needed; --shuffle produces the worst case instead.
     load_uniform(sp, grid, cfg);
-    sp.sort(grid);
+    if (shuffle) shuffle_particles(sp);
+  }
+
+  /// Fisher–Yates with a fixed seed: the worst-case (random) gather order,
+  /// reproducible across runs.
+  static void shuffle_particles(Species& s, std::uint64_t seed = 4) {
+    Rng rng(seed);
+    for (std::size_t n = s.size(); n > 1; --n)
+      std::swap(s[n - 1], s[std::size_t(rng.uniform_u64(n))]);
   }
 
   static grid::GlobalGrid make_grid(int cells) {
@@ -75,15 +100,25 @@ struct PushFixture {
 };
 
 void BM_ParticleAdvance(benchmark::State& state, int cells, int ppc,
-                        int pipelines, Kernel kernel) {
-  PushFixture fx(cells, ppc, pipelines, kernel);
+                        int pipelines, Kernel kernel, bool shuffle,
+                        int sort_every) {
+  PushFixture fx(cells, ppc, pipelines, kernel, shuffle);
   std::int64_t pushed = 0;
+  // With a sort cadence, one timed iteration spans a whole sort period —
+  // one sort plus sort_every advances — so the reported particles/s
+  // amortizes the sort exactly the way the stepping loop does, no matter
+  // how few iterations the harness decides to run.
+  const int advances_per_iter = sort_every > 0 ? sort_every : 1;
   for (auto _ : state) {
-    fx.acc.clear();
-    const auto res = fx.pusher.advance(fx.sp, fx.interp, fx.acc, &fx.pipeline);
-    fx.acc.reduce();
-    pushed += res.pushed;
-    benchmark::DoNotOptimize(res.pushed);
+    if (sort_every > 0) fx.sp.sort(fx.grid, &fx.pipeline);
+    for (int n = 0; n < advances_per_iter; ++n) {
+      fx.acc.clear();
+      const auto res =
+          fx.pusher.advance(fx.sp, fx.interp, fx.acc, &fx.pipeline);
+      fx.acc.reduce();
+      pushed += res.pushed;
+      benchmark::DoNotOptimize(res.pushed);
+    }
   }
   state.counters["particles/s"] =
       benchmark::Counter(double(pushed), benchmark::Counter::kIsRate);
@@ -95,6 +130,8 @@ void BM_ParticleAdvance(benchmark::State& state, int cells, int ppc,
   state.counters["pipelines"] = double(pipelines);
   state.counters["lane_width"] =
       double(perf::KernelCosts::push_lane_width(fx.pusher.kernel()));
+  state.counters["sort_every"] = double(sort_every);
+  state.counters["sortedness"] = fx.sp.sortedness();
 }
 
 void BM_InterpolatorLoad(benchmark::State& state) {
@@ -140,15 +177,13 @@ BENCHMARK(BM_AccumulatorReduce)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_CountingSort(benchmark::State& state) {
+  // Worst-case input each iteration: re-shuffle (untimed) so every timed
+  // sort() does a full permutation's work — post-push disorder in a real
+  // run is far milder, so this is the in-place sort's cost *ceiling*.
   PushFixture fx(16, int(state.range(0)));
-  Rng rng(4);
   for (auto _ : state) {
     state.PauseTiming();
-    // Shuffle so the sort has real work (post-push disorder is mild).
-    for (std::size_t n = fx.sp.size(); n > 1; --n) {
-      const auto m = std::size_t(rng.uniform_u64(n));
-      std::swap(fx.sp[n - 1], fx.sp[m]);
-    }
+    PushFixture::shuffle_particles(fx.sp);
     state.ResumeTiming();
     fx.sp.sort(fx.grid);
   }
@@ -168,7 +203,8 @@ std::vector<int> pipeline_sweep() {
 }
 
 void register_advance_benchmarks(const std::vector<int>& pipeline_counts,
-                                 const std::vector<Kernel>& kernels) {
+                                 const std::vector<Kernel>& kernels,
+                                 bool shuffle, int sort_every) {
   struct Case {
     int cells, ppc;
   };
@@ -176,16 +212,23 @@ void register_advance_benchmarks(const std::vector<int>& pipeline_counts,
   for (const Case& c : cases) {
     for (int np : pipeline_counts) {
       for (Kernel k : kernels) {
-        const std::string name =
+        std::string name =
             "BM_ParticleAdvance/" + std::to_string(c.cells) + "/" +
             std::to_string(c.ppc) + "/pipelines:" + std::to_string(np) +
             "/kernel:" + kernel_name(k);
+        // Non-default locality settings are part of the benchmark identity
+        // (names stay unchanged for default runs so result files compare
+        // across revisions).
+        if (shuffle) name += "/shuffled";
+        if (sort_every > 0)
+          name += "/sort_every:" + std::to_string(sort_every);
         // The advance is internally threaded, so rate counters must divide
         // by wall time — the default (main-thread CPU time) would credit an
         // N-pipeline run with N× throughput even when the host can't run
         // them.
         benchmark::RegisterBenchmark(name.c_str(), BM_ParticleAdvance,
-                                     c.cells, c.ppc, np, k)
+                                     c.cells, c.ppc, np, k, shuffle,
+                                     sort_every)
             ->Unit(benchmark::kMillisecond)
             ->UseRealTime();
       }
@@ -203,6 +246,8 @@ int main(int argc, char** argv) {
   std::vector<Kernel> kernels;
   std::vector<std::string> extra;
   std::vector<char*> bargv;
+  bool shuffle = false;
+  int sort_every = 0;
   for (int i = 0; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--pipelines=", 12) == 0) {
@@ -213,6 +258,12 @@ int main(int argc, char** argv) {
       kernels = {resolve_kernel(parse_kernel(a + 9))};
     } else if (std::strcmp(a, "--kernel") == 0 && i + 1 < argc) {
       kernels = {resolve_kernel(parse_kernel(argv[++i]))};
+    } else if (std::strcmp(a, "--shuffle") == 0) {
+      shuffle = true;
+    } else if (std::strncmp(a, "--sort-every=", 13) == 0) {
+      sort_every = std::max(0, std::atoi(a + 13));
+    } else if (std::strcmp(a, "--sort-every") == 0 && i + 1 < argc) {
+      sort_every = std::max(0, std::atoi(argv[++i]));
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       extra.push_back(std::string("--benchmark_out=") + (a + 7));
       extra.push_back("--benchmark_out_format=json");
@@ -228,8 +279,13 @@ int main(int argc, char** argv) {
     for (Kernel k : kernels)
       names += (names.empty() ? "" : ",") + std::string(kernel_name(k));
     benchmark::AddCustomContext("kernels", names);
+    // Locality provenance rides in the context next to the kernel list so
+    // a JSON result is self-describing about the order it measured.
+    benchmark::AddCustomContext("sort_every", std::to_string(sort_every));
+    benchmark::AddCustomContext("initial_order",
+                                shuffle ? "shuffled" : "sorted");
   }
-  register_advance_benchmarks(counts, kernels);
+  register_advance_benchmarks(counts, kernels, shuffle, sort_every);
   int bargc = int(bargv.size());
   benchmark::Initialize(&bargc, bargv.data());
   if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;

@@ -45,6 +45,23 @@ int main() {
   roofline.add_row({std::string("TOTAL"), p.t_step, 100.0});
   roofline.print(std::cout, "modeled step decomposition (trillion-particle run)");
 
+  // The sort-vs-gather tradeoff, modeled: sweeping the sort cadence trades
+  // amortized sort time against the gather-disorder penalty on the push.
+  // The minimum of this curve is the tuning guidance docs/SORTING.md gives
+  // for [control] sort_every.
+  Table sortsweep({"sort_every", "disorder", "B/particle eff", "t_sort/step",
+                   "t_push/step", "sustained Pflop/s"});
+  for (const int period : {1, 5, 10, 20, 50, 100, 400}) {
+    perf::RoadrunnerConfig swept = cfg;
+    swept.sort_period = period;
+    const auto sp = RoadrunnerModel(swept).predict(particles, voxels);
+    sortsweep.add_row({(long long)period, sp.gather_disorder,
+                       sp.bytes_per_particle_eff, sp.t_sort, sp.t_push,
+                       sp.sustained_flops / 1e15});
+  }
+  sortsweep.print(std::cout,
+                  "sort cadence tradeoff (amortized sort vs gather decay)");
+
   std::cout << "\ninner loop is "
             << (p.memory_bound ? "MEMORY-BANDWIDTH bound" : "compute bound")
             << " — " << cfg.bytes_per_particle << " B/particle at "

@@ -11,9 +11,13 @@
 //   --kernel=NAME   run at exactly one kernel: scalar|sse|avx2|avx512|auto
 //                   (default: sweep scalar plus the widest available)
 //   --steps=N       timed steps per configuration (default 100)
+//   --sort-every=N  override the deck's bin-sort cadence (0 = never sort;
+//                   default: the LPI deck's sort_period of 20) — the "sort"
+//                   row and the push rate move together (docs/SORTING.md)
 //   --json=PATH     machine-readable results: one record per swept
 //                   (pipelines, kernel) point carrying the full telemetry
-//                   metric catalogue (see docs/OBSERVABILITY.md)
+//                   metric catalogue (see docs/OBSERVABILITY.md) plus the
+//                   sort_every the point ran at
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -32,7 +36,8 @@ using namespace minivpic;
 
 namespace {
 
-sim::Deck breakdown_deck(int pipelines, particles::Kernel kernel) {
+sim::Deck breakdown_deck(int pipelines, particles::Kernel kernel,
+                         int sort_every) {
   sim::LpiParams p;
   p.nx = 192;
   p.ny = p.nz = 2;
@@ -43,29 +48,33 @@ sim::Deck breakdown_deck(int pipelines, particles::Kernel kernel) {
   sim::Deck deck = sim::lpi_deck(p);
   deck.pipelines = pipelines;
   deck.kernel = kernel;
+  if (sort_every >= 0) deck.sort_period = sort_every;
   return deck;
 }
 
 struct SweepPoint {
   int pipelines = 1;
   std::string kernel = "scalar";
+  int sort_every = 20;
   double push_seconds = 0;
+  double sort_seconds = 0;
   double reduce_seconds = 0;
   double step_seconds = 0;
   double push_rate = 0;  ///< particles/s inside the advance
   telemetry::StepSample sample;  ///< full derived metric set for --json
 };
 
-SweepPoint run_breakdown(int pipelines, particles::Kernel kernel, int steps,
-                         bool print_table) {
+SweepPoint run_breakdown(int pipelines, particles::Kernel kernel,
+                         int sort_every, int steps, bool print_table) {
   const int warmup = 10;
+  const sim::Deck deck = breakdown_deck(pipelines, kernel, sort_every);
   {
-    sim::Simulation warm(breakdown_deck(pipelines, kernel));
+    sim::Simulation warm(deck);
     warm.initialize();
     warm.run(warmup);  // let caches and particle lists settle
   }
   // fresh timers, same deck
-  sim::Simulation timed(breakdown_deck(pipelines, kernel));
+  sim::Simulation timed(deck);
   timed.initialize();
   const Timer wall;
   timed.run(steps);
@@ -79,10 +88,15 @@ SweepPoint run_breakdown(int pipelines, particles::Kernel kernel, int steps,
       table.add_row({std::string(name), sw.total_seconds(),
                      100.0 * sw.total_seconds() / total, std::string(note)});
     };
+    const std::string sort_note =
+        deck.sort_period > 0
+            ? "in-place bin sort, every " + std::to_string(deck.sort_period) +
+                  " steps"
+            : "bin sort disabled (sort_every = 0)";
     row("particle advance", t.push, "the paper's 0.488 Pflop/s inner loop");
     row("interpolator load", t.interpolate, "per-cell field coefficients");
     row("migration", t.migrate, "inter-rank exchange (1 rank: bookkeeping)");
-    row("sort", t.sort, "counting sort, every 20 steps");
+    row("sort", t.sort, sort_note.c_str());
     row("pipeline reduce", t.reduce, "fold per-pipeline accumulator blocks");
     row("source reduction", t.sources, "accumulator unload + halo fold");
     row("field solve", t.field, "B/E/B Yee update + ghost refresh");
@@ -113,7 +127,9 @@ SweepPoint run_breakdown(int pipelines, particles::Kernel kernel, int steps,
   SweepPoint pt;
   pt.pipelines = timed.pipelines();
   pt.kernel = particles::kernel_name(timed.kernel());
+  pt.sort_every = deck.sort_period;
   pt.push_seconds = t.push.total_seconds();
+  pt.sort_seconds = t.sort.total_seconds();
   pt.reduce_seconds = t.reduce.total_seconds();
   pt.step_seconds = total;
   pt.push_rate = telemetry::StepSampler::particles_per_second(
@@ -139,6 +155,7 @@ void write_json(const std::string& path, int steps,
     telemetry::Json rec = telemetry::Json::object();
     rec.set("pipelines", telemetry::Json::number(std::int64_t{pt.pipelines}));
     rec.set("kernel", telemetry::Json::string(pt.kernel));
+    rec.set("sort_every", telemetry::Json::number(std::int64_t{pt.sort_every}));
     rec.set("metrics", std::move(metrics));
     points.push_back(std::move(rec));
   }
@@ -156,8 +173,11 @@ void write_json(const std::string& path, int steps,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.check_known({"pipelines", "kernel", "steps", "json"});
+  args.check_known({"pipelines", "kernel", "steps", "sort-every", "json"});
   const int steps = int(args.get_int("steps", 100));
+  // -1 = keep the deck's own cadence; 0 = never sort.
+  const int sort_every = int(args.get_int("sort-every", -1));
+  MV_REQUIRE(sort_every >= -1, "--sort-every must be >= 0");
 
   std::vector<int> counts;
   if (args.has("pipelines")) {
@@ -185,18 +205,19 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> sweep;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     for (std::size_t k = 0; k < kernels.size(); ++k) {
-      sweep.push_back(
-          run_breakdown(counts[i], kernels[k], steps, i == 0 && k == 0));
+      sweep.push_back(run_breakdown(counts[i], kernels[k], sort_every, steps,
+                                    i == 0 && k == 0));
     }
   }
 
   if (sweep.size() > 1) {
     std::cout << "\n";
-    Table table({"pipelines", "kernel", "push s", "reduce s", "step s",
-                 "Mpart/s", "push speedup"});
+    Table table({"pipelines", "kernel", "push s", "sort s", "reduce s",
+                 "step s", "Mpart/s", "push speedup"});
     for (const SweepPoint& pt : sweep) {
       table.add_row({(long long)pt.pipelines, pt.kernel, pt.push_seconds,
-                     pt.reduce_seconds, pt.step_seconds, pt.push_rate / 1e6,
+                     pt.sort_seconds, pt.reduce_seconds, pt.step_seconds,
+                     pt.push_rate / 1e6,
                      sweep[0].push_seconds / pt.push_seconds});
     }
     table.print(std::cout,

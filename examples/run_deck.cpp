@@ -11,6 +11,9 @@
 //              [--history=energies.csv]
 //              [--pipelines=N]   # particle-advance threads; 0 = hardware
 //              [--kernel=NAME]   # scalar|sse|avx2|avx512|auto (default auto)
+//              [--sort-every=N]  # particle bin-sort cadence in steps;
+//                                # 0 = never (deck: sort_every, default 20;
+//                                # see docs/SORTING.md for tuning)
 //              [--set=section.key=value] # deck override (repeatable)
 //              [--metrics=PATH]  # NDJSON metrics stream (rank-reduced)
 //              [--metrics-every=N]       # sample cadence (default: --report)
@@ -41,7 +44,7 @@
 //   [laser]
 //   omega0 = 3.162  a0 = 0.15  ramp = 10
 //   [control]
-//   sort_period = 20  clean_period = 50
+//   sort_every = 20  clean_period = 50
 //   checkpoint_every = 500  health_period = 50  health_policy = abort
 #include <chrono>
 #include <csignal>
@@ -106,8 +109,8 @@ int run(int argc, char** argv) {
   Args args(argc, argv);
   args.check_known({"steps", "report", "probe_plane", "checkpoint",
                     "checkpoint-every", "resume", "max-walltime", "history",
-                    "pipelines", "kernel", "metrics", "metrics-every", "trace",
-                    "log-level", "set"});
+                    "pipelines", "kernel", "sort-every", "metrics",
+                    "metrics-every", "trace", "log-level", "set"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
                  "       [--probe_plane=I] [--checkpoint=prefix] "
@@ -117,7 +120,7 @@ int run(int argc, char** argv) {
                  "       [--metrics=ndjson] [--metrics-every=N] "
                  "[--trace=json] [--log-level=LVL]\n"
                  "       [--kernel=scalar|sse|avx2|avx512|auto] "
-                 "[--set=section.key=value ...]\n";
+                 "[--sort-every=N] [--set=section.key=value ...]\n";
     return 2;
   }
   if (args.has("log-level")) {
@@ -145,6 +148,13 @@ int run(int argc, char** argv) {
   // `kernel` key (default auto for deck files) overridden by --kernel.
   if (args.has("kernel")) {
     deck.kernel = particles::parse_kernel(args.get("kernel", "auto"));
+  }
+  // Bin-sort cadence follows the same convention: the deck's [control]
+  // `sort_every` (alias `sort_period`) overridden by --sort-every; 0 turns
+  // the periodic sort off entirely.
+  if (args.has("sort-every")) {
+    deck.sort_period = int(args.get_int("sort-every", 20));
+    MV_REQUIRE(deck.sort_period >= 0, "--sort-every must be >= 0");
   }
   if (args.has("checkpoint-every")) {
     deck.checkpoint_every = int(args.get_int("checkpoint-every", 0));

@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/pipeline.hpp"
 
 namespace minivpic::particles {
 
@@ -19,7 +20,6 @@ void Species::reserve(std::size_t n) {
   AlignedBuffer<Particle> grown(std::max(n, storage_.size() * 2));
   std::copy_n(storage_.data(), np_, grown.data());
   storage_ = std::move(grown);
-  scratch_ = AlignedBuffer<Particle>();  // re-sized lazily by sort()
 }
 
 void Species::add(const Particle& p) {
@@ -67,22 +67,77 @@ double Species::charge() const {
   return c * q_;
 }
 
-void Species::sort(const grid::LocalGrid& grid) {
+void Species::sort(const grid::LocalGrid& grid, Pipeline* pipeline) {
   if (np_ < 2) return;
   const std::size_t nv = std::size_t(grid.num_voxels());
-  std::vector<std::int32_t> count(nv + 1, 0);
-  for (std::size_t n = 0; n < np_; ++n) {
-    const std::int32_t v = storage_[n].i;
-    MV_ASSERT_MSG(v >= 0 && std::size_t(v) < nv,
-                  "particle " << n << " has invalid voxel " << v);
-    ++count[std::size_t(v) + 1];
+  const int npipe = pipeline != nullptr ? pipeline->size() : 1;
+
+  // Phase 1 — histogram. Each pipeline counts its static slice of the
+  // particle array into a private row, so the O(N) read of the list (the
+  // dominant cost at production particle counts) scales with the pool.
+  // The row sum is order-independent, which is what keeps the final
+  // permutation identical for every pipeline count.
+  sort_counts_.assign(std::size_t(npipe) * nv, 0);
+  const auto count_slice = [&](int p) {
+    std::int32_t* row = sort_counts_.data() + std::size_t(p) * nv;
+    const auto r = Pipeline::partition(np_, npipe, p);
+    for (std::size_t n = r.begin; n < r.end; ++n) {
+      const std::int32_t v = storage_[n].i;
+      MV_ASSERT_MSG(v >= 0 && std::size_t(v) < nv,
+                    "particle " << n << " has invalid voxel " << v);
+      ++row[std::size_t(v)];
+    }
+  };
+  if (npipe > 1) {
+    pipeline->dispatch(count_slice);
+    // Fold the private rows into row 0, each pipeline owning a voxel range.
+    pipeline->dispatch([&](int p) {
+      const auto r = Pipeline::partition(nv, npipe, p);
+      for (int q = 1; q < npipe; ++q) {
+        const std::int32_t* row = sort_counts_.data() + std::size_t(q) * nv;
+        for (std::size_t v = r.begin; v < r.end; ++v)
+          sort_counts_[v] += row[v];
+      }
+    });
+  } else {
+    count_slice(0);
   }
-  for (std::size_t v = 1; v <= nv; ++v) count[v] += count[v - 1];
-  if (scratch_.size() < storage_.size())
-    scratch_ = AlignedBuffer<Particle>(storage_.size());
-  for (std::size_t n = 0; n < np_; ++n)
-    scratch_[std::size_t(count[std::size_t(storage_[n].i)]++)] = storage_[n];
-  storage_.swap(scratch_);
+
+  // Phase 2 — exclusive prefix sum: bucket start cursors and fixed ends.
+  sort_next_.resize(nv);
+  sort_end_.resize(nv);
+  std::int64_t run = 0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    sort_next_[v] = run;
+    run += sort_counts_[v];
+    sort_end_[v] = run;
+  }
+
+  // Phase 3 — in-place cycle-chasing permutation. Every swap retires one
+  // particle into its final bucket slot, so the loop is O(N) swaps total;
+  // buckets below v are complete when bucket v starts draining. No
+  // particle-sized scratch: this is what replaced the old stable
+  // double-buffer scatter (32 B/particle of extra memory and a full copy).
+  for (std::size_t v = 0; v < nv; ++v) {
+    std::int64_t i = sort_next_[v];
+    while (i < sort_end_[v]) {
+      const std::size_t k = std::size_t(storage_[std::size_t(i)].i);
+      if (k == v) {
+        ++i;
+      } else {
+        std::swap(storage_[std::size_t(i)],
+                  storage_[std::size_t(sort_next_[k]++)]);
+      }
+    }
+  }
+}
+
+double Species::sortedness() const {
+  if (np_ < 2) return 1.0;
+  std::size_t ordered = 0;
+  for (std::size_t n = 1; n < np_; ++n)
+    ordered += storage_[n - 1].i <= storage_[n].i ? 1 : 0;
+  return double(ordered) / double(np_ - 1);
 }
 
 }  // namespace minivpic::particles

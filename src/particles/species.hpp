@@ -2,12 +2,18 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "grid/geometry.hpp"
 #include "particles/particle.hpp"
 #include "util/aligned.hpp"
+
+namespace minivpic {
+class Pipeline;  // util/pipeline.hpp; sort() parallelizes its histogram
+}  // namespace minivpic
 
 namespace minivpic::particles {
 
@@ -62,16 +68,34 @@ class Species {
   /// Bytes of particle storage in use (for data-motion accounting).
   std::int64_t bytes() const { return std::int64_t(np_) * sizeof(Particle); }
 
-  /// In-place counting sort by voxel index — the locality optimization the
-  /// paper's inner-loop rate depends on. Stable.
-  void sort(const grid::LocalGrid& grid);
+  /// In-place O(N) counting sort by voxel index — the locality optimization
+  /// the paper's inner-loop rate depends on (docs/SORTING.md). The histogram
+  /// pass runs one slice per pipeline when a pool is supplied; the cycle-
+  /// chasing permutation is serial and touches each particle at most twice.
+  /// No particle-sized scratch buffer is allocated (the previous double-
+  /// buffer scheme cost 32 B/particle of extra resident memory).
+  ///
+  /// NOT stable: particles sharing a voxel land in cycle order, not arrival
+  /// order. The permutation is a pure function of the particle array — the
+  /// same input sorts identically for every pipeline count, so determinism
+  /// per (kernel, pipelines) is preserved (contract delta: docs/SORTING.md).
+  void sort(const grid::LocalGrid& grid, Pipeline* pipeline = nullptr);
+
+  /// Fraction of adjacent particle pairs in non-decreasing voxel order:
+  /// 1.0 immediately after sort(), ~0.5 for a fully shuffled list. This is
+  /// the cache-locality proxy the benches report alongside push rates.
+  double sortedness() const;
 
  private:
   std::string name_;
   double q_, m_;
   std::size_t np_ = 0;
   AlignedBuffer<Particle> storage_;
-  AlignedBuffer<Particle> scratch_;  ///< sort double-buffer
+  // sort() workspace, kept across calls so a periodic sort allocates only
+  // on the first call (and when the pipeline count or grid size changes).
+  std::vector<std::int32_t> sort_counts_;  ///< per-pipeline voxel histograms
+  std::vector<std::int64_t> sort_next_;    ///< per-voxel write cursors
+  std::vector<std::int64_t> sort_end_;     ///< per-voxel bucket ends
 };
 
 }  // namespace minivpic::particles

@@ -16,6 +16,10 @@ RoadrunnerModel::RoadrunnerModel(const RoadrunnerConfig& cfg) : cfg_(cfg) {
   MV_REQUIRE(cfg.flops_per_particle > 0 && cfg.bytes_per_particle > 0,
              "workload costs must be positive");
   MV_REQUIRE(cfg.sort_period >= 1, "sort period must be >= 1");
+  MV_REQUIRE(cfg.bytes_per_particle_unsorted >= cfg.bytes_per_particle,
+             "unsorted gather traffic cannot be below the sorted stream");
+  MV_REQUIRE(cfg.disorder_per_step >= 0 && cfg.disorder_per_step <= 1,
+             "disorder per step is a fraction");
   MV_REQUIRE(cfg.pipelines_per_chip >= 1 &&
                  cfg.pipelines_per_chip <= cfg.spes_per_cell,
              "pipelines per chip must be in [1, SPEs per chip], got "
@@ -58,7 +62,13 @@ RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
                                 cfg_.sp_flops_per_spe_clock();
   const double t_compute = np * cfg_.flops_per_particle /
                            (pipeline_flops * cfg_.spe_push_efficiency);
-  const double t_memory = np * cfg_.bytes_per_particle / cfg_.mem_bw_per_cell;
+  // Memory side pays the sorted-gather discount: traffic is the sorted
+  // stream blended with the random-gather penalty by the mean disorder
+  // accumulated over one sort period (RoadrunnerConfig::mean_disorder).
+  out.gather_disorder = cfg_.mean_disorder();
+  out.bytes_per_particle_eff = cfg_.effective_bytes_per_particle();
+  const double t_memory =
+      np * out.bytes_per_particle_eff / cfg_.mem_bw_per_cell;
   out.t_push = std::max(t_compute, t_memory);
   out.memory_bound = t_memory >= t_compute;
 
@@ -67,7 +77,10 @@ RoadrunnerPrediction RoadrunnerModel::predict(double particles, double voxels,
   out.t_reduce = nv * cfg_.reduce_bytes_per_voxel *
                  double(cfg_.pipelines_per_chip + 1) / cfg_.mem_bw_per_cell;
 
-  // Occasional counting sort: stream the particle array out and back.
+  // Periodic in-place bin sort, amortized over its period: a streaming
+  // histogram read plus the cycle-chasing permutation's random
+  // read-modify-write of each misplaced particle — calibrated at ~4x the
+  // 32 B particle record (Species::sort; docs/SORTING.md).
   out.t_sort = np * (32.0 * 2 * 2) / cfg_.mem_bw_per_cell /
                double(cfg_.sort_period);
 

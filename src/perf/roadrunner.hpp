@@ -10,6 +10,10 @@
 //
 // The model is a roofline plus overheads:
 //   t_push   = max(flops/particle / compute-rate, bytes/particle / mem-bw)
+//              where bytes/particle blends sorted-stream and random-gather
+//              traffic by the mean disorder over one sort period — the
+//              sorted-gather discount that makes sort_every a modeled
+//              tradeoff instead of a guess (docs/SORTING.md)
 //   t_sort   = streaming read+write of the particle array / sort period
 //   t_reduce = per-pipeline accumulator blocks folded once per step / mem-bw
 //   t_field  = field-update traffic / mem-bw
@@ -61,13 +65,42 @@ struct RoadrunnerConfig {
   // includes the mover/boundary handling work; see EXPERIMENTS.md):
   double flops_per_particle = 250.0;
   double bytes_per_particle = 160.0;   ///< sorted-stream traffic (costs.hpp)
+  /// Traffic per particle when the list has decayed to random cell order:
+  /// every 80 B interpolator gather and 48 B accumulator RMW lands on a
+  /// cold cache line instead of streaming, so the memory side of the push
+  /// roofline roughly doubles (docs/SORTING.md measures this on the host
+  /// kernels; bench_sort_ablation is the experiment).
+  double bytes_per_particle_unsorted = 320.0;
+  /// Fraction of particles that cross a cell face per step (~ u_th dt/dx);
+  /// the disorder the periodic sort exists to undo accumulates at this
+  /// rate, so the mean gather penalty grows with sort_period. 0 models a
+  /// perfectly cold plasma (sorted order never decays).
+  double disorder_per_step = 0.005;
   double field_flops_per_voxel = 66.0;
   double field_bytes_per_voxel = 60.0;
 
   // Calibrated efficiencies:
   double spe_push_efficiency = 0.30;   ///< compute-side ceiling, frac of peak
   double host_overhead_fraction = 0.18;  ///< DaCS/PCIe staging vs t_push
-  int sort_period = 20;
+  int sort_period = 20;  ///< steps between bin sorts ([control] sort_every)
+
+  /// Mean fraction of the particle list out of streaming order, averaged
+  /// over one sort period: disorder grows ~linearly from 0 right after a
+  /// sort to (P-1) * disorder_per_step just before the next, clamped to 1.
+  /// This is the knob coupling: larger sort_period shrinks t_sort but
+  /// inflates t_push through the gather penalty — the tradeoff the
+  /// [control] sort_every deck key tunes (docs/SORTING.md).
+  double mean_disorder() const {
+    const double d = 0.5 * double(sort_period - 1) * disorder_per_step;
+    return d < 1.0 ? d : 1.0;
+  }
+
+  /// Effective push traffic: sorted-stream bytes blended with the
+  /// random-gather penalty by the mean disorder fraction.
+  double effective_bytes_per_particle() const {
+    const double f = mean_disorder();
+    return (1.0 - f) * bytes_per_particle + f * bytes_per_particle_unsorted;
+  }
 
   /// SP flops per SPE per clock: lanes x flops/lane (Cell: 4 x 2 = the
   /// public 8 flops/clock figure).
@@ -80,7 +113,9 @@ struct RoadrunnerPrediction {
   double peak_sp_flops = 0;        ///< machine SP peak (Cell side)
   double t_push = 0;               ///< seconds/step in the particle advance
   double t_reduce = 0;             ///< pipeline accumulator-block reduction
-  double t_sort = 0;
+  double t_sort = 0;               ///< amortized bin-sort cost per step
+  double gather_disorder = 0;      ///< mean out-of-order fraction modeled
+  double bytes_per_particle_eff = 0;  ///< disorder-blended push traffic
   double t_field = 0;
   double t_comm = 0;
   double t_host = 0;

@@ -303,13 +303,19 @@ Deck DeckSource::build() const {
       lc.polarize_z = to_bool(s, "polarize_z", false);
       deck.laser = lc;
     } else if (kind == "control") {
-      check_known(s, {"sort_period", "clean_period", "clean_passes",
+      check_known(s, {"sort_period", "sort_every", "clean_period",
+                      "clean_passes",
                       "init_settle_passes", "collision_seed", "pipelines",
                       "kernel",
                       "checkpoint_every", "checkpoint_keep", "health_period",
                       "health_policy", "health_max_energy_growth",
                       "health_max_particle_loss", "health_rollback_window"});
-      deck.sort_period = to_int(s, "sort_period", 20);
+      // `sort_every` is the documented name (docs/SORTING.md); `sort_period`
+      // is the original spelling and still accepted. When both appear,
+      // sort_every wins. 0 = never sort; the deck-file default stays 20
+      // (the seed behavior every measured rate in the docs assumes).
+      deck.sort_period = to_int(s, "sort_every",
+                                to_int(s, "sort_period", 20));
       // Deck files are the production front end: default to hardware-aware
       // (0 = one pipeline per hardware thread). Programmatic decks keep the
       // serial default of the Deck struct.

@@ -171,9 +171,15 @@ void Simulation::step() {
   }
 
   if (sort_now || collide_now) {
+    // Periodic bin sort: restores the near-cell particle order the SIMD
+    // gathers decay away from as migration shuffles the list
+    // (docs/SORTING.md). The histogram pass parallelizes on the same
+    // pipeline pool as the advance; collisions also require sorted lists.
     telemetry::PhaseSpan lap(timings_.sort, trace_, "sort");
     for (std::size_t s = 0; s < species_.size(); ++s) {
-      if (mobile_[s]) species_[s]->sort(grid_);
+      if (!mobile_[s]) continue;
+      species_[s]->sort(grid_, &pipeline_);
+      stats_.sorted += std::int64_t(species_[s]->size());
     }
   }
 
@@ -185,13 +191,13 @@ void Simulation::step() {
       particles::CollisionStats cs;
       if (rc.a == rc.b) {
         // Immobile species are never sorted above; sort on demand.
-        if (!mobile_[rc.a]) species_[rc.a]->sort(grid_);
+        if (!mobile_[rc.a]) species_[rc.a]->sort(grid_, &pipeline_);
         cs = particles::collide_intraspecies(*species_[rc.a], grid_,
                                              rc.nu_scale, dt_coll,
                                              deck_.collision_seed, step_);
       } else {
-        if (!mobile_[rc.a]) species_[rc.a]->sort(grid_);
-        if (!mobile_[rc.b]) species_[rc.b]->sort(grid_);
+        if (!mobile_[rc.a]) species_[rc.a]->sort(grid_, &pipeline_);
+        if (!mobile_[rc.b]) species_[rc.b]->sort(grid_, &pipeline_);
         cs = particles::collide_interspecies(*species_[rc.a], *species_[rc.b],
                                              grid_, rc.nu_scale, dt_coll,
                                              deck_.collision_seed, step_);

@@ -65,6 +65,7 @@ struct ParticleStats {
   std::int64_t migrated = 0;
   std::int64_t refluxed = 0;
   std::int64_t collision_pairs = 0;
+  std::int64_t sorted = 0;  ///< particles passed through the bin sort
 };
 
 /// Globally reduced energy accounting.

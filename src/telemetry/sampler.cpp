@@ -33,6 +33,8 @@ std::vector<ScalarMetric> StepSample::scalars() const {
   out.push_back({"particles.absorbed", "count", double(absorbed)});
   out.push_back({"particles.refluxed", "count", double(refluxed)});
   out.push_back({"collisions.pairs", "count", double(collision_pairs)});
+  out.push_back({"particles.sorted", "count", double(sorted)});
+  out.push_back({"sort.rate", "1/s", sort_rate});
   out.push_back({"push.rate", "1/s", particles_per_sec});
   out.push_back({"push.gflops", "Gflop/s", push_gflops});
   out.push_back({"push.gbytes_per_s", "GB/s", push_gbytes_per_sec});
@@ -110,6 +112,13 @@ StepSample StepSampler::derive(const sim::Simulation& sim,
   s.absorbed = to.stats.absorbed - from.stats.absorbed;
   s.refluxed = to.stats.refluxed - from.stats.refluxed;
   s.collision_pairs = to.stats.collision_pairs - from.stats.collision_pairs;
+  s.sorted = to.stats.sorted - from.stats.sorted;
+
+  // Sort rate: particles bin-sorted per second of sort-phase time. Zero in
+  // intervals where the periodic sort never fired (the common case between
+  // sort_every boundaries), so time series show the sort's duty cycle.
+  s.sort_seconds = s.phase_seconds[3].second;
+  s.sort_rate = particles_per_second(s.sorted, s.sort_seconds);
 
   s.push_seconds = s.phase_seconds[1].second;
   s.particles_per_sec = particles_per_second(s.pushed, s.push_seconds);

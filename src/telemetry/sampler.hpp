@@ -47,6 +47,7 @@ struct StepSample {
   std::int64_t absorbed = 0;
   std::int64_t refluxed = 0;
   std::int64_t collision_pairs = 0;
+  std::int64_t sorted = 0;          ///< particles bin-sorted in interval
 
   double push_seconds = 0;
   double particles_per_sec = 0;     ///< pushed / push_seconds
@@ -54,6 +55,9 @@ struct StepSample {
   double push_gbytes_per_sec = 0;   ///< algorithmic bytes at the sampled ppc
   double field_gflops = 0;          ///< field solve achieved rate
   double step_gflops = 0;           ///< push flops over whole-step seconds
+
+  double sort_seconds = 0;          ///< sort-phase seconds (= phase.sort.s)
+  double sort_rate = 0;             ///< sorted / sort_seconds
 
   double pipelines = 1;             ///< resolved pipeline count
   double pipeline_imbalance = 1;    ///< max/mean per-pipeline busy seconds

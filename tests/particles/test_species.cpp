@@ -102,29 +102,28 @@ TEST(SpeciesTest, SortOrdersByVoxel) {
     EXPECT_LE(sp[n - 1].i, sp[n].i) << "unsorted at " << n;
 }
 
-TEST(SpeciesTest, SortIsStable) {
-  const grid::LocalGrid g(cube(2));
+// NOTE: the in-place cycle-chasing sort is deliberately NOT stable (within a
+// voxel the final order depends on where particles started, not on insertion
+// order) — the stronger guarantees it does make (deterministic permutation,
+// pipeline-count independence, idempotence) live in test_sort.cpp and
+// docs/SORTING.md.
+
+TEST(SpeciesTest, SortednessReportsOrder) {
+  const grid::LocalGrid g(cube(4));
   Species sp("e", -1.0, 1.0);
-  // Two voxels, interleaved insert order.
-  const std::int32_t va = g.voxel(1, 1, 1), vb = g.voxel(2, 1, 1);
-  for (int n = 0; n < 20; ++n) {
+  // Degenerate sizes count as fully sorted.
+  EXPECT_EQ(sp.sortedness(), 1.0);
+  Rng rng(7);
+  for (int n = 0; n < 500; ++n) {
     Particle p;
-    p.i = (n % 2 == 0) ? vb : va;
-    p.w = float(n);
+    p.i = g.voxel(1 + int(rng.uniform_u64(4)), 1 + int(rng.uniform_u64(4)),
+                  1 + int(rng.uniform_u64(4)));
     sp.add(p);
   }
+  EXPECT_LT(sp.sortedness(), 1.0);  // random voxel order has inversions
+  EXPECT_GT(sp.sortedness(), 0.0);
   sp.sort(g);
-  // Within each voxel, original order (ascending w) preserved.
-  float last_a = -1, last_b = -1;
-  for (const Particle& p : sp.particles()) {
-    if (p.i == va) {
-      EXPECT_GT(p.w, last_a);
-      last_a = p.w;
-    } else {
-      EXPECT_GT(p.w, last_b);
-      last_b = p.w;
-    }
-  }
+  EXPECT_EQ(sp.sortedness(), 1.0);
 }
 
 TEST(SpeciesTest, SortPreservesMultisets) {
