@@ -19,6 +19,11 @@
 //              [--metrics-every=N]       # sample cadence (default: --report)
 //              [--trace=PATH]    # Chrome trace (open in ui.perfetto.dev)
 //              [--log-level=debug|info|warn|error]
+//              [--ranks=N]       # multi-rank run under rollback recovery
+//              [--comm-timeout=S]        # vmpi per-call deadline, seconds
+//              [--inject-comm-fault=kind[:rank[:arg]]@step]  # repeatable;
+//                                # kind = kill|flip|drop|dup|delay
+//                                # (fault drill, docs/FAULTS.md)
 //
 // Telemetry (see docs/OBSERVABILITY.md): --metrics streams one
 // self-describing JSON record per sample cadence with per-phase seconds,
@@ -30,6 +35,14 @@
 // SIGINT/SIGTERM finish the current step, write a final checkpoint set, and
 // exit with code 3 ("interrupted but resumable"), as does --max-walltime.
 // Deck or internal errors print to stderr and exit 1.
+//
+// Fault-tolerant mode (--ranks > 1, --comm-timeout, or --inject-comm-fault;
+// see docs/FAULTS.md): the run is supervised by sim::RecoveryCoordinator —
+// detected communication faults roll the world back to the newest mutually
+// agreed checkpoint set and replay. Exit codes: 0 = completed (recovered
+// runs included), 4 = unrecoverable comm fault (no checkpoint to roll back
+// to, or the recovery budget was exhausted). --probe_plane, --max-walltime,
+// --metrics and --trace are not supported in this mode.
 //
 // Example deck (see sim/deck_io.hpp for the full grammar):
 //
@@ -56,6 +69,7 @@
 #include "sim/diagnostics.hpp"
 #include "sim/health.hpp"
 #include "sim/history.hpp"
+#include "sim/recovery.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/ndjson.hpp"
 #include "telemetry/reduce.hpp"
@@ -66,6 +80,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
+#include "vmpi/fault.hpp"
 
 using namespace minivpic;
 
@@ -101,6 +116,87 @@ void print_summary(std::ostream& os, const sim::Simulation& sim,
 /// requeue the job with --resume.
 constexpr int kExitInterrupted = 3;
 
+/// Exit code for "an unrecoverable communication fault": the run died with
+/// no checkpoint set to roll back to, or the recovery budget ran out.
+/// Distinct from 1 so schedulers can tell a comm fault from a deck error.
+constexpr int kExitCommFault = 4;
+
+/// Fault-tolerant multi-rank path: the run is supervised by
+/// sim::RecoveryCoordinator, which relaunches the vmpi world and rolls back
+/// to the newest mutually agreed checkpoint set after a detected fault.
+int run_fault_tolerant(const Args& args, sim::Deck deck, int ranks,
+                       int steps, int report, const std::string& ckpt_prefix,
+                       bool resume, const std::string& resume_prefix) {
+  MV_REQUIRE(!args.has("probe_plane") && !args.has("max-walltime") &&
+                 !args.has("metrics") && !args.has("trace"),
+             "--probe_plane/--max-walltime/--metrics/--trace are not "
+             "supported with --ranks/--comm-timeout/--inject-comm-fault");
+  MV_REQUIRE(ranks >= 1, "--ranks must be >= 1");
+
+  vmpi::FaultPlane plane;
+  const std::vector<std::string> fault_specs =
+      args.get_all("inject-comm-fault");
+  for (const std::string& spec : fault_specs) plane.schedule_from_spec(spec);
+
+  sim::RecoveryConfig rc;
+  rc.ranks = ranks;
+  rc.checkpoint_prefix = ckpt_prefix;
+  rc.checkpoint_every = deck.checkpoint_every;
+  rc.checkpoint_keep = deck.checkpoint_keep;
+  rc.comm_timeout = args.get_double("comm-timeout", 0);
+  // Message framing (CRC + sequence numbers) is what *detects* injected
+  // corruption/loss; arm it whenever a drill is scheduled.
+  rc.integrity = !fault_specs.empty();
+  rc.fault_plane = fault_specs.empty() ? nullptr : &plane;
+  if (resume) {
+    MV_REQUIRE(resume_prefix == ckpt_prefix,
+               "fault-tolerant mode resumes from the --checkpoint prefix; "
+               "--resume=" << resume_prefix << " names a different set");
+    rc.resume_step = sim::Checkpoint::latest_step(ckpt_prefix);
+    MV_REQUIRE(rc.resume_step >= 0,
+               "--resume: no complete checkpoint set under " << ckpt_prefix);
+    std::cout << "resuming from " << ckpt_prefix << " at step "
+              << rc.resume_step << "\n";
+  }
+  const bool final_save = args.has("checkpoint") || deck.checkpoint_every > 0;
+  if (final_save) {
+    // Collective and deterministic, so safe to repeat if a fault lands
+    // between the final step and the last rank returning.
+    rc.on_final = [&](sim::Simulation& sim, vmpi::Comm&) {
+      sim::Checkpoint::save(sim, ckpt_prefix, deck.checkpoint_keep);
+    };
+  }
+
+  sim::RecoveryCoordinator coordinator(deck, rc);
+  const sim::RecoveryReport rep = coordinator.run(steps);
+
+  Table table({"step", "time", "E_total"});
+  for (const sim::HistoryRow& row : coordinator.history()) {
+    if (row.step > 0 && row.step % report == 0)
+      table.add_row({(long long)row.step, row.time, row.total});
+  }
+  table.print(std::cout, "run history (" + std::to_string(ranks) +
+                             " rank(s), rollback recovery)");
+  std::cout << "\nworlds: " << rep.worlds << ", rollbacks: " << rep.rollbacks
+            << ", faults injected: " << rep.comm.faults_injected
+            << ", detected: " << rep.comm.faults_detected
+            << ", timeouts: " << rep.comm.timeouts << "\n";
+
+  if (args.has("history"))
+    coordinator.write_history_csv(args.get("history", ""));
+  if (final_save && rep.completed) {
+    std::cout << "checkpoint set written: "
+              << sim::Checkpoint::set_path(ckpt_prefix, rep.final_step, 0)
+              << "\n";
+  }
+  if (!rep.completed) {
+    std::cerr << "run_deck: unrecoverable comm fault: " << rep.last_fault
+              << " (rollbacks: " << rep.rollbacks << ")\n";
+    return kExitCommFault;
+  }
+  return 0;
+}
+
 volatile std::sig_atomic_t g_stop_signal = 0;
 
 void handle_stop(int sig) { g_stop_signal = sig; }
@@ -110,7 +206,8 @@ int run(int argc, char** argv) {
   args.check_known({"steps", "report", "probe_plane", "checkpoint",
                     "checkpoint-every", "resume", "max-walltime", "history",
                     "pipelines", "kernel", "sort-every", "metrics",
-                    "metrics-every", "trace", "log-level", "set"});
+                    "metrics-every", "trace", "log-level", "set", "ranks",
+                    "comm-timeout", "inject-comm-fault"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
                  "       [--probe_plane=I] [--checkpoint=prefix] "
@@ -120,7 +217,9 @@ int run(int argc, char** argv) {
                  "       [--metrics=ndjson] [--metrics-every=N] "
                  "[--trace=json] [--log-level=LVL]\n"
                  "       [--kernel=scalar|sse|avx2|avx512|auto] "
-                 "[--sort-every=N] [--set=section.key=value ...]\n";
+                 "[--sort-every=N] [--set=section.key=value ...]\n"
+                 "       [--ranks=N] [--comm-timeout=seconds] "
+                 "[--inject-comm-fault=kind[:rank[:arg]]@step ...]\n";
     return 2;
   }
   if (args.has("log-level")) {
@@ -166,6 +265,14 @@ int run(int argc, char** argv) {
   const bool resume = args.has("resume");
   const std::string resume_prefix =
       args.get("resume", "") == "true" ? ckpt_prefix : args.get("resume", "");
+
+  // Any fault-tolerance flag routes through the rollback-recovery path.
+  if (args.has("ranks") || args.has("comm-timeout") ||
+      args.has("inject-comm-fault")) {
+    return run_fault_tolerant(args, deck, int(args.get_int("ranks", 1)),
+                              steps, report, ckpt_prefix, resume,
+                              resume_prefix);
+  }
 
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);

@@ -47,6 +47,7 @@ CampaignExecutor::CampaignExecutor(const CampaignSpec& spec,
     m.counter("campaign.jobs.done", "count");
     m.counter("campaign.jobs.failed", "count");
     m.counter("campaign.jobs.skipped", "count");
+    m.counter("campaign.failures", "count");
     m.counter("campaign.retries", "count");
     m.counter("campaign.resumes", "count");
     m.counter("campaign.steps", "count");
@@ -85,6 +86,11 @@ CampaignExecutor::AttemptOutcome CampaignExecutor::run_attempt(
     const double timeout = config_.retry.timeout_seconds;
     const auto& hook = config_.per_step_hook;
     const auto& done_hook = config_.on_complete;
+
+    vmpi::WorldConfig wc;
+    wc.timeout_seconds = config_.comm_timeout_seconds;
+    wc.checksum = config_.comm_integrity;
+    wc.sequencing = config_.comm_integrity;
 
     vmpi::run(ranks, [&](vmpi::Comm& comm) {
       // x-only decomposition: every canned/LPI deck is longest along x, and
@@ -158,7 +164,15 @@ CampaignExecutor::AttemptOutcome CampaignExecutor::run_attempt(
             derive_total(sim, attempt_timer.seconds());
         r.particles_per_sec = total.particles_per_sec;
       }
-    });
+    }, wc);
+  } catch (const vmpi::CommError& e) {
+    // A dead world: a comm-layer fault (timeout, corruption, dead peer) or
+    // a poisoned world whose reason now carries the failing rank's root
+    // cause. The typed prefix keeps the fault class greppable in the
+    // result ledger.
+    out.failed = true;
+    out.error = std::string("comm fault [") + vmpi::fault_name(e.fault()) +
+                "]: " + e.what();
   } catch (const std::exception& e) {
     out.failed = true;
     out.error = e.what();
@@ -198,6 +212,7 @@ void CampaignExecutor::worker_loop(JobQueue& queue, ResultStore& results) {
       MV_LOG_WARN << "campaign job " << id << " (" << lease->job.label
                   << ") attempt " << lease->attempt << " failed: "
                   << out.error;
+      count("campaign.failures");  // every failed attempt, retried or not
       if (queue.fail(id, out.error)) {
         count("campaign.retries");
       } else {

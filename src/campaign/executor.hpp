@@ -47,6 +47,15 @@ struct ExecutorConfig {
   RetryPolicy retry;
   /// Directory for per-job checkpoint sets (timeout/resume); must exist.
   std::string scratch_dir = ".";
+  /// Per-call deadline (seconds) for every blocking vmpi call inside a
+  /// job's world; 0 = wait forever (the pre-fault-tolerance default). A
+  /// wedged or dead rank then surfaces as vmpi::CommError within one
+  /// deadline and the job takes the retry path instead of hanging its
+  /// worker. See docs/FAULTS.md.
+  double comm_timeout_seconds = 0;
+  /// CRC32-frame + sequence-number every vmpi message inside job worlds
+  /// (detects corruption, duplication and loss; payloads untouched).
+  bool comm_integrity = false;
   /// Optional campaign.* counters + queue-depth gauge sink. Must outlive
   /// run(). Updated under an internal mutex (registries are not
   /// thread-safe).

@@ -18,10 +18,17 @@
 //    FIFO ordering makes successive collectives unambiguous.
 //  * If any rank throws, the runtime poisons all mailboxes: blocked calls
 //    throw minivpic::Error instead of hanging.
+//
+// Fault tolerance (see docs/FAULTS.md): a WorldConfig passed to vmpi::run can
+// add per-call deadlines, CRC32 message framing, per-link sequence numbers,
+// and a FaultPlane injection schedule. Detected failures throw the typed
+// vmpi::CommError; the default configuration changes nothing.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
@@ -29,6 +36,8 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "vmpi/config.hpp"
+#include "vmpi/error.hpp"
 
 namespace minivpic::vmpi {
 
@@ -46,7 +55,8 @@ struct Status {
 enum class Op { kSum, kMin, kMax };
 
 namespace detail {
-class World;  // shared state of one Runtime::run invocation
+class World;      // shared state of one Runtime::run invocation
+struct Message;   // a queued point-to-point message
 /// Tag reserved for collective traffic; user tags must be >= 0.
 inline constexpr int kCollectiveTag = -2;
 }  // namespace detail
@@ -56,6 +66,11 @@ class Request {
  public:
   Request() = default;
   bool valid() const { return impl_ != nullptr; }
+
+  /// Nonblocking completion check: if a matching message is queued, consumes
+  /// it into the request's buffer and returns true (filling `status` if
+  /// given). Idempotent once complete, like wait().
+  bool test(Status* status = nullptr);
 
  private:
   friend class Comm;
@@ -150,6 +165,11 @@ class Comm {
   /// Blocks until the request completes; returns its Status.
   Status wait(Request& request);
 
+  /// Waits for every request in order; returns one Status per request. Each
+  /// wait is bounded by the communicator deadline individually, so the worst
+  /// case is requests.size() timeouts.
+  std::vector<Status> waitall(std::span<Request> requests);
+
   // -- collectives ------------------------------------------------------------
 
   void barrier();
@@ -210,7 +230,47 @@ class Comm {
     return {};
   }
 
+  // -- fault tolerance ----------------------------------------------------
+
+  /// Per-communicator deadline (seconds) for every blocking call, initially
+  /// WorldConfig::timeout_seconds. 0 restores "wait forever".
+  void set_timeout(double seconds);
+  double timeout() const { return timeout_seconds_; }
+
+  bool is_alive(int rank) const;
+  std::vector<int> live_ranks() const;
+
+  /// Announces this rank's death (liveness epoch): peers blocked on it fail
+  /// fast with CommError(Fault::kPeerDead). Called by a rank that catches a
+  /// scheduled kill and is about to return from its rank function.
+  void mark_self_dead(const std::string& reason);
+
+  /// Revokes the world (ULFM-style): every blocked and future vmpi call on
+  /// any rank — except agreement traffic — throws CommError(Fault::kRevoked).
+  /// The first rank to detect a fault calls this so all survivors converge
+  /// on recovery within one blocking call instead of one timeout each.
+  void revoke(const std::string& reason);
+  bool revoked() const;
+
+  /// Recovery agreement round: returns the minimum of `value` over every
+  /// live rank that responds within `timeout_seconds`. The lowest live rank
+  /// collects and redistributes; non-responders are marked dead and
+  /// excluded. A rank that cannot reach the collector falls back to its own
+  /// value (callers feed values derived from shared state — the checkpoint
+  /// manifest — so the fallback still converges). Runs on the kAgreeTag
+  /// plane, which survives revocation. Every live rank must call this.
+  std::int64_t agree_min(std::int64_t value, double timeout_seconds);
+
  private:
+  /// Common send path: framing (seq/CRC), fault-plane actions, delivery.
+  void deliver(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Verifies CRC framing of a received message; throws CommError(kCorrupt).
+  void verify_frame(const detail::Message& msg) const;
+
+  /// Deadline for a blocking call starting now (kNoDeadline if timeout 0).
+  std::chrono::steady_clock::time_point call_deadline() const;
+
   /// Collective-plane p2p (reserved tag; exact-size receive).
   void send_internal(int dst, const void* data, std::size_t bytes);
   void recv_internal(int src, void* data, std::size_t bytes);
@@ -234,6 +294,8 @@ class Comm {
   detail::World* world_;
   int rank_;
   int size_;
+  double timeout_seconds_ = 0.0;
+  std::vector<std::uint64_t> send_seq_;  // per-destination sequence counters
 };
 
 }  // namespace minivpic::vmpi

@@ -1,0 +1,53 @@
+// Typed communication failures for the vmpi fault-tolerance plane.
+//
+// Every detectable comm-layer failure — a deadline expiring, a CRC mismatch,
+// a sequence gap, a dead peer, a revoked world — surfaces as a CommError
+// carrying a Fault discriminator, so recovery code can distinguish "roll back
+// and retry" faults from programming errors. CommError derives from
+// minivpic::Error, so code that only knows the base type keeps working.
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace minivpic::vmpi {
+
+/// What kind of communication failure was detected.
+enum class Fault {
+  kTimeout,   ///< a blocking call exceeded its configured deadline
+  kCorrupt,   ///< per-message CRC32 framing caught a payload mismatch
+  kLost,      ///< a sequence gap: a message from this source never arrived
+  kPeerDead,  ///< the awaited peer has been marked dead (liveness epoch)
+  kKilled,    ///< this rank was killed by a scheduled FaultPlane kill
+  kRevoked,   ///< the world was revoked: some rank is coordinating recovery
+  kPoisoned,  ///< the world was poisoned: some rank threw a non-comm error
+};
+
+inline const char* fault_name(Fault f) {
+  switch (f) {
+    case Fault::kTimeout: return "timeout";
+    case Fault::kCorrupt: return "corrupt";
+    case Fault::kLost: return "lost";
+    case Fault::kPeerDead: return "peer-dead";
+    case Fault::kKilled: return "killed";
+    case Fault::kRevoked: return "revoked";
+    case Fault::kPoisoned: return "poisoned";
+  }
+  return "unknown";
+}
+
+/// A detected communication failure. Recoverable kinds (everything except
+/// kPoisoned) are what sim::RecoveryCoordinator catches to trigger rollback.
+class CommError : public Error {
+ public:
+  CommError(Fault fault, const std::string& what)
+      : Error(std::string(fault_name(fault)) + ": " + what), fault_(fault) {}
+
+  Fault fault() const { return fault_; }
+
+ private:
+  Fault fault_;
+};
+
+}  // namespace minivpic::vmpi

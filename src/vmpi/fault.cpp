@@ -1,0 +1,212 @@
+#include "vmpi/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "vmpi/error.hpp"
+
+namespace minivpic::vmpi {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKill: return "kill";
+    case FaultKind::kCorrupt: return "flip";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kDelay: return "delay";
+  }
+  return "unknown";
+}
+
+FaultPlane::FaultPlane(std::uint64_t seed) : seed_(seed) {}
+
+void FaultPlane::kill_rank(int rank, std::int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduled_.push_back({FaultKind::kKill, rank, step});
+}
+
+void FaultPlane::corrupt_message(int rank, std::int64_t step, int bit) {
+  MV_REQUIRE(bit >= 0, "corrupt_message bit index must be >= 0, got " << bit);
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduled_.push_back({FaultKind::kCorrupt, rank, step, bit});
+}
+
+void FaultPlane::drop_message(int rank, std::int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduled_.push_back({FaultKind::kDrop, rank, step});
+}
+
+void FaultPlane::duplicate_message(int rank, std::int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduled_.push_back({FaultKind::kDuplicate, rank, step});
+}
+
+void FaultPlane::delay_message(int rank, std::int64_t step, double seconds) {
+  MV_REQUIRE(seconds >= 0.0, "delay must be >= 0, got " << seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduled_.push_back({FaultKind::kDelay, rank, step, 0, seconds});
+}
+
+void FaultPlane::schedule_from_spec(const std::string& spec) {
+  const auto at = spec.rfind('@');
+  MV_REQUIRE(at != std::string::npos && at + 1 < spec.size(),
+             "fault spec '" << spec << "' missing '@step'");
+  char* end = nullptr;
+  const std::string step_text = spec.substr(at + 1);
+  const long long step = std::strtoll(step_text.c_str(), &end, 10);
+  MV_REQUIRE(end != nullptr && *end == '\0' && step >= 0,
+             "fault spec '" << spec << "' has a bad step '" << step_text
+                            << "'");
+
+  std::string head = spec.substr(0, at);
+  std::string kind = head;
+  int rank = 1;
+  double arg = -1.0;
+  if (const auto c1 = head.find(':'); c1 != std::string::npos) {
+    kind = head.substr(0, c1);
+    std::string rest = head.substr(c1 + 1);
+    std::string rank_text = rest;
+    if (const auto c2 = rest.find(':'); c2 != std::string::npos) {
+      rank_text = rest.substr(0, c2);
+      const std::string arg_text = rest.substr(c2 + 1);
+      arg = std::strtod(arg_text.c_str(), &end);
+      MV_REQUIRE(end != nullptr && *end == '\0' && arg >= 0.0,
+                 "fault spec '" << spec << "' has a bad argument '" << arg_text
+                                << "'");
+    }
+    rank = static_cast<int>(std::strtol(rank_text.c_str(), &end, 10));
+    MV_REQUIRE(end != nullptr && *end == '\0' && rank >= 0,
+               "fault spec '" << spec << "' has a bad rank '" << rank_text
+                              << "'");
+  }
+
+  if (kind == "kill") {
+    kill_rank(rank, step);
+  } else if (kind == "flip") {
+    corrupt_message(rank, step, arg >= 0.0 ? static_cast<int>(arg) : 0);
+  } else if (kind == "drop") {
+    drop_message(rank, step);
+  } else if (kind == "dup") {
+    duplicate_message(rank, step);
+  } else if (kind == "delay") {
+    delay_message(rank, step, arg >= 0.0 ? arg : 0.05);
+  } else {
+    MV_REQUIRE(false, "fault spec '" << spec << "' has unknown kind '" << kind
+                                     << "' (want kill|flip|drop|dup|delay)");
+  }
+}
+
+void FaultPlane::set_noise(FaultKind kind, double probability) {
+  MV_REQUIRE(kind != FaultKind::kKill, "kill noise is not supported");
+  MV_REQUIRE(probability >= 0.0 && probability <= 1.0,
+             "noise probability must be in [0,1], got " << probability);
+  std::lock_guard<std::mutex> lock(mu_);
+  noise_[static_cast<int>(kind)] = probability;
+  any_noise_ = false;
+  for (double p : noise_) any_noise_ = any_noise_ || p > 0.0;
+}
+
+void FaultPlane::set_delay_seconds(double seconds) {
+  MV_REQUIRE(seconds >= 0.0, "delay must be >= 0, got " << seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  noise_delay_seconds_ = seconds;
+}
+
+FaultPlane::RankState& FaultPlane::rank_state(int rank) {
+  if (static_cast<std::size_t>(rank) >= ranks_.size())
+    ranks_.resize(static_cast<std::size_t>(rank) + 1);
+  return ranks_[static_cast<std::size_t>(rank)];
+}
+
+void FaultPlane::on_step(int rank, std::int64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : scheduled_) {
+    if (s.fired || s.rank != rank || s.step > step) continue;
+    if (s.kind == FaultKind::kKill) {
+      s.fired = true;
+      ++injected_.killed;
+      throw CommError(Fault::kKilled, "rank " + std::to_string(rank) +
+                                          " killed by fault schedule at step " +
+                                          std::to_string(step));
+    }
+    s.fired = true;  // armed: the next qualifying send consumes it
+    rank_state(rank).armed.push_back(s);
+  }
+}
+
+FaultPlane::SendAction FaultPlane::consume_armed(RankState& rs,
+                                                 std::size_t payload_bytes) {
+  SendAction action;
+  for (auto it = rs.armed.begin(); it != rs.armed.end();) {
+    // A corruption needs payload bits to flip; hold it for a non-empty send.
+    if (it->kind == FaultKind::kCorrupt && payload_bytes == 0) {
+      ++it;
+      continue;
+    }
+    switch (it->kind) {
+      case FaultKind::kCorrupt:
+        action.flip_bit = it->bit;
+        ++injected_.corrupted;
+        break;
+      case FaultKind::kDrop:
+        action.drop = true;
+        ++injected_.dropped;
+        break;
+      case FaultKind::kDuplicate:
+        action.duplicate = true;
+        ++injected_.duplicated;
+        break;
+      case FaultKind::kDelay:
+        action.delay_seconds = it->seconds;
+        ++injected_.delayed;
+        break;
+      case FaultKind::kKill:
+        break;  // unreachable: kills fire in on_step
+    }
+    it = rs.armed.erase(it);
+  }
+  return action;
+}
+
+FaultPlane::SendAction FaultPlane::on_send(int rank,
+                                           std::size_t payload_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RankState& rs = rank_state(rank);
+  const std::uint64_t send_index = rs.sends++;
+  SendAction action;
+  if (!rs.armed.empty()) action = consume_armed(rs, payload_bytes);
+
+  if (any_noise_) {
+    Rng rng(seed_, hash_combine(static_cast<std::uint64_t>(rank), send_index));
+    if (double p = noise_[static_cast<int>(FaultKind::kDrop)];
+        p > 0.0 && rng.uniform() < p && !action.drop) {
+      action.drop = true;
+      ++injected_.dropped;
+    }
+    if (double p = noise_[static_cast<int>(FaultKind::kDuplicate)];
+        p > 0.0 && rng.uniform() < p && !action.duplicate) {
+      action.duplicate = true;
+      ++injected_.duplicated;
+    }
+    if (double p = noise_[static_cast<int>(FaultKind::kCorrupt)];
+        p > 0.0 && rng.uniform() < p && action.flip_bit < 0 &&
+        payload_bytes > 0) {
+      action.flip_bit =
+          static_cast<int>(rng.uniform_u64(8 * payload_bytes));
+      ++injected_.corrupted;
+    }
+    if (double p = noise_[static_cast<int>(FaultKind::kDelay)];
+        p > 0.0 && rng.uniform() < p && action.delay_seconds <= 0.0) {
+      action.delay_seconds = noise_delay_seconds_;
+      ++injected_.delayed;
+    }
+  }
+  return action;
+}
+
+FaultPlane::Counts FaultPlane::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+}  // namespace minivpic::vmpi

@@ -1,0 +1,146 @@
+// Deterministic comm-layer fault injection — the vmpi sibling of
+// sim::FaultInjector.
+//
+// A FaultPlane is installed on a world via vmpi::run(nranks, fn, WorldConfig)
+// and drives two hooks:
+//
+//  * on_step(rank, step) — called by the application at every rank's
+//    step-loop head. Scheduled message faults for (rank, step) are *armed*
+//    (the next qualifying send by that rank fires them) and a scheduled kill
+//    throws CommError(Fault::kKilled) out of the step loop.
+//  * on_send(rank, bytes) — called by Comm on every outgoing message; returns
+//    the action (drop / duplicate / delay / bit-flip) to apply.
+//
+// Every scheduled fault fires exactly once — unlike sim::FaultInjector, whose
+// faults stay scheduled to test recurrence. The asymmetry is deliberate: a
+// rollback replays the step that killed a rank, and a fault that re-fired on
+// every replay would make recovery impossible. In machine terms, the failed
+// node has been swapped out.
+//
+// Optional background noise draws per-send Bernoulli trials from per-rank
+// counter-based RNG streams, so a given (seed, rank, send index) always
+// produces the same fault regardless of thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace minivpic::vmpi {
+
+/// Injectable fault kinds (kill is a step fault; the rest are message faults).
+enum class FaultKind { kKill, kCorrupt, kDrop, kDuplicate, kDelay };
+
+const char* fault_kind_name(FaultKind kind);
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(std::uint64_t seed = 0x5eedf417u);
+
+  // -- deterministic scheduled faults (each fires exactly once) ------------
+
+  /// Kills `rank` at the head of step `step`: on_step throws
+  /// CommError(Fault::kKilled), which the rank's step loop is expected to
+  /// catch, mark itself dead, and return.
+  void kill_rank(int rank, std::int64_t step);
+
+  /// Flips `bit` of the payload of the next non-empty message `rank` sends
+  /// at or after step `step` (the bit index wraps within the payload).
+  void corrupt_message(int rank, std::int64_t step, int bit = 0);
+
+  /// Drops the next message `rank` sends at or after step `step`.
+  void drop_message(int rank, std::int64_t step);
+
+  /// Delivers the next message `rank` sends at or after step `step` twice.
+  void duplicate_message(int rank, std::int64_t step);
+
+  /// Holds the next message `rank` sends at or after step `step` for
+  /// `seconds` before it becomes receivable.
+  void delay_message(int rank, std::int64_t step, double seconds);
+
+  /// Parses a run_deck-style spec — `kind[:rank[:arg]]@step` with kind one of
+  /// kill|flip|drop|dup|delay — and schedules it. `arg` is the bit index for
+  /// flip and the hold time in seconds for delay; rank defaults to 1.
+  /// Throws minivpic::Error on a malformed spec.
+  void schedule_from_spec(const std::string& spec);
+
+  // -- background noise ----------------------------------------------------
+
+  /// Per-send probability of `kind` (kKill is rejected). Draws are
+  /// deterministic in (seed, rank, send index).
+  void set_noise(FaultKind kind, double probability);
+
+  /// Hold time used by delay noise (default 1 ms).
+  void set_delay_seconds(double seconds);
+
+  // -- hooks ---------------------------------------------------------------
+
+  /// Arms message faults scheduled for (rank, step' <= step) and throws
+  /// CommError(Fault::kKilled) if a kill is due. Call at every step-loop
+  /// head. Thread-safe.
+  void on_step(int rank, std::int64_t step);
+
+  struct SendAction {
+    bool drop = false;
+    bool duplicate = false;
+    int flip_bit = -1;          ///< >= 0: flip this payload bit
+    double delay_seconds = 0.0; ///< > 0: hold delivery this long
+    bool any() const {
+      return drop || duplicate || flip_bit >= 0 || delay_seconds > 0.0;
+    }
+  };
+
+  /// Returns the fault action for the next message `rank` sends
+  /// (`payload_bytes` long). Armed corruption waits for a non-empty payload.
+  /// Thread-safe; cheap when nothing is armed and no noise is configured.
+  SendAction on_send(int rank, std::size_t payload_bytes);
+
+  // -- accounting ----------------------------------------------------------
+
+  struct Counts {
+    std::int64_t killed = 0;
+    std::int64_t corrupted = 0;
+    std::int64_t dropped = 0;
+    std::int64_t duplicated = 0;
+    std::int64_t delayed = 0;
+    std::int64_t total() const {
+      return killed + corrupted + dropped + duplicated + delayed;
+    }
+  };
+
+  /// Faults actually injected so far (fired schedule entries + noise hits).
+  Counts injected() const;
+
+ private:
+  struct Scheduled {
+    FaultKind kind;
+    int rank;
+    std::int64_t step;
+    int bit = 0;
+    double seconds = 0.0;
+    bool fired = false;
+  };
+
+  struct RankState {
+    std::vector<Scheduled> armed;  // message faults waiting for a send
+    std::uint64_t sends = 0;       // per-rank send index for noise draws
+  };
+
+  SendAction consume_armed(RankState& rs, std::size_t payload_bytes);
+
+  mutable std::mutex mu_;
+  std::uint64_t seed_;
+  std::vector<Scheduled> scheduled_;
+  std::vector<RankState> ranks_;  // grown on demand
+  double noise_[5] = {0, 0, 0, 0, 0};  // indexed by FaultKind
+  bool any_noise_ = false;
+  double noise_delay_seconds_ = 1e-3;
+  Counts injected_;
+
+  RankState& rank_state(int rank);
+};
+
+}  // namespace minivpic::vmpi

@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -9,11 +10,11 @@
 
 namespace minivpic::vmpi {
 
-void run(int nranks, const RankFn& fn) {
+void run(int nranks, const RankFn& fn, const WorldConfig& config) {
   MV_REQUIRE(nranks >= 1, "need at least one rank, got " << nranks);
   MV_REQUIRE(fn != nullptr, "rank function must be callable");
 
-  detail::World world(nranks);
+  detail::World world(nranks, config);
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -22,12 +23,22 @@ void run(int nranks, const RankFn& fn) {
     Comm comm(&world, rank, nranks);
     try {
       fn(comm);
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Carry the root cause into the poison reason, so ranks released by
+      // the poison (and anything that ledgers their error) see what
+      // actually failed rather than a generic "a rank failed".
+      world.poison_all("rank " + std::to_string(rank) + " failed: " +
+                       e.what());
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      world.poison_all("a rank failed");
+      world.poison_all("rank " + std::to_string(rank) + " failed");
     }
   };
 
@@ -39,5 +50,7 @@ void run(int nranks, const RankFn& fn) {
 
   if (first_error) std::rethrow_exception(first_error);
 }
+
+void run(int nranks, const RankFn& fn) { run(nranks, fn, WorldConfig{}); }
 
 }  // namespace minivpic::vmpi

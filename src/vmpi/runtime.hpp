@@ -17,4 +17,11 @@ using RankFn = std::function<void(Comm&)>;
 /// barrier), every rank is joined, and the first exception is rethrown.
 void run(int nranks, const RankFn& fn);
 
+/// As above, with a fault-tolerance configuration for the world: per-call
+/// deadlines, CRC/sequence message framing, a FaultPlane schedule, and a
+/// caller-owned CommStats sink (see vmpi/config.hpp). `config.fault_plane`
+/// and `config.stats` must outlive the call. The default WorldConfig makes
+/// this identical to the two-argument overload.
+void run(int nranks, const RankFn& fn, const WorldConfig& config);
+
 }  // namespace minivpic::vmpi

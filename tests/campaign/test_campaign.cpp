@@ -24,6 +24,8 @@
 #include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/error.hpp"
 
 namespace minivpic::campaign {
 namespace {
@@ -359,6 +361,101 @@ TEST(CampaignExecutor, MultiRankJobsComplete) {
     EXPECT_EQ(r.status, "done");
     EXPECT_EQ(r.particles, 12 * 2 * 2 * 4 * 2);  // voxels x ppc x species
   }
+}
+
+TEST(CampaignExecutor, CommTimeoutFailsJobWithTypedReason) {
+  // Rank 0 receives on a tag nobody ever sends; with a comm deadline the
+  // world dies with a typed timeout instead of hanging the worker, and the
+  // ledger records the fault class.
+  sim::DeckSource base = sim::DeckSource::from_text(kBaseDeck);
+  CampaignSpec spec = CampaignSpec::from_deck_source(base);
+  spec.add_axis("species electron.uth", {"0.05"});
+  spec.set_steps(3);
+
+  ExecutorConfig config;
+  config.ranks_per_job = 2;
+  config.max_threads = 2;
+  config.retry.max_attempts = 1;
+  config.comm_timeout_seconds = 0.25;
+  config.scratch_dir = ::testing::TempDir();
+  telemetry::MetricsRegistry registry;
+  config.metrics = &registry;
+  config.per_step_hook = [](sim::Simulation& sim, const Job&, int) {
+    if (sim.step_index() == 1 && sim.comm() != nullptr &&
+        sim.comm()->rank() == 0) {
+      (void)sim.comm()->recv_value<int>(1, /*tag=*/77);  // never sent
+    }
+  };
+
+  ResultStore store(temp_path("commtimeout.ndjson"), /*resume=*/false);
+  LogSilencer quiet;
+  const CampaignSummary summary = CampaignExecutor(spec, config).run(store);
+  EXPECT_EQ(summary.failed, 1);
+  const auto results = ResultStore::read_all(store.path());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "failed");
+  EXPECT_NE(results[0].error.find("comm fault [timeout]"), std::string::npos)
+      << results[0].error;
+  EXPECT_EQ(registry.counter("campaign.failures").value(), 1.0);
+}
+
+TEST(CampaignExecutor, CommFaultTakesRetryPathAndCountsFailures) {
+  sim::DeckSource base = sim::DeckSource::from_text(kBaseDeck);
+  CampaignSpec spec = CampaignSpec::from_deck_source(base);
+  spec.add_axis("species electron.uth", {"0.05"});
+  spec.set_steps(3);
+
+  ExecutorConfig config;
+  config.ranks_per_job = 2;
+  config.max_threads = 2;
+  config.retry.max_attempts = 2;
+  config.retry.backoff_seconds = 0.001;
+  config.scratch_dir = ::testing::TempDir();
+  telemetry::MetricsRegistry registry;
+  config.metrics = &registry;
+  config.per_step_hook = [](sim::Simulation& sim, const Job&, int attempt) {
+    if (attempt == 1 && sim.comm() != nullptr && sim.comm()->rank() == 1)
+      throw vmpi::CommError(vmpi::Fault::kLost, "synthetic link loss");
+  };
+
+  ResultStore store(temp_path("commretry.ndjson"), /*resume=*/false);
+  LogSilencer quiet;
+  const CampaignSummary summary = CampaignExecutor(spec, config).run(store);
+  EXPECT_TRUE(summary.all_done());
+  EXPECT_EQ(summary.retries, 1);
+  EXPECT_EQ(registry.counter("campaign.failures").value(), 1.0);
+  const auto results = ResultStore::read_all(store.path());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "done");
+  EXPECT_EQ(results[0].attempts, 2);
+}
+
+TEST(CampaignExecutor, DeadWorldLedgerCarriesFailingRankRootCause) {
+  // One rank of a two-rank job throws; the peer is released by the poison.
+  // The ledger must carry the actual root cause, not a generic message.
+  sim::DeckSource base = sim::DeckSource::from_text(kBaseDeck);
+  CampaignSpec spec = CampaignSpec::from_deck_source(base);
+  spec.add_axis("species electron.uth", {"0.05"});
+  spec.set_steps(3);
+
+  ExecutorConfig config;
+  config.ranks_per_job = 2;
+  config.max_threads = 2;
+  config.retry.max_attempts = 1;
+  config.scratch_dir = ::testing::TempDir();
+  config.per_step_hook = [](sim::Simulation& sim, const Job&, int) {
+    if (sim.comm() != nullptr && sim.comm()->rank() == 1)
+      MV_REQUIRE(false, "disk on fire");
+  };
+
+  ResultStore store(temp_path("rootcause.ndjson"), /*resume=*/false);
+  LogSilencer quiet;
+  const CampaignSummary summary = CampaignExecutor(spec, config).run(store);
+  EXPECT_EQ(summary.failed, 1);
+  const auto results = ResultStore::read_all(store.path());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].error.find("disk on fire"), std::string::npos)
+      << results[0].error;
 }
 
 TEST(CampaignExecutor, ResumedCampaignSkipsLedgeredJobs) {

@@ -1,0 +1,225 @@
+// The headline chaos soak (docs/FAULTS.md): a 4-rank run that loses a rank
+// mid-flight AND has a payload corrupted must recover through coordinated
+// rollback and finish with fields, particles, and the energy history
+// bit-identical to a fault-free run. Plus the failure edges: no checkpoint
+// to roll back to, and an exhausted recovery budget.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "grid/halo.hpp"
+#include "particles/species.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/deck.hpp"
+#include "sim/recovery.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/error.hpp"
+#include "vmpi/cart.hpp"
+#include "vmpi/fault.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace minivpic::sim {
+namespace {
+
+constexpr int kRanks = 4;
+constexpr std::int64_t kSteps = 24;
+
+Deck soak_deck() { return two_stream_deck(/*cells=*/32, /*ppc=*/8); }
+
+std::string temp_prefix(const char* tag) {
+  return ::testing::TempDir() + "/minivpic_recovery_" + tag + ".ckpt";
+}
+
+/// Everything that defines one rank's final state, captured bitwise.
+struct RankState {
+  std::vector<std::vector<grid::real>> fields;  // one vector per component
+  std::vector<std::vector<particles::Particle>> species;
+  std::int64_t step = -1;
+};
+
+struct Snapshot {
+  std::mutex mu;
+  std::vector<RankState> ranks{std::size_t(kRanks)};
+};
+
+void capture(Snapshot& snap, Simulation& sim, vmpi::Comm& comm) {
+  RankState st;
+  for (const auto c : grid::em_components()) {
+    const grid::real* p = grid::component_data(sim.fields(), c);
+    st.fields.emplace_back(p, p + sim.fields().grid().num_voxels());
+  }
+  for (std::size_t s = 0; s < sim.num_species(); ++s) {
+    const auto span = sim.species(s).particles();
+    st.species.emplace_back(span.begin(), span.end());
+  }
+  st.step = sim.step_index();
+  std::lock_guard<std::mutex> lock(snap.mu);
+  snap.ranks[std::size_t(comm.rank())] = std::move(st);
+}
+
+void expect_bit_identical(const Snapshot& a, const Snapshot& b) {
+  for (int r = 0; r < kRanks; ++r) {
+    const RankState& x = a.ranks[std::size_t(r)];
+    const RankState& y = b.ranks[std::size_t(r)];
+    ASSERT_EQ(x.step, y.step) << "rank " << r;
+    ASSERT_EQ(x.fields.size(), y.fields.size()) << "rank " << r;
+    for (std::size_t c = 0; c < x.fields.size(); ++c) {
+      ASSERT_EQ(x.fields[c].size(), y.fields[c].size());
+      ASSERT_EQ(std::memcmp(x.fields[c].data(), y.fields[c].data(),
+                            x.fields[c].size() * sizeof(grid::real)),
+                0)
+          << "field component " << c << " differs on rank " << r;
+    }
+    ASSERT_EQ(x.species.size(), y.species.size()) << "rank " << r;
+    for (std::size_t s = 0; s < x.species.size(); ++s) {
+      ASSERT_EQ(x.species[s].size(), y.species[s].size())
+          << "particle count differs, species " << s << " rank " << r;
+      ASSERT_EQ(std::memcmp(x.species[s].data(), y.species[s].data(),
+                            x.species[s].size() * sizeof(particles::Particle)),
+                0)
+          << "particles differ, species " << s << " rank " << r;
+    }
+  }
+}
+
+TEST(RecoveryCoordinator, ChaosSoakMatchesFaultFreeRunBitForBit) {
+  // Reference: the same deck, same coordinator, no faults.
+  Snapshot clean_snap;
+  RecoveryConfig clean_rc;
+  clean_rc.ranks = kRanks;
+  clean_rc.checkpoint_prefix = temp_prefix("clean");
+  clean_rc.checkpoint_every = 6;
+  clean_rc.comm_timeout = 60;
+  clean_rc.integrity = true;
+  clean_rc.on_final = [&](Simulation& sim, vmpi::Comm& comm) {
+    capture(clean_snap, sim, comm);
+  };
+  RecoveryCoordinator clean(soak_deck(), clean_rc);
+  const RecoveryReport clean_rep = clean.run(kSteps);
+  ASSERT_TRUE(clean_rep.completed);
+  EXPECT_EQ(clean_rep.rollbacks, 0);
+  EXPECT_EQ(clean_rep.worlds, 1);
+
+  // Chaos: a payload bit-flip at step 8 and a rank kill at step 15. Each
+  // forces one rollback; both replay clean (scheduled faults fire once).
+  vmpi::FaultPlane plane;
+  plane.corrupt_message(/*rank=*/1, /*step=*/8, /*bit=*/5);
+  plane.kill_rank(/*rank=*/2, /*step=*/15);
+  telemetry::MetricsRegistry registry;
+  Snapshot fault_snap;
+  RecoveryConfig rc;
+  rc.ranks = kRanks;
+  rc.checkpoint_prefix = temp_prefix("chaos");
+  rc.checkpoint_every = 6;
+  rc.comm_timeout = 60;
+  rc.integrity = true;
+  rc.fault_plane = &plane;
+  rc.metrics = &registry;
+  rc.on_final = [&](Simulation& sim, vmpi::Comm& comm) {
+    capture(fault_snap, sim, comm);
+  };
+  RecoveryCoordinator chaos(soak_deck(), rc);
+  const RecoveryReport rep = chaos.run(kSteps);
+  ASSERT_TRUE(rep.completed) << rep.last_fault;
+  EXPECT_EQ(rep.rollbacks, 2);
+  EXPECT_EQ(rep.worlds, 3);
+  EXPECT_EQ(rep.final_step, kSteps);
+  EXPECT_GE(rep.comm.faults_injected, 2);
+  EXPECT_GE(rep.comm.faults_detected, 1);  // the CRC catch
+  EXPECT_EQ(plane.injected().corrupted, 1);
+  EXPECT_EQ(plane.injected().killed, 1);
+
+  // Telemetry counters track the recovery story.
+  EXPECT_EQ(registry.counter("recovery.rollbacks").value(), 2.0);
+  EXPECT_EQ(registry.counter("recovery.worlds").value(), 3.0);
+  EXPECT_GE(registry.counter("comm.faults_injected").value(), 2.0);
+  EXPECT_GE(registry.counter("comm.faults_detected").value(), 1.0);
+
+  // Energy history: same rows, exactly (rolled-back rows were truncated).
+  ASSERT_EQ(chaos.history().size(), clean.history().size());
+  for (std::size_t i = 0; i < clean.history().size(); ++i) {
+    EXPECT_EQ(chaos.history()[i].step, clean.history()[i].step);
+    EXPECT_EQ(chaos.history()[i].time, clean.history()[i].time);
+    EXPECT_EQ(chaos.history()[i].field, clean.history()[i].field);
+    EXPECT_EQ(chaos.history()[i].kinetic, clean.history()[i].kinetic);
+    EXPECT_EQ(chaos.history()[i].total, clean.history()[i].total);
+  }
+
+  // And the capstone: per-rank fields and particles, bit for bit.
+  expect_bit_identical(clean_snap, fault_snap);
+}
+
+TEST(RecoveryCoordinator, FaultFreeRunMatchesPlainWorldBitForBit) {
+  // The coordinator with integrity framing on must reproduce a plain
+  // vmpi::run of the same decomposition exactly: framing rides beside the
+  // payload and never touches simulation state.
+  Snapshot coord_snap;
+  RecoveryConfig rc;
+  rc.ranks = kRanks;
+  rc.comm_timeout = 60;
+  rc.integrity = true;
+  rc.on_final = [&](Simulation& sim, vmpi::Comm& comm) {
+    capture(coord_snap, sim, comm);
+  };
+  RecoveryCoordinator coord(soak_deck(), rc);
+  ASSERT_TRUE(coord.run(kSteps).completed);
+
+  Snapshot plain_snap;
+  vmpi::run(kRanks, [&](vmpi::Comm& comm) {
+    const vmpi::CartTopology topo({kRanks, 1, 1}, {true, true, true});
+    const Deck deck = soak_deck();
+    Simulation sim(deck, &comm, &topo);
+    sim.initialize();
+    sim.run(int(kSteps));
+    capture(plain_snap, sim, comm);
+  });
+
+  expect_bit_identical(coord_snap, plain_snap);
+}
+
+TEST(RecoveryCoordinator, KillWithoutCheckpointIsUnrecoverable) {
+  vmpi::FaultPlane plane;
+  plane.kill_rank(1, 3);
+  RecoveryConfig rc;
+  rc.ranks = 2;
+  rc.comm_timeout = 30;
+  rc.fault_plane = &plane;
+  RecoveryCoordinator coordinator(soak_deck(), rc);
+  const RecoveryReport rep = coordinator.run(10);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_EQ(rep.rollbacks, 0);
+  EXPECT_NE(rep.last_fault.find("killed"), std::string::npos)
+      << rep.last_fault;
+}
+
+TEST(RecoveryCoordinator, ExhaustedRecoveryBudgetFails) {
+  vmpi::FaultPlane plane;
+  plane.corrupt_message(1, 3, 0);
+  RecoveryConfig rc;
+  rc.ranks = 2;
+  rc.checkpoint_prefix = temp_prefix("budget");
+  rc.checkpoint_every = 2;
+  rc.comm_timeout = 30;
+  rc.integrity = true;
+  rc.fault_plane = &plane;
+  rc.max_recoveries = 0;  // detection works, but no rollback allowed
+  RecoveryCoordinator coordinator(soak_deck(), rc);
+  const RecoveryReport rep = coordinator.run(10);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_EQ(rep.rollbacks, 0);
+  EXPECT_FALSE(rep.last_fault.empty());
+}
+
+TEST(RecoveryCoordinator, PeriodicCheckpointRequiresPrefix) {
+  RecoveryConfig rc;
+  rc.ranks = 2;
+  rc.checkpoint_every = 5;  // no prefix
+  EXPECT_THROW(RecoveryCoordinator(soak_deck(), rc), Error);
+}
+
+}  // namespace
+}  // namespace minivpic::sim

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -196,6 +197,52 @@ TEST(P2P, IrecvWait) {
       EXPECT_EQ(v, 77);
       // wait() is idempotent.
       EXPECT_EQ(comm.wait(req).bytes, sizeof(int));
+    }
+  });
+}
+
+TEST(P2P, RequestTestCompletesWithoutBlocking) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // The peer signals that its irecv is posted *before* we send, so the
+      // pre-send test() below genuinely races nothing.
+      (void)comm.recv_value<int>(1, 1);
+      comm.send_value(1, 2, 77);
+    } else {
+      int v = 0;
+      Request req = comm.irecv(0, 2, std::span<int>(&v, 1));
+      EXPECT_FALSE(req.test());  // nothing sent yet — must not block
+      comm.send_value(0, 1, 0);  // release the sender
+      Status st;
+      while (!req.test(&st)) std::this_thread::yield();
+      EXPECT_EQ(st.bytes, sizeof(int));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(v, 77);
+      // test() is idempotent once complete, like wait().
+      EXPECT_TRUE(req.test());
+      EXPECT_EQ(comm.wait(req).bytes, sizeof(int));
+    }
+  });
+}
+
+TEST(P2P, WaitallCompletesEveryRequestInOrder) {
+  run(2, [](Comm& comm) {
+    constexpr int kMsgs = 3;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) comm.send_value(1, 10 + i, 100 + i);
+    } else {
+      std::vector<int> got(kMsgs, 0);
+      std::vector<Request> reqs;
+      for (int i = 0; i < kMsgs; ++i)
+        reqs.push_back(comm.irecv(0, 10 + i, std::span<int>(&got[i], 1)));
+      const std::vector<Status> statuses =
+          comm.waitall(std::span<Request>(reqs));
+      ASSERT_EQ(statuses.size(), std::size_t(kMsgs));
+      for (int i = 0; i < kMsgs; ++i) {
+        EXPECT_EQ(statuses[std::size_t(i)].tag, 10 + i);
+        EXPECT_EQ(statuses[std::size_t(i)].bytes, sizeof(int));
+        EXPECT_EQ(got[std::size_t(i)], 100 + i);
+      }
     }
   });
 }

@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
+#include "vmpi/error.hpp"
 #include "vmpi/runtime.hpp"
 
 namespace minivpic::vmpi {
@@ -127,6 +129,70 @@ TEST(VmpiStress, ConcurrentWorldsSurviveAThrowingNeighbor) {
   for (std::thread& t : hosts) t.join();
   EXPECT_EQ(clean_ok.load(), 2);
   EXPECT_EQ(poisoned_ok.load(), 1);
+}
+
+TEST(VmpiStress, PoisonReleasesEveryBlockedCallPromptly) {
+  // One rank throws while its peers sit in the three blocking shapes the
+  // runtime must release: a source-specific recv, a wildcard recv, and a
+  // collective (barrier). Each must surface CommError(kPoisoned) — carrying
+  // the thrower's root cause — rather than hang; no deadline is configured,
+  // so a timeout can't be what released them.
+  std::atomic<int> poisoned{0};
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      run(4,
+          [&](Comm& comm) {
+            if (comm.rank() == 3) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(50));
+              throw std::runtime_error("stress root cause");
+            }
+            try {
+              int v = 0;
+              if (comm.rank() == 0) {
+                comm.recv_bytes(1, 9, &v, sizeof v);  // never sent
+              } else if (comm.rank() == 1) {
+                comm.recv_bytes(kAnySource, kAnyTag, &v, sizeof v);
+              } else {
+                comm.barrier();  // rank 3 never arrives
+              }
+              ADD_FAILURE() << "blocked call returned on rank "
+                            << comm.rank();
+            } catch (const CommError& e) {
+              EXPECT_EQ(e.fault(), Fault::kPoisoned);
+              EXPECT_NE(std::string(e.what()).find("stress root cause"),
+                        std::string::npos)
+                  << e.what();
+              poisoned.fetch_add(1);
+            }
+          }),
+      std::runtime_error);
+  EXPECT_EQ(poisoned.load(), 3);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed.count(), 20.0) << "poison release was not prompt";
+}
+
+TEST(VmpiStress, PoisonReasonCarriesFailingRankContext) {
+  // The poison reason names the failing rank and its exception message, so
+  // ledgers (campaign) and logs see the root cause, not a generic failure.
+  std::atomic<int> checked{0};
+  EXPECT_THROW(run(2,
+                   [&](Comm& comm) {
+                     if (comm.rank() == 1)
+                       throw std::runtime_error("disk on fire");
+                     try {
+                       comm.barrier();
+                     } catch (const CommError& e) {
+                       const std::string what = e.what();
+                       EXPECT_NE(what.find("rank 1 failed"),
+                                 std::string::npos) << what;
+                       EXPECT_NE(what.find("disk on fire"),
+                                 std::string::npos) << what;
+                       checked.fetch_add(1);
+                     }
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(checked.load(), 1);
 }
 
 TEST(VmpiStress, LargeMessages) {
