@@ -18,13 +18,19 @@
 //                   (pipelines, kernel) point carrying the full telemetry
 //                   metric catalogue (see docs/OBSERVABILITY.md) plus the
 //                   sort_every the point ran at
+//   --flight-recorder  attach an armed flight recorder (telemetry/
+//                   recorder.hpp) to the timed run — the always-on
+//                   overhead measurement quoted in docs/OBSERVABILITY.md
+//                   compares this against a plain run
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "perf/costs.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/sampler.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -65,7 +71,8 @@ struct SweepPoint {
 };
 
 SweepPoint run_breakdown(int pipelines, particles::Kernel kernel,
-                         int sort_every, int steps, bool print_table) {
+                         int sort_every, int steps, bool print_table,
+                         bool flight_recorder) {
   const int warmup = 10;
   const sim::Deck deck = breakdown_deck(pipelines, kernel, sort_every);
   {
@@ -75,6 +82,13 @@ SweepPoint run_breakdown(int pipelines, particles::Kernel kernel,
   }
   // fresh timers, same deck
   sim::Simulation timed(deck);
+  // The overhead-measurement mode: an armed recorder on the timed run, the
+  // dump discarded (the cost under test is record(), not dump()).
+  std::unique_ptr<telemetry::Recorder> recorder;
+  if (flight_recorder) {
+    recorder = std::make_unique<telemetry::Recorder>("bench_breakdown.fdr");
+    timed.set_recorder(recorder.get());
+  }
   timed.initialize();
   const Timer wall;
   timed.run(steps);
@@ -173,7 +187,9 @@ void write_json(const std::string& path, int steps,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
-  args.check_known({"pipelines", "kernel", "steps", "sort-every", "json"});
+  args.check_known(
+      {"pipelines", "kernel", "steps", "sort-every", "json", "flight-recorder"});
+  const bool flight_recorder = args.get_bool("flight-recorder", false);
   const int steps = int(args.get_int("steps", 100));
   // -1 = keep the deck's own cadence; 0 = never sort.
   const int sort_every = int(args.get_int("sort-every", -1));
@@ -206,7 +222,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < counts.size(); ++i) {
     for (std::size_t k = 0; k < kernels.size(); ++k) {
       sweep.push_back(run_breakdown(counts[i], kernels[k], sort_every, steps,
-                                    i == 0 && k == 0));
+                                    i == 0 && k == 0, flight_recorder));
     }
   }
 

@@ -1,0 +1,31 @@
+# Runs the command given after `--` and fails unless its exit status is
+# exactly EXPECT. CTest's WILL_FAIL only distinguishes zero from nonzero;
+# the chaos-soak fixture uses this to pin run_deck's documented exit-code
+# table (README, docs/FAULTS.md) — 3 must stay "resumable" and 4
+# "unrecoverable", not just "some failure".
+#
+#   cmake -DEXPECT=<code> -P expect_exit.cmake -- <cmd> [args...]
+if(NOT DEFINED EXPECT)
+  message(FATAL_ERROR "expect_exit.cmake: pass -DEXPECT=<code>")
+endif()
+
+set(cmd)
+set(past_separator FALSE)
+# CMAKE_ARGV0..N hold the full script command line including cmake's own
+# arguments; everything after the first `--` is the command to run.
+math(EXPR last "${CMAKE_ARGC} - 1")
+foreach(i RANGE 0 ${last})
+  if(past_separator)
+    list(APPEND cmd "${CMAKE_ARGV${i}}")
+  elseif(CMAKE_ARGV${i} STREQUAL "--")
+    set(past_separator TRUE)
+  endif()
+endforeach()
+if(NOT cmd)
+  message(FATAL_ERROR "expect_exit.cmake: no command after `--`")
+endif()
+
+execute_process(COMMAND ${cmd} RESULT_VARIABLE rc)
+if(NOT rc STREQUAL "${EXPECT}")
+  message(FATAL_ERROR "expected exit code ${EXPECT}, got '${rc}' from: ${cmd}")
+endif()

@@ -20,6 +20,9 @@
 //            [--curve-axis=section.key]       # curve x axis (default: first axis)
 //            [--curve-metric=NAME]            # default reflectivity
 //            [--metrics=PATH]                 # campaign.* counters as NDJSON
+//            [--flight-recorder[=events]]     # per-rank flight recorders per
+//                                             # attempt; failed attempts dump
+//                                             # `.fdr` files next to the ledger
 //            [--list]                         # print the expanded jobs and exit
 //            [--log-level=LVL]
 //
@@ -72,8 +75,8 @@ int run(int argc, char** argv) {
   args.check_known({"jobs", "ranks", "pipelines", "max-threads", "retries",
                     "backoff", "timeout", "max-resumes", "steps", "set",
                     "results", "resume", "scratch", "curve", "curve-axis",
-                    "curve-metric", "metrics", "list", "validate",
-                    "fail-job", "fail-attempts", "log-level"});
+                    "curve-metric", "metrics", "flight-recorder", "list",
+                    "validate", "fail-job", "fail-attempts", "log-level"});
   if (args.has("log-level")) {
     const std::string lvl = args.get("log-level", "info");
     set_log_level(lvl == "debug" ? LogLevel::kDebug
@@ -157,6 +160,23 @@ int run(int argc, char** argv) {
 
   const std::string results_path =
       args.get("results", deck_path + ".results.ndjson");
+
+  // Flight recorders: failed attempts leave per-rank `.fdr` dumps in the
+  // ledger's directory, ready for examples/postmortem.
+  if (args.has("flight-recorder")) {
+    const auto slash = results_path.find_last_of('/');
+    config.recorder_dir =
+        slash == std::string::npos ? "." : results_path.substr(0, slash);
+    const std::string v = args.get("flight-recorder", "true");
+    if (v != "true" && v != "1") {
+      const long long n = args.get_int("flight-recorder", 0);
+      MV_REQUIRE(n >= 2, "--flight-recorder=" << v
+                             << ": event capacity must be >= 2");
+      config.recorder_events = std::size_t(n);
+    }
+    telemetry::install_crash_handlers();
+  }
+
   campaign::ResultStore store(results_path, args.get_bool("resume", false));
   if (!store.completed_ids().empty()) {
     std::cout << "resuming: " << store.completed_ids().size()

@@ -24,6 +24,11 @@
 //              [--inject-comm-fault=kind[:rank[:arg]]@step]  # repeatable;
 //                                # kind = kill|flip|drop|dup|delay
 //                                # (fault drill, docs/FAULTS.md)
+//              [--flight-recorder[=events]]  # arm the per-rank flight
+//                                # recorder (ring of `events` binary events,
+//                                # default 4096; docs/OBSERVABILITY.md)
+//              [--fdr-prefix=PATH]       # `.fdr` dump prefix (default: the
+//                                # deck path); files are PATH.rank<r>.fdr
 //
 // Telemetry (see docs/OBSERVABILITY.md): --metrics streams one
 // self-describing JSON record per sample cadence with per-phase seconds,
@@ -34,7 +39,14 @@
 //
 // SIGINT/SIGTERM finish the current step, write a final checkpoint set, and
 // exit with code 3 ("interrupted but resumable"), as does --max-walltime.
-// Deck or internal errors print to stderr and exit 1.
+// Deck or internal errors print to stderr and exit 1. The full exit-code
+// table (0/1/2/3/4) and the forensic-dump paths taken on each are
+// documented in README.md "Exit codes" and docs/FAULTS.md.
+//
+// With --flight-recorder armed, every exit path — normal completion,
+// interruption, health abort, unrecoverable comm fault, SIGSEGV/SIGABRT —
+// dumps the per-rank event rings to `.fdr` files for examples/postmortem
+// to merge (docs/OBSERVABILITY.md "Flight recorder & postmortem").
 //
 // Fault-tolerant mode (--ranks > 1, --comm-timeout, or --inject-comm-fault;
 // see docs/FAULTS.md): the run is supervised by sim::RecoveryCoordinator —
@@ -71,7 +83,9 @@
 #include "sim/history.hpp"
 #include "sim/recovery.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/anomaly.hpp"
 #include "telemetry/ndjson.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/reduce.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace.hpp"
@@ -121,6 +135,32 @@ constexpr int kExitInterrupted = 3;
 /// Distinct from 1 so schedulers can tell a comm fault from a deck error.
 constexpr int kExitCommFault = 4;
 
+/// Flight-recorder arming, shared by both run paths: ring capacity from
+/// `--flight-recorder[=events]`, dump-path prefix from `--fdr-prefix`
+/// (default: the deck path). Per-rank dumps land at `<prefix>.rank<r>.fdr`.
+struct RecorderOptions {
+  bool enabled = false;
+  std::size_t events = telemetry::Recorder::kDefaultCapacity;
+  std::string prefix;
+};
+
+RecorderOptions recorder_options(const Args& args) {
+  RecorderOptions opt;
+  if (!args.has("flight-recorder")) return opt;
+  opt.enabled = true;
+  if (args.get("flight-recorder", "") != "true") {
+    const std::int64_t n = args.get_int("flight-recorder", 4096);
+    MV_REQUIRE(n >= 2, "--flight-recorder needs >= 2 events, got " << n);
+    opt.events = std::size_t(n);
+  }
+  opt.prefix = args.get("fdr-prefix", args.positional()[0]);
+  return opt;
+}
+
+std::string fdr_path(const RecorderOptions& opt, int rank) {
+  return opt.prefix + ".rank" + std::to_string(rank) + ".fdr";
+}
+
 /// Fault-tolerant multi-rank path: the run is supervised by
 /// sim::RecoveryCoordinator, which relaunches the vmpi world and rolls back
 /// to the newest mutually agreed checkpoint set after a detected fault.
@@ -167,6 +207,18 @@ int run_fault_tolerant(const Args& args, sim::Deck deck, int ranks,
     };
   }
 
+  // Flight recorder: one per rank, registered for crash dumps; the
+  // coordinator wires rank r's simulation and comm hook to recorders[r].
+  const RecorderOptions fdr = recorder_options(args);
+  std::vector<std::unique_ptr<telemetry::Recorder>> recorders;
+  if (fdr.enabled) {
+    telemetry::install_crash_handlers();
+    for (int r = 0; r < ranks; ++r)
+      recorders.push_back(std::make_unique<telemetry::Recorder>(
+          fdr_path(fdr, r), r, fdr.events));
+    for (auto& r : recorders) rc.recorders.push_back(r.get());
+  }
+
   sim::RecoveryCoordinator coordinator(deck, rc);
   const sim::RecoveryReport rep = coordinator.run(steps);
 
@@ -190,9 +242,21 @@ int run_fault_tolerant(const Args& args, sim::Deck deck, int ranks,
               << "\n";
   }
   if (!rep.completed) {
+    if (fdr.enabled) {
+      for (auto& r : recorders)
+        r->dump(telemetry::FdrDumpReason::kCommFault);
+      std::cerr << "flight records dumped: " << fdr_path(fdr, 0) << " .. "
+                << fdr_path(fdr, ranks - 1)
+                << " (merge with examples/postmortem)\n";
+    }
     std::cerr << "run_deck: unrecoverable comm fault: " << rep.last_fault
               << " (rollbacks: " << rep.rollbacks << ")\n";
     return kExitCommFault;
+  }
+  if (fdr.enabled) {
+    for (auto& r : recorders) r->dump(telemetry::FdrDumpReason::kExit);
+    std::cout << "flight records dumped: " << fdr_path(fdr, 0) << " .. "
+              << fdr_path(fdr, ranks - 1) << "\n";
   }
   return 0;
 }
@@ -207,7 +271,8 @@ int run(int argc, char** argv) {
                     "checkpoint-every", "resume", "max-walltime", "history",
                     "pipelines", "kernel", "sort-every", "metrics",
                     "metrics-every", "trace", "log-level", "set", "ranks",
-                    "comm-timeout", "inject-comm-fault"});
+                    "comm-timeout", "inject-comm-fault", "flight-recorder",
+                    "fdr-prefix"});
   if (args.positional().empty()) {
     std::cerr << "usage: run_deck <deck-file> [--steps=N] [--report=N]\n"
                  "       [--probe_plane=I] [--checkpoint=prefix] "
@@ -219,7 +284,8 @@ int run(int argc, char** argv) {
                  "       [--kernel=scalar|sse|avx2|avx512|auto] "
                  "[--sort-every=N] [--set=section.key=value ...]\n"
                  "       [--ranks=N] [--comm-timeout=seconds] "
-                 "[--inject-comm-fault=kind[:rank[:arg]]@step ...]\n";
+                 "[--inject-comm-fault=kind[:rank[:arg]]@step ...]\n"
+                 "       [--flight-recorder[=events]] [--fdr-prefix=PATH]\n";
     return 2;
   }
   if (args.has("log-level")) {
@@ -274,11 +340,23 @@ int run(int argc, char** argv) {
                               resume_prefix);
   }
 
+  // Flight recorder first: install_crash_handlers claims SIGTERM for the
+  // forensic dump, and the graceful handler below then takes precedence so
+  // SIGTERM still checkpoints and exits 3 (the dump happens on that path
+  // too). SIGSEGV/SIGABRT keep the recorder's handler.
+  const RecorderOptions fdr = recorder_options(args);
+  std::unique_ptr<telemetry::Recorder> recorder;
+  if (fdr.enabled) {
+    telemetry::install_crash_handlers();
+    recorder =
+        std::make_unique<telemetry::Recorder>(fdr_path(fdr, 0), 0, fdr.events);
+  }
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
   const auto wall_start = std::chrono::steady_clock::now();
 
   sim::Simulation sim(deck);
+  if (recorder) sim.set_recorder(recorder.get());
 
   // Telemetry sinks. The trace writer must be attached before restore() so
   // the checkpoint.restore instant lands in the trace too.
@@ -321,6 +399,11 @@ int run(int argc, char** argv) {
         args.get("metrics", ""));
   }
   bool metrics_meta_written = false;
+  // Online anomaly detection rides the metrics cadence: EWMA+MAD baselines
+  // over the reduced sample flag step-rate regressions, migrate-phase
+  // latency spikes, and per-rank stragglers (docs/OBSERVABILITY.md
+  // "Anomaly detection").
+  telemetry::AnomalyDetector detector;
   Timer sample_timer;
   const Timer loop_timer;
 
@@ -330,6 +413,7 @@ int run(int argc, char** argv) {
   bool interrupted = false;
   // step_index, not a loop counter: a health rollback rewinds the clock and
   // the loop must replay the rewound steps.
+  try {
   while (sim.step_index() < steps) {
     sim.step();
     if (probe) probe->sample();
@@ -342,7 +426,26 @@ int run(int argc, char** argv) {
     if (args.has("metrics") && s % metrics_every == 0) {
       const telemetry::StepSample smp = sampler.sample(sample_timer.seconds());
       sample_timer.reset();
-      const auto reduced = reducer.reduce(smp.scalars());
+      auto reduced = reducer.reduce(smp.scalars());
+      telemetry::append_load_imbalance(&reduced);
+      // Per-rank load shards in rank order (root only; degenerate {value}
+      // in this single-rank path): the straggler detector's input and the
+      // NDJSON "load" record the dynamic-load-balancing work needs.
+      const std::vector<double> rank_particles =
+          reducer.gather(double(smp.particles_local));
+      const std::vector<double> rank_busy = reducer.gather(smp.busy_seconds);
+      const auto anomalies =
+          detector.observe(s, reduced, rank_particles, rank_busy);
+      detector.publish(anomalies, nullptr, trace.get());
+      // Anomaly verdicts ride the stream as synthetic reduced metrics.
+      const double flagged = double(anomalies.size());
+      const double flagged_total = double(detector.total_flagged());
+      reduced.push_back(
+          {"anomaly.count", "count", {flagged, flagged, flagged, flagged}});
+      reduced.push_back({"anomaly.total",
+                         "count",
+                         {flagged_total, flagged_total, flagged_total,
+                          flagged_total}});
       if (metrics) {
         if (!metrics_meta_written) {
           telemetry::Json extra = telemetry::Json::object();
@@ -354,7 +457,8 @@ int run(int argc, char** argv) {
               particles::kernel_name(sim.kernel()), reduced, extra));
           metrics_meta_written = true;
         }
-        metrics->write(telemetry::sample_record(smp, reduced));
+        metrics->write(
+            telemetry::sample_record(smp, reduced, rank_particles, rank_busy));
       }
     }
     if (s % report == 0) {
@@ -379,12 +483,22 @@ int run(int argc, char** argv) {
       }
     }
   }
+  } catch (...) {
+    // Health abort or any other Error unwinding the loop: leave the black
+    // box behind before the error propagates to main's exit-1 path.
+    if (recorder) recorder->dump(telemetry::FdrDumpReason::kHealthAbort);
+    throw;
+  }
   if (interrupted) {
     sim::Checkpoint::save(sim, ckpt_prefix, deck.checkpoint_keep);
     std::cerr << "checkpoint set written at step " << sim.step_index()
               << "; resume with --resume"
               << (args.has("checkpoint") ? "=" + ckpt_prefix : "") << "\n";
     if (trace) trace->close();  // keep the partial trace loadable
+    if (recorder) {
+      recorder->dump(telemetry::FdrDumpReason::kInterrupted);
+      std::cerr << "flight record dumped: " << fdr_path(fdr, 0) << "\n";
+    }
     return kExitInterrupted;
   }
 
@@ -416,6 +530,12 @@ int run(int argc, char** argv) {
   if (metrics) {
     std::cout << "metrics stream written: " << args.get("metrics", "") << " ("
               << metrics->records_written() << " records)\n";
+    std::cout << "anomalies flagged: " << detector.total_flagged() << "\n";
+  }
+  if (recorder) {
+    recorder->record(telemetry::FdrKind::kExit);
+    recorder->dump(telemetry::FdrDumpReason::kExit);
+    std::cout << "flight record dumped: " << fdr_path(fdr, 0) << "\n";
   }
   return 0;
 }

@@ -7,7 +7,9 @@
 // record is a `meta` record with schema/ranks/units; every `step_sample`
 // carries the required metric keys (per-phase seconds, push.rate,
 // push.gflops, pipeline.imbalance, ...) each with min/mean/max/sum
-// satisfying min <= mean <= max.
+// satisfying min <= mean <= max. One *trailing* partial line — the
+// signature a killed run leaves, since the writer flushes per line — is
+// tolerated and counted instead of failing the stream.
 //
 // Trace checks: the file parses as a Chrome trace-event JSON object;
 // every event has ph/ts/pid/tid; B/E events balance per (pid, tid) with
@@ -39,7 +41,8 @@ const std::vector<std::string> kRequiredMetrics = {
     "phase.field.s",       "phase.clean.s",     "phase.collide.s",
     "step.s",              "particles.pushed",  "push.rate",
     "push.gflops",         "push.gbytes_per_s", "pipeline.count",
-    "pipeline.imbalance",  "push.lane_width",
+    "pipeline.imbalance",  "push.lane_width",   "particles.local",
+    "pipeline.busy.s",     "load.imbalance",
 };
 
 int check_metrics(const std::string& path) {
@@ -49,10 +52,18 @@ int check_metrics(const std::string& path) {
               << "\n";
     return 1;
   }
+  // Slurp all lines up front: a run killed mid-write (the writer flushes
+  // per line, so only the final line can be cut short) leaves one partial
+  // trailing line, which is tolerated and counted instead of failing the
+  // whole stream — every *complete* record must still validate.
+  std::vector<std::string> lines;
   std::string line;
-  std::int64_t lineno = 0, samples = 0;
+  while (std::getline(is, line)) lines.push_back(line);
+  std::int64_t lineno = 0, samples = 0, partial = 0;
   bool saw_meta = false;
-  while (std::getline(is, line)) {
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    line = lines[li];
+    const bool last = li + 1 == lines.size();
     ++lineno;
     if (line.empty()) {
       std::cerr << "metrics:" << lineno << ": empty line\n";
@@ -62,6 +73,10 @@ int check_metrics(const std::string& path) {
     try {
       rec = Json::parse(line);
     } catch (const Error& e) {
+      if (last) {
+        ++partial;
+        break;
+      }
       std::cerr << "metrics:" << lineno << ": " << e.what() << "\n";
       return 1;
     }
@@ -84,13 +99,13 @@ int check_metrics(const std::string& path) {
                   << type << "'\n";
         return 1;
       }
-      ++samples;
       rec.at("step").as_number();
       rec.at("t").as_number();
       const Json& metrics = rec.at("metrics");
       for (const std::string& name : kRequiredMetrics) {
         const Json* m = metrics.find(name);
         if (m == nullptr) {
+          if (last) throw Error("truncated final record");
           std::cerr << "metrics:" << lineno << ": missing required metric '"
                     << name << "'\n";
           return 1;
@@ -106,7 +121,15 @@ int check_metrics(const std::string& path) {
           return 1;
         }
       }
+      ++samples;
     } catch (const Error& e) {
+      // A final line that parses but fails field validation is the same
+      // crash artifact as one that does not parse: the write was cut at a
+      // point that still happens to be JSON. Complete lines stay strict.
+      if (last) {
+        ++partial;
+        break;
+      }
       std::cerr << "metrics:" << lineno << ": " << e.what() << "\n";
       return 1;
     }
@@ -117,7 +140,9 @@ int check_metrics(const std::string& path) {
               << samples << " samples)\n";
     return 1;
   }
-  std::cout << "metrics ok: " << path << " (" << samples << " samples)\n";
+  std::cout << "metrics ok: " << path << " (" << samples << " samples";
+  if (partial != 0) std::cout << ", 1 partial trailing line tolerated";
+  std::cout << ")\n";
   return 0;
 }
 

@@ -79,6 +79,27 @@ CampaignExecutor::AttemptOutcome CampaignExecutor::run_attempt(
   AttemptOutcome out;
   Timer wall;
   const std::string prefix = scratch_prefix(lease.job);
+
+  // Per-attempt flight recorders: one ring per rank, dumped only when the
+  // attempt fails (the success path leaves no `.fdr` files behind).
+  std::vector<std::unique_ptr<telemetry::Recorder>> recorders;
+  std::vector<telemetry::Recorder*> recorder_ptrs;
+  telemetry::RecorderSet recorder_set;
+  if (!config_.recorder_dir.empty()) {
+    for (int r = 0; r < config_.ranks_per_job; ++r) {
+      recorders.push_back(std::make_unique<telemetry::Recorder>(
+          config_.recorder_dir + "/" + lease.job.id + ".attempt" +
+              std::to_string(lease.attempt) + ".rank" + std::to_string(r) +
+              ".fdr",
+          r, config_.recorder_events));
+      recorder_ptrs.push_back(recorders.back().get());
+    }
+    recorder_set = {recorder_ptrs.data(), config_.ranks_per_job};
+  }
+  const auto dump_recorders = [&](telemetry::FdrDumpReason reason) {
+    for (const auto& rec : recorders) rec->dump(reason);
+  };
+
   try {
     sim::Deck deck = spec_->make_deck(lease.job);
     deck.pipelines = config_.pipelines_per_job;
@@ -91,6 +112,10 @@ CampaignExecutor::AttemptOutcome CampaignExecutor::run_attempt(
     wc.timeout_seconds = config_.comm_timeout_seconds;
     wc.checksum = config_.comm_integrity;
     wc.sequencing = config_.comm_integrity;
+    if (!recorders.empty()) {
+      wc.comm_hook = telemetry::vmpi_comm_hook;
+      wc.comm_hook_ctx = &recorder_set;
+    }
 
     vmpi::run(ranks, [&](vmpi::Comm& comm) {
       // x-only decomposition: every canned/LPI deck is longest along x, and
@@ -102,6 +127,8 @@ CampaignExecutor::AttemptOutcome CampaignExecutor::run_attempt(
            deck.grid.boundary[4] == grid::BoundaryKind::kPeriodic});
       sim::Simulation sim(deck, ranks > 1 ? &comm : nullptr,
                           ranks > 1 ? &topo : nullptr);
+      if (!recorders.empty())
+        sim.set_recorder(recorders[std::size_t(comm.rank())].get());
       if (lease.resume_step >= 0) {
         sim::Checkpoint::restore(sim, lease.resume_prefix);
       } else {
@@ -173,9 +200,11 @@ CampaignExecutor::AttemptOutcome CampaignExecutor::run_attempt(
     out.failed = true;
     out.error = std::string("comm fault [") + vmpi::fault_name(e.fault()) +
                 "]: " + e.what();
+    dump_recorders(telemetry::FdrDumpReason::kCommFault);
   } catch (const std::exception& e) {
     out.failed = true;
     out.error = e.what();
+    dump_recorders(telemetry::FdrDumpReason::kHealthAbort);
   }
   out.seconds = wall.seconds();
   return out;

@@ -29,6 +29,7 @@
 #include "campaign/results.hpp"
 #include "campaign/spec.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace minivpic::sim {
 class Simulation;
@@ -60,6 +61,16 @@ struct ExecutorConfig {
   /// run(). Updated under an internal mutex (registries are not
   /// thread-safe).
   telemetry::MetricsRegistry* metrics = nullptr;
+
+  /// When non-empty, every attempt runs with per-rank flight recorders
+  /// (telemetry/recorder.hpp) wired into the job's world; a failed attempt
+  /// dumps `<recorder_dir>/<job-id>.attempt<k>.rank<r>.fdr` so the
+  /// forensics of a flaky job land next to the result ledger and feed the
+  /// postmortem tool. Successful attempts leave no dumps behind. The
+  /// directory must exist.
+  std::string recorder_dir;
+  /// Ring capacity (events per rank) for campaign flight recorders.
+  std::size_t recorder_events = telemetry::Recorder::kDefaultCapacity;
 
   // -- hooks (tests, fault drills, science diagnostics) --------------------
   /// Called on every rank after every step; a throw fails the attempt and

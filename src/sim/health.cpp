@@ -5,6 +5,7 @@
 
 #include "grid/halo.hpp"
 #include "sim/checkpoint.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -17,6 +18,11 @@ namespace {
 /// the step spans. No-op when the simulation has no trace sink attached.
 void trace_health_event(const Simulation& sim, const char* name,
                         const HealthReport& r) {
+  // The flight recorder gets the compact form: code 0 = ok-ish verdict
+  // (warn/rollback survived), 1 = fault; arg = the sentinel's step.
+  if (telemetry::Recorder* rec = sim.recorder())
+    rec->record(telemetry::FdrKind::kHealth, r.ok() ? 0 : 1, -1,
+                static_cast<std::uint64_t>(r.step));
   telemetry::TraceWriter* t = sim.trace();
   if (t == nullptr) return;
   // A NaN fault means energy_total itself may be non-finite, which strict

@@ -6,6 +6,7 @@
 
 #include "sim/checkpoint.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -31,6 +32,9 @@ RecoveryCoordinator::RecoveryCoordinator(const Deck& deck,
   MV_REQUIRE(config_.checkpoint_every <= 0 || !config_.checkpoint_prefix.empty(),
              "checkpoint_every > 0 requires a checkpoint_prefix");
   MV_REQUIRE(config_.max_recoveries >= 0, "max_recoveries must be >= 0");
+  MV_REQUIRE(config_.recorders.empty() ||
+                 static_cast<int>(config_.recorders.size()) == config_.ranks,
+             "recorders must be empty or one per rank");
 }
 
 void RecoveryCoordinator::record_history_row(Simulation& sim,
@@ -104,17 +108,31 @@ RecoveryReport RecoveryCoordinator::run(std::int64_t steps) {
     wc.sequencing = config_.integrity;
     wc.fault_plane = config_.fault_plane;
     wc.stats = &stats_;
+    telemetry::RecorderSet recorder_set{config_.recorders.data(),
+                                        config_.ranks};
+    if (!config_.recorders.empty()) {
+      wc.comm_hook = telemetry::vmpi_comm_hook;
+      wc.comm_hook_ctx = &recorder_set;
+    }
 
     auto rank_fn = [&](vmpi::Comm& comm) {
+      telemetry::Recorder* recorder =
+          config_.recorders.empty()
+              ? nullptr
+              : config_.recorders[static_cast<std::size_t>(comm.rank())];
       try {
         // Same x-only decomposition as campaign::CampaignExecutor: the
         // canned decks are longest along x.
         const vmpi::CartTopology topo({config_.ranks, 1, 1}, {px, py, pz});
         Simulation sim(deck_, config_.ranks > 1 ? &comm : nullptr,
                        config_.ranks > 1 ? &topo : nullptr);
+        sim.set_recorder(recorder);
         if (start_from >= 0) {
           Checkpoint::restore_step(sim, config_.checkpoint_prefix,
                                    start_from);
+          if (recorder != nullptr)
+            recorder->record(telemetry::FdrKind::kRestore, 0, -1,
+                             static_cast<std::uint64_t>(start_from));
         } else {
           sim.initialize();
           record_history_row(sim, comm);  // the step-0 row
@@ -130,15 +148,26 @@ RecoveryReport RecoveryCoordinator::run(std::int64_t steps) {
               sim.step_index() < steps) {
             Checkpoint::save(sim, config_.checkpoint_prefix,
                              config_.checkpoint_keep);
+            if (recorder != nullptr)
+              recorder->record(telemetry::FdrKind::kCheckpoint, 0, -1,
+                               static_cast<std::uint64_t>(sim.step_index()));
           }
         }
         if (config_.on_final) config_.on_final(sim, comm);
+        if (recorder != nullptr) recorder->record(telemetry::FdrKind::kExit);
         {
           std::lock_guard<std::mutex> lock(attempt_mu);
           ++completed;
           if (comm.rank() == 0) final_step = sim.step_index();
         }
       } catch (const vmpi::CommError& e) {
+        // The black box sees the typed fault before any recovery reaction,
+        // so the postmortem's first-stalled verdict keys off this ordering
+        // (the killed rank records its kKilled strictly before survivors
+        // record the timeouts/revocations it causes).
+        if (recorder != nullptr)
+          recorder->record(telemetry::FdrKind::kFault,
+                           static_cast<std::uint16_t>(e.fault()));
         switch (e.fault()) {
           case vmpi::Fault::kKilled:
             // A scheduled kill: this rank cooperatively dies. Marking the
@@ -236,6 +265,10 @@ RecoveryReport RecoveryCoordinator::run(std::int64_t steps) {
     if (target < 0) break;  // nothing to roll back to
 
     ++report.rollbacks;
+    for (telemetry::Recorder* r : config_.recorders)
+      if (r != nullptr)
+        r->record(telemetry::FdrKind::kRecovery, 0, -1,
+                  static_cast<std::uint64_t>(target));
     if (config_.metrics != nullptr)
       config_.metrics->counter("recovery.rollbacks", "count").add(1);
     if (config_.trace != nullptr) {

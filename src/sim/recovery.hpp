@@ -30,6 +30,7 @@
 
 namespace minivpic::telemetry {
 class MetricsRegistry;
+class Recorder;
 class TraceWriter;
 }  // namespace minivpic::telemetry
 
@@ -65,6 +66,13 @@ struct RecoveryConfig {
 
   telemetry::MetricsRegistry* metrics = nullptr;  ///< comm.* / recovery.*
   telemetry::TraceWriter* trace = nullptr;        ///< spans + rollback instants
+
+  /// Per-rank flight recorders (index = rank), empty or size == ranks. Each
+  /// world wires rank r's Simulation and comm hook to recorders[r]:
+  /// checkpoint/restore/fault/recovery events land in the black box, and
+  /// the caller dumps the `.fdr` files on an unrecoverable exit. Not owned;
+  /// must outlive run().
+  std::vector<telemetry::Recorder*> recorders;
 
   /// Record a step-keyed energy history on rank 0 (collective: every rank
   /// samples energies each step). Rolled-back rows are truncated, so the

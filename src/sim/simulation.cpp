@@ -121,9 +121,17 @@ void Simulation::step() {
   // degrades to a plain ScopedLap plus one pointer test when trace_ is
   // null — the disabled-sink overhead the OBSERVABILITY doc quantifies).
   telemetry::ScopedSpan step_span(trace_, "step");
+  // The flight recorder gets the same timeline: a step-boundary event plus
+  // begin/end pairs for every phase below (ride in the same PhaseSpan).
+  if (recorder_ != nullptr) {
+    recorder_->set_step(step_);
+    recorder_->record(telemetry::FdrKind::kStep, 0, -1,
+                      static_cast<std::uint64_t>(step_));
+  }
+  telemetry::RecordedPhase step_record(recorder_, telemetry::kFdrPhaseStep);
 
   {
-    telemetry::PhaseSpan lap(timings_.interpolate, trace_, "interpolate");
+    telemetry::PhaseSpan lap(timings_.interpolate, trace_, "interpolate", recorder_, telemetry::kFdrPhaseInterpolate);
     interp_.load(fields_);
   }
 
@@ -144,7 +152,7 @@ void Simulation::step() {
     pusher_.set_reflux_uth(ruth);
     particles::Pusher::Result res;
     {
-      telemetry::PhaseSpan lap(timings_.push, trace_, "push");
+      telemetry::PhaseSpan lap(timings_.push, trace_, "push", recorder_, telemetry::kFdrPhasePush);
       res = pusher_.advance(*species_[s], interp_, acc_, &pipeline_);
     }
     stats_.pushed += res.pushed;
@@ -157,7 +165,7 @@ void Simulation::step() {
     for (std::size_t p = 0; p < res.pipeline_seconds.size(); ++p)
       pipeline_busy_[p] += res.pipeline_seconds[p];
     {
-      telemetry::PhaseSpan lap(timings_.migrate, trace_, "migrate");
+      telemetry::PhaseSpan lap(timings_.migrate, trace_, "migrate", recorder_, telemetry::kFdrPhaseMigrate);
       const auto m = particles::migrate_particles(
           std::move(res.emigrants), *species_[s], pusher_, acc_, grid_, comm_);
       stats_.migrated += m.sent;
@@ -175,7 +183,7 @@ void Simulation::step() {
     // gathers decay away from as migration shuffles the list
     // (docs/SORTING.md). The histogram pass parallelizes on the same
     // pipeline pool as the advance; collisions also require sorted lists.
-    telemetry::PhaseSpan lap(timings_.sort, trace_, "sort");
+    telemetry::PhaseSpan lap(timings_.sort, trace_, "sort", recorder_, telemetry::kFdrPhaseSort);
     for (std::size_t s = 0; s < species_.size(); ++s) {
       if (!mobile_[s]) continue;
       species_[s]->sort(grid_, &pipeline_);
@@ -184,7 +192,7 @@ void Simulation::step() {
   }
 
   if (collide_now) {
-    telemetry::PhaseSpan lap(timings_.collide, trace_, "collide");
+    telemetry::PhaseSpan lap(timings_.collide, trace_, "collide", recorder_, telemetry::kFdrPhaseCollide);
     for (const auto& rc : collisions_) {
       if ((step_ + 1) % rc.period != 0) continue;
       const double dt_coll = rc.period * grid_.dt();
@@ -210,12 +218,12 @@ void Simulation::step() {
     // Fold the per-pipeline accumulator blocks into block 0 (deterministic
     // block order; see AccumulatorArray::reduce). Timed separately: this is
     // the serial cost the pipeline layer pays per step.
-    telemetry::PhaseSpan lap(timings_.reduce, trace_, "reduce");
+    telemetry::PhaseSpan lap(timings_.reduce, trace_, "reduce", recorder_, telemetry::kFdrPhaseReduce);
     acc_.reduce();
   }
 
   {
-    telemetry::PhaseSpan lap(timings_.sources, trace_, "sources");
+    telemetry::PhaseSpan lap(timings_.sources, trace_, "sources", recorder_, telemetry::kFdrPhaseSources);
     acc_.unload(fields_);
     if (clean_now) {
       for (auto& sp : species_) particles::accumulate_rho(*sp, fields_);
@@ -224,14 +232,14 @@ void Simulation::step() {
   }
 
   {
-    telemetry::PhaseSpan lap(timings_.field, trace_, "field");
+    telemetry::PhaseSpan lap(timings_.field, trace_, "field", recorder_, telemetry::kFdrPhaseField);
     solver_.advance_b(fields_, 0.5);
     solver_.advance_e(fields_);
     solver_.advance_b(fields_, 0.5);
   }
 
   if (clean_now) {
-    telemetry::PhaseSpan lap(timings_.clean, trace_, "clean");
+    telemetry::PhaseSpan lap(timings_.clean, trace_, "clean", recorder_, telemetry::kFdrPhaseClean);
     cleaner_.clean_e(fields_, deck_.clean_passes);
     cleaner_.clean_b(fields_, 1);
   }

@@ -31,6 +31,7 @@ namespace minivpic::telemetry {
 class TraceWriter;  // telemetry/trace.hpp; sim depends on telemetry, not
                     // vice versa (the sampler reads sim through inline
                     // accessors only)
+class Recorder;     // telemetry/recorder.hpp; same layering
 }  // namespace minivpic::telemetry
 
 namespace minivpic::sim {
@@ -130,6 +131,11 @@ class Simulation {
   /// first. Null pointer = zero-overhead disabled path.
   void set_trace(telemetry::TraceWriter* trace) { trace_ = trace; }
   telemetry::TraceWriter* trace() const { return trace_; }
+  /// Attaches (or detaches, with nullptr) this rank's flight recorder: the
+  /// step loop records step boundaries and phase begin/end events into it
+  /// (telemetry/recorder.hpp). Same lifetime/null contract as set_trace.
+  void set_recorder(telemetry::Recorder* recorder) { recorder_ = recorder; }
+  telemetry::Recorder* recorder() const { return recorder_; }
   /// Deposits rho for the current particle positions (into fields().rhof).
   void deposit_rho();
   /// RMS Gauss-law residual (div E - rho) over the global interior; calls
@@ -172,6 +178,7 @@ class Simulation {
   ParticleStats stats_;
   std::vector<double> pipeline_busy_;  ///< per-pipeline advance seconds
   telemetry::TraceWriter* trace_ = nullptr;  ///< optional span/event sink
+  telemetry::Recorder* recorder_ = nullptr;  ///< optional flight recorder
 };
 
 }  // namespace minivpic::sim

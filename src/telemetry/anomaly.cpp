@@ -1,0 +1,181 @@
+#include "telemetry/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace minivpic::telemetry {
+
+namespace {
+
+const ReducedMetric* find_metric(const std::vector<ReducedMetric>& reduced,
+                                 const char* name) {
+  for (const auto& m : reduced)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
+/// Flags ranks whose value is an outlier above the cross-rank median.
+void check_cross_rank(const std::vector<double>& values, const char* metric,
+                      const AnomalyConfig& cfg, std::int64_t step,
+                      std::vector<Anomaly>* out) {
+  if (values.size() < 3) return;  // no meaningful median with <3 ranks
+  const double med = median_of(values);
+  std::vector<double> abs_dev(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    abs_dev[i] = std::abs(values[i] - med);
+  double mad = median_of(abs_dev);
+  // Floor the spread so a perfectly balanced fleet (MAD 0) doesn't flag on
+  // the first bit of noise; min_relative is the real gate there.
+  mad = std::max(mad, 1e-12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double excess = values[i] - med;
+    if (excess <= 0) continue;  // stragglers are the high side only
+    const bool robust = excess > cfg.straggler_k * mad;
+    const bool relative =
+        med > 0 ? excess > cfg.min_relative * med : values[i] > 0;
+    if (robust && relative) {
+      Anomaly a;
+      a.kind = AnomalyKind::kStraggler;
+      a.step = step;
+      a.rank = static_cast<int>(i);
+      a.metric = metric;
+      a.value = values[i];
+      a.baseline = med;
+      a.deviation = excess / mad;
+      out->push_back(a);
+    }
+  }
+}
+
+}  // namespace
+
+const char* anomaly_kind_name(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kStepRateRegression: return "step_rate_regression";
+    case AnomalyKind::kCommLatencySpike: return "comm_latency_spike";
+    case AnomalyKind::kStraggler: return "straggler";
+  }
+  return "anomaly?";
+}
+
+double AnomalyDetector::Baseline::mad() const {
+  if (residuals.empty()) return 0;
+  return median_of(std::vector<double>(residuals.begin(), residuals.end()));
+}
+
+double AnomalyDetector::Baseline::update(double value,
+                                         const AnomalyConfig& cfg,
+                                         bool freeze) {
+  if (!initialized) {
+    ewma = value;
+    initialized = true;
+    samples = 1;
+    return 0;
+  }
+  const double residual = std::abs(value - ewma);
+  const double m = mad();
+  const double deviation = m > 0 ? residual / m : 0;
+  if (!freeze) {
+    ewma += cfg.alpha * (value - ewma);
+    residuals.push_back(residual);
+    while (residuals.size() > static_cast<std::size_t>(cfg.window))
+      residuals.pop_front();
+    ++samples;
+  }
+  return deviation;
+}
+
+AnomalyDetector::AnomalyDetector(AnomalyConfig config) : config_(config) {}
+
+void AnomalyDetector::check_series(Baseline* baseline, AnomalyKind kind,
+                                   const char* metric, double value, double k,
+                                   int sign, std::int64_t step,
+                                   std::vector<Anomaly>* out) {
+  const double prior = baseline->ewma;
+  const bool warm = baseline->samples >= config_.warmup;
+  // Peek at the deviation first, then decide whether the baseline may
+  // absorb this value: anomalous values are held out so a sustained
+  // regression keeps flagging instead of becoming the new normal.
+  const double residual = baseline->initialized ? std::abs(value - prior) : 0;
+  const double m = baseline->mad();
+  const bool harmful = sign < 0 ? value < prior : value > prior;
+  const bool robust = warm && m > 0 && residual > k * m;
+  const bool relative =
+      prior != 0 && residual > config_.min_relative * std::abs(prior);
+  const bool flagged = harmful && robust && relative;
+  baseline->update(value, config_, /*freeze=*/flagged);
+  if (!flagged) return;
+  Anomaly a;
+  a.kind = kind;
+  a.step = step;
+  a.metric = metric;
+  a.value = value;
+  a.baseline = prior;
+  a.deviation = residual / m;
+  out->push_back(a);
+}
+
+std::vector<Anomaly> AnomalyDetector::observe(
+    std::int64_t step, const std::vector<ReducedMetric>& reduced,
+    const std::vector<double>& rank_particles,
+    const std::vector<double>& rank_busy) {
+  std::vector<Anomaly> out;
+
+  if (const ReducedMetric* rate = find_metric(reduced, "push.rate"))
+    check_series(&rate_, AnomalyKind::kStepRateRegression, "push.rate",
+                 rate->stats.sum, config_.rate_k, /*sign=*/-1, step, &out);
+
+  if (const ReducedMetric* migrate = find_metric(reduced, "phase.migrate.s"))
+    check_series(&comm_, AnomalyKind::kCommLatencySpike, "phase.migrate.s",
+                 migrate->stats.max, config_.comm_k, /*sign=*/+1, step, &out);
+
+  check_cross_rank(rank_busy, "pipeline.busy.s", config_, step, &out);
+  check_cross_rank(rank_particles, "particles.local", config_, step, &out);
+
+  total_flagged_ += static_cast<std::int64_t>(out.size());
+  return out;
+}
+
+void AnomalyDetector::publish(const std::vector<Anomaly>& anomalies,
+                              MetricsRegistry* metrics,
+                              TraceWriter* trace) const {
+  for (const Anomaly& a : anomalies) {
+    const char* kind = anomaly_kind_name(a.kind);
+    if (metrics != nullptr) {
+      metrics->counter("anomaly.total", "count").add(1);
+      metrics->counter(std::string("anomaly.") + kind, "count").add(1);
+    }
+    if (trace != nullptr) {
+      Json args = Json::object();
+      args.set("metric", Json::string(a.metric));
+      args.set("value", Json::number(a.value));
+      args.set("baseline", Json::number(a.baseline));
+      args.set("deviation", Json::number(a.deviation));
+      if (a.rank >= 0)
+        args.set("rank", Json::number(static_cast<std::int64_t>(a.rank)));
+      trace->instant(kind, "anomaly", std::move(args));
+    }
+    if (a.rank >= 0) {
+      MV_LOG_WARN << "anomaly: " << kind << " at step " << a.step << " rank "
+                  << a.rank << ": " << a.metric << "=" << a.value
+                  << " vs median " << a.baseline << " (" << a.deviation
+                  << " MADs)";
+    } else {
+      MV_LOG_WARN << "anomaly: " << kind << " at step " << a.step << ": "
+                  << a.metric << "=" << a.value << " vs baseline "
+                  << a.baseline << " (" << a.deviation << " MADs)";
+    }
+  }
+}
+
+}  // namespace minivpic::telemetry

@@ -1,0 +1,118 @@
+// Online anomaly detection over the telemetry stream: EWMA + MAD robust
+// baselines that watch the rank-reduced StepSampler output while the run is
+// still going, so a straggling rank, a dying link, or a performance
+// regression is flagged steps after it starts instead of being discovered
+// in a wasted run's aggregate numbers.
+//
+// Three watchers (the ones that mattered at Roadrunner scale — PAPER.md):
+//  * step-rate regression   — the machine-wide push rate (sum across ranks)
+//                             drops below its smoothed baseline;
+//  * comm-latency spike     — the slowest rank's migrate-phase seconds jump
+//                             above baseline (a sick link or peer);
+//  * straggler              — one rank's busy seconds or resident particle
+//                             count is an outlier against the cross-rank
+//                             median this sample (the load-imbalance feed
+//                             the ROADMAP dynamic-load-balancing item needs).
+//
+// Detection is robust, not parametric: a value is anomalous when it
+// deviates from the baseline by more than `k` times the median absolute
+// deviation (MAD) of recent residuals AND by more than `min_relative` of
+// the baseline — the second guard keeps quiet metrics with tiny MADs from
+// alarming on noise. Baselines freeze while a metric is anomalous so a
+// regression cannot talk the detector into accepting it as the new normal.
+//
+// Verdicts surface three ways (publish()): `anomaly.*` counters in the
+// metrics registry, trace instants on the rank-0 timeline, and MV_LOG_WARN
+// lines. Tuning guidance lives in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/reduce.hpp"
+#include "telemetry/trace.hpp"
+
+namespace minivpic::telemetry {
+
+enum class AnomalyKind : std::uint16_t {
+  kStepRateRegression = 0,
+  kCommLatencySpike = 1,
+  kStraggler = 2,
+};
+
+const char* anomaly_kind_name(AnomalyKind kind);
+
+/// One flagged observation.
+struct Anomaly {
+  AnomalyKind kind = AnomalyKind::kStepRateRegression;
+  std::int64_t step = 0;      ///< step_end of the offending sample
+  int rank = -1;              ///< offending rank for kStraggler, else -1
+  std::string metric;         ///< which series tripped
+  double value = 0;           ///< observed value
+  double baseline = 0;        ///< EWMA baseline (or cross-rank median)
+  double deviation = 0;       ///< |value - baseline| in MAD units
+};
+
+struct AnomalyConfig {
+  double alpha = 0.2;         ///< EWMA smoothing factor (higher = faster)
+  int warmup = 5;             ///< samples before a series may flag
+  int window = 32;            ///< residual window for the MAD estimate
+  double rate_k = 4.0;        ///< MAD multiplier, step-rate regression
+  double comm_k = 4.0;        ///< MAD multiplier, comm-latency spike
+  double straggler_k = 4.0;   ///< MAD multiplier, cross-rank outliers
+  double min_relative = 0.2;  ///< deviation must also exceed this fraction
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyConfig config = {});
+
+  /// Feeds one sample. `reduced` is the collective RankReducer output
+  /// (the step-rate and comm-latency watchers read "push.rate" sum and
+  /// "phase.migrate.s" max from it); `rank_particles` / `rank_busy` are the
+  /// per-rank gauges gathered to root (may be empty on non-root ranks or
+  /// serial runs — the straggler watcher then stays quiet). Returns the
+  /// anomalies flagged by this sample.
+  std::vector<Anomaly> observe(std::int64_t step,
+                               const std::vector<ReducedMetric>& reduced,
+                               const std::vector<double>& rank_particles = {},
+                               const std::vector<double>& rank_busy = {});
+
+  /// Surfaces verdicts: bumps `anomaly.total` and `anomaly.<kind>` counters
+  /// in `metrics`, drops an instant per anomaly on `trace`, and logs one
+  /// warning per anomaly. Either sink may be null.
+  void publish(const std::vector<Anomaly>& anomalies, MetricsRegistry* metrics,
+               TraceWriter* trace) const;
+
+  std::int64_t total_flagged() const { return total_flagged_; }
+
+ private:
+  /// EWMA level + windowed MAD of residuals for one time series.
+  struct Baseline {
+    double ewma = 0;
+    bool initialized = false;
+    int samples = 0;
+    std::deque<double> residuals;  ///< |value - ewma| history, capped
+
+    /// Returns the deviation of `value` in MAD units (0 while warming up)
+    /// and absorbs the value into the baseline unless `frozen`.
+    double update(double value, const AnomalyConfig& cfg, bool freeze);
+    double mad() const;
+  };
+
+  /// Checks one reduced series against its baseline in one direction
+  /// (`sign` = -1 flags drops, +1 flags spikes).
+  void check_series(Baseline* baseline, AnomalyKind kind, const char* metric,
+                    double value, double k, int sign, std::int64_t step,
+                    std::vector<Anomaly>* out);
+
+  AnomalyConfig config_;
+  Baseline rate_;      ///< push.rate (sum)
+  Baseline comm_;      ///< phase.migrate.s (max)
+  std::int64_t total_flagged_ = 0;
+};
+
+}  // namespace minivpic::telemetry

@@ -36,7 +36,9 @@ Json meta_record(int ranks, int pipelines, const std::string& kernel,
 }
 
 Json sample_record(const StepSample& sample,
-                   const std::vector<ReducedMetric>& reduced) {
+                   const std::vector<ReducedMetric>& reduced,
+                   const std::vector<double>& rank_particles,
+                   const std::vector<double>& rank_busy) {
   Json rec = Json::object();
   rec.set("type", Json::string("step_sample"));
   rec.set("schema", Json::number(std::int64_t{kNdjsonSchemaVersion}));
@@ -53,6 +55,16 @@ Json sample_record(const StepSample& sample,
     metrics.set(m.name, std::move(stats));
   }
   rec.set("metrics", std::move(metrics));
+  if (!rank_particles.empty() || !rank_busy.empty()) {
+    Json load = Json::object();
+    Json particles = Json::array();
+    for (double v : rank_particles) particles.push_back(Json::number(v));
+    Json busy = Json::array();
+    for (double v : rank_busy) busy.push_back(Json::number(v));
+    load.set("particles", std::move(particles));
+    load.set("busy_s", std::move(busy));
+    rec.set("load", std::move(load));
+  }
   return rec;
 }
 

@@ -55,8 +55,15 @@ Json meta_record(int ranks, int pipelines, const std::string& kernel,
                  const std::vector<ReducedMetric>& sample_metrics,
                  const Json& extra = Json());
 
-/// Builds one step_sample record from a reduced sample.
+/// Builds one step_sample record from a reduced sample. When the per-rank
+/// load vectors (RankReducer::gather of particles.local / pipeline.busy.s,
+/// rank order) are non-empty, the record carries them under
+/// `"load":{"particles":[...],"busy_s":[...]}` — the only per-rank shards
+/// in the stream, kept because load balancing needs to know which rank is
+/// heavy, not just the spread.
 Json sample_record(const StepSample& sample,
-                   const std::vector<ReducedMetric>& reduced);
+                   const std::vector<ReducedMetric>& reduced,
+                   const std::vector<double>& rank_particles = {},
+                   const std::vector<double>& rank_busy = {});
 
 }  // namespace minivpic::telemetry

@@ -32,4 +32,20 @@ std::vector<ReducedMetric> RankReducer::reduce(
   return out;
 }
 
+std::vector<double> RankReducer::gather(double value) const {
+  if (comm_ == nullptr || comm_->size() == 1) return {value};
+  return comm_->gather(value, 0);
+}
+
+void append_load_imbalance(std::vector<ReducedMetric>* reduced) {
+  double ratio = 1.0;
+  for (const ReducedMetric& m : *reduced) {
+    if (m.name == "particles.local" && m.stats.mean > 0) {
+      ratio = m.stats.max / m.stats.mean;
+      break;
+    }
+  }
+  reduced->push_back({"load.imbalance", "ratio", {ratio, ratio, ratio, ratio}});
+}
+
 }  // namespace minivpic::telemetry

@@ -46,8 +46,20 @@ class RankReducer {
   std::vector<ReducedMetric> reduce(
       const std::vector<ScalarMetric>& local) const;
 
+  /// Collective. Gathers one value per rank to the root, in rank order;
+  /// non-root ranks get an empty vector. Serial: {value}. This is the
+  /// per-rank (not reduced) view — the straggler detector and the NDJSON
+  /// load record need to know WHICH rank is heavy, not just the max.
+  std::vector<double> gather(double value) const;
+
  private:
   vmpi::Comm* comm_;
 };
+
+/// Appends a synthetic `load.imbalance` metric — max/mean of
+/// `particles.local` across ranks (1 when balanced or absent) — to an
+/// already-reduced sample. The ROADMAP dynamic-load-balancing item keys off
+/// this ratio.
+void append_load_imbalance(std::vector<ReducedMetric>* reduced);
 
 }  // namespace minivpic::telemetry

@@ -47,6 +47,9 @@ std::vector<ScalarMetric> StepSample::scalars() const {
   // lane width is the numeric shadow so reductions can flag heterogeneous
   // fleets (min != max across ranks).
   out.push_back({"push.lane_width", "count", lane_width});
+  // Per-rank work done this interval: the reduced max/mean of this metric
+  // (and of particles.local above) is the cross-rank load-imbalance feed.
+  out.push_back({"pipeline.busy.s", "s", busy_seconds});
   return out;
 }
 
@@ -152,6 +155,7 @@ StepSample StepSampler::derive(const sim::Simulation& sim,
     busy_sum += busy;
     busy_max = std::max(busy_max, busy);
   }
+  s.busy_seconds = busy_sum;
   if (n > 0 && busy_sum > 0) {
     const double busy_mean = busy_sum / double(n);
     s.pipeline_imbalance = busy_max / busy_mean;

@@ -62,6 +62,7 @@ struct StepSample {
   double pipelines = 1;             ///< resolved pipeline count
   double pipeline_imbalance = 1;    ///< max/mean per-pipeline busy seconds
   double pipeline_occupancy = 1;    ///< mean busy / max busy (1 = balanced)
+  double busy_seconds = 0;          ///< summed per-pipeline busy seconds
 
   std::string kernel = "scalar";    ///< resolved advance kernel name
   double lane_width = 1;            ///< SIMD lanes of that kernel (1|4|8|16)

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "telemetry/json.hpp"
+#include "telemetry/recorder.hpp"
 #include "util/timer.hpp"
 
 namespace minivpic::telemetry {
@@ -94,14 +95,18 @@ class ScopedSpan {
 /// as a trace span when a writer is attached. This is the step loop's
 /// instrumentation primitive: the Stopwatch total the benches/sampler read
 /// and the span the trace shows cover the same interval by construction.
+/// With a recorder attached the same scope also lands in the flight
+/// recorder as a phase begin/end event pair (the black box's timeline).
 class PhaseSpan {
  public:
-  PhaseSpan(Stopwatch& sw, TraceWriter* writer, const char* name)
-      : lap_(sw), span_(writer, name) {}
+  PhaseSpan(Stopwatch& sw, TraceWriter* writer, const char* name,
+            Recorder* recorder = nullptr, std::uint16_t phase = 0)
+      : lap_(sw), span_(writer, name), recorded_(recorder, phase) {}
 
  private:
   ScopedLap lap_;
   ScopedSpan span_;
+  RecordedPhase recorded_;
 };
 
 }  // namespace minivpic::telemetry

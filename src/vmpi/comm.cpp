@@ -382,7 +382,15 @@ detail::Clock::time_point Comm::call_deadline() const {
   return deadline_in(timeout_seconds_);
 }
 
+void Comm::notify(int event, int peer, int detail, std::size_t bytes) const {
+  const WorldConfig& cfg = world_->config();
+  if (cfg.comm_hook != nullptr)
+    cfg.comm_hook(cfg.comm_hook_ctx, rank_, event, peer, detail,
+                  static_cast<unsigned long long>(bytes));
+}
+
 void Comm::deliver(int dst, int tag, const void* data, std::size_t bytes) {
+  notify(kCommHookSend, dst, 0, bytes);
   detail::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -445,21 +453,32 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
 Status Comm::recv_bytes(int src, int tag, void* data, std::size_t capacity) {
   MV_REQUIRE(src == kAnySource || (src >= 0 && src < size_),
              "recv from invalid rank " << src);
-  detail::Message msg = world_->mailbox(rank_).pop(src, tag, call_deadline());
-  verify_frame(msg);
-  MV_REQUIRE(msg.payload.size() <= capacity,
-             "message of " << msg.payload.size() << " bytes exceeds buffer of "
-                           << capacity);
-  if (!msg.payload.empty())
-    std::memcpy(data, msg.payload.data(), msg.payload.size());
-  return Status{msg.source, msg.tag, msg.payload.size()};
+  try {
+    detail::Message msg = world_->mailbox(rank_).pop(src, tag, call_deadline());
+    verify_frame(msg);
+    MV_REQUIRE(msg.payload.size() <= capacity,
+               "message of " << msg.payload.size()
+                             << " bytes exceeds buffer of " << capacity);
+    if (!msg.payload.empty())
+      std::memcpy(data, msg.payload.data(), msg.payload.size());
+    notify(kCommHookRecv, msg.source, 0, msg.payload.size());
+    return Status{msg.source, msg.tag, msg.payload.size()};
+  } catch (const CommError& e) {
+    notify(kCommHookFault, src, static_cast<int>(e.fault()), 0);
+    throw;
+  }
 }
 
 Status Comm::probe(int src, int tag) {
   Status st;
   std::size_t bytes = 0;
-  world_->mailbox(rank_).probe(src, tag, &st.source, &st.tag, &bytes,
-                               call_deadline());
+  try {
+    world_->mailbox(rank_).probe(src, tag, &st.source, &st.tag, &bytes,
+                                 call_deadline());
+  } catch (const CommError& e) {
+    notify(kCommHookFault, src, static_cast<int>(e.fault()), 0);
+    throw;
+  }
   st.bytes = bytes;
   return st;
 }
@@ -503,7 +522,14 @@ std::vector<Status> Comm::waitall(std::span<Request> requests) {
   return out;
 }
 
-void Comm::barrier() { world_->barrier().arrive_and_wait(call_deadline()); }
+void Comm::barrier() {
+  try {
+    world_->barrier().arrive_and_wait(call_deadline());
+  } catch (const CommError& e) {
+    notify(kCommHookFault, -1, static_cast<int>(e.fault()), 0);
+    throw;
+  }
+}
 
 bool Comm::is_alive(int rank) const { return !world_->is_dead(rank); }
 
@@ -603,9 +629,16 @@ void Comm::send_internal(int dst, const void* data, std::size_t bytes) {
 }
 
 void Comm::recv_internal(int src, void* data, std::size_t bytes) {
-  detail::Message msg =
-      world_->mailbox(rank_).pop(src, detail::kCollectiveTag, call_deadline());
-  verify_frame(msg);
+  detail::Message msg;
+  try {
+    msg = world_->mailbox(rank_).pop(src, detail::kCollectiveTag,
+                                     call_deadline());
+    verify_frame(msg);
+  } catch (const CommError& e) {
+    notify(kCommHookFault, src, static_cast<int>(e.fault()), 0);
+    throw;
+  }
+  notify(kCommHookRecv, msg.source, 0, msg.payload.size());
   MV_REQUIRE(msg.payload.size() == bytes,
              "collective size mismatch: got " << msg.payload.size()
                                               << ", expected " << bytes

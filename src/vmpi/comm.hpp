@@ -262,6 +262,10 @@ class Comm {
   std::int64_t agree_min(std::int64_t value, double timeout_seconds);
 
  private:
+  /// Invokes WorldConfig::comm_hook if set (flight-recorder feed). One
+  /// branch when unset, so the hookless hot path is unchanged.
+  void notify(int event, int peer, int detail, std::size_t bytes) const;
+
   /// Common send path: framing (seq/CRC), fault-plane actions, delivery.
   void deliver(int dst, int tag, const void* data, std::size_t bytes);
 

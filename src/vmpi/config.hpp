@@ -13,6 +13,19 @@ namespace minivpic::vmpi {
 
 class FaultPlane;
 
+/// Comm-event hook: a plain-C callback (no telemetry dependency — vmpi sits
+/// below telemetry in the link graph) invoked from rank threads on every
+/// send, every successful receive, and every CommError about to propagate.
+/// `event` is one of kCommHook*; `peer` is the other rank (-1 unknown);
+/// `detail` is the vmpi::Fault discriminant for kCommHookFault, else 0;
+/// `bytes` is the payload size where meaningful. Must be noexcept-ish and
+/// cheap — it runs on the message hot path.
+using CommHook = void (*)(void* ctx, int rank, int event, int peer,
+                          int detail, unsigned long long bytes);
+inline constexpr int kCommHookSend = 0;
+inline constexpr int kCommHookRecv = 1;
+inline constexpr int kCommHookFault = 2;
+
 /// Caller-owned fault-tolerance counters for one world. The world holds a
 /// pointer, so the caller can read totals after vmpi::run returns (and
 /// accumulate across the relaunches of a recovery sequence). All fields are
@@ -78,6 +91,11 @@ struct WorldConfig {
 
   /// Optional counter sink (not owned; may be null). Must outlive the world.
   CommStats* stats = nullptr;
+
+  /// Optional comm-event hook (e.g. the flight recorder's vmpi_comm_hook).
+  /// Both may be null; ctx must outlive the world.
+  CommHook comm_hook = nullptr;
+  void* comm_hook_ctx = nullptr;
 };
 
 }  // namespace minivpic::vmpi

@@ -1,0 +1,135 @@
+// Online anomaly detector contract (telemetry/anomaly.hpp): EWMA + MAD
+// baselines flag step-rate regressions and comm-latency spikes within one
+// degraded sample, per-rank medians flag an injected straggler immediately,
+// and healthy noise stays quiet.
+#include "telemetry/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/reduce.hpp"
+
+using namespace minivpic::telemetry;
+
+namespace {
+
+ReducedMetric metric(const char* name, double value) {
+  return {name, "", {value, value, value, value}};
+}
+
+/// Feeds `n` warmup samples alternating value*(1 +/- jitter) so the MAD
+/// window holds a realistic nonzero spread.
+void warm_up(AnomalyDetector* det, const char* name, double value,
+             double jitter, int n, std::int64_t* step) {
+  for (int i = 0; i < n; ++i) {
+    const double v = value * (1 + (i % 2 == 0 ? jitter : -jitter));
+    const auto out = det->observe((*step)++, {metric(name, v)});
+    ASSERT_TRUE(out.empty()) << "warmup sample flagged";
+  }
+}
+
+TEST(AnomalyDetector, FlagsStepRateRegressionOnFirstDegradedSample) {
+  AnomalyDetector det;
+  std::int64_t step = 0;
+  warm_up(&det, "push.rate", 100e6, 0.01, 10, &step);
+
+  // A 50% drop must be flagged within K = 1 samples.
+  const auto out = det.observe(step, {metric("push.rate", 50e6)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, AnomalyKind::kStepRateRegression);
+  EXPECT_EQ(out[0].step, step);
+  EXPECT_EQ(out[0].metric, "push.rate");
+  EXPECT_DOUBLE_EQ(out[0].value, 50e6);
+  EXPECT_GT(out[0].baseline, 90e6);
+}
+
+TEST(AnomalyDetector, SustainedRegressionKeepsFlagging) {
+  AnomalyDetector det;
+  std::int64_t step = 0;
+  warm_up(&det, "push.rate", 100e6, 0.01, 10, &step);
+  // The baseline freezes while anomalous, so a regression that persists
+  // never becomes the new normal.
+  for (int i = 0; i < 5; ++i) {
+    const auto out = det.observe(step++, {metric("push.rate", 50e6)});
+    ASSERT_EQ(out.size(), 1u) << "regression sample " << i << " not flagged";
+    EXPECT_EQ(out[0].kind, AnomalyKind::kStepRateRegression);
+  }
+  EXPECT_EQ(det.total_flagged(), 5);
+}
+
+TEST(AnomalyDetector, RateImprovementIsNotAnAnomaly) {
+  AnomalyDetector det;
+  std::int64_t step = 0;
+  warm_up(&det, "push.rate", 100e6, 0.01, 10, &step);
+  const auto out = det.observe(step, {metric("push.rate", 200e6)});
+  EXPECT_TRUE(out.empty());  // regressions are drops; speedups pass
+}
+
+TEST(AnomalyDetector, FlagsCommLatencySpike) {
+  AnomalyDetector det;
+  std::int64_t step = 0;
+  warm_up(&det, "phase.migrate.s", 0.010, 0.05, 10, &step);
+  const auto out = det.observe(step, {metric("phase.migrate.s", 0.100)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, AnomalyKind::kCommLatencySpike);
+  EXPECT_EQ(out[0].metric, "phase.migrate.s");
+}
+
+TEST(AnomalyDetector, FlagsInjectedStragglerRankImmediately) {
+  AnomalyDetector det;
+  // Synthetic 4-rank trace: rank 2 takes 3x the busy seconds of its peers
+  // from the very first sample — flagged within K = 1 samples, no warmup
+  // needed (the cross-rank median is its own baseline).
+  const std::vector<double> busy = {1.0, 1.0, 3.0, 1.0};
+  const auto out = det.observe(0, {}, /*rank_particles=*/{}, busy);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, AnomalyKind::kStraggler);
+  EXPECT_EQ(out[0].rank, 2);
+  EXPECT_EQ(out[0].metric, "pipeline.busy.s");
+  EXPECT_DOUBLE_EQ(out[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(out[0].baseline, 1.0);
+}
+
+TEST(AnomalyDetector, FlagsParticleImbalanceStraggler) {
+  AnomalyDetector det;
+  const std::vector<double> particles = {1e6, 1e6, 1e6, 2e6};
+  const auto out = det.observe(0, {}, particles, /*rank_busy=*/{});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, AnomalyKind::kStraggler);
+  EXPECT_EQ(out[0].rank, 3);
+  EXPECT_EQ(out[0].metric, "particles.local");
+}
+
+TEST(AnomalyDetector, BalancedRanksStayQuiet) {
+  AnomalyDetector det;
+  // 1% jitter across ranks is normal load spread, not a straggler: the
+  // min_relative gate keeps tiny-MAD noise from flagging.
+  const std::vector<double> busy = {1.00, 1.01, 0.99, 1.00};
+  for (int s = 0; s < 20; ++s)
+    EXPECT_TRUE(det.observe(s, {}, {}, busy).empty());
+  EXPECT_EQ(det.total_flagged(), 0);
+}
+
+TEST(AnomalyDetector, FewerThanThreeRanksCannotStraggle) {
+  AnomalyDetector det;
+  EXPECT_TRUE(det.observe(0, {}, {}, {1.0, 100.0}).empty());
+}
+
+TEST(AnomalyDetector, PublishBumpsCountersAndKeepsRank) {
+  AnomalyDetector det;
+  const auto out = det.observe(0, {}, {}, {1.0, 1.0, 3.0, 1.0});
+  ASSERT_EQ(out.size(), 1u);
+  MetricsRegistry registry;
+  det.publish(out, &registry, /*trace=*/nullptr);
+  double total = -1, straggler = -1;
+  for (const ScalarMetric& m : registry.scalars()) {
+    if (m.name == "anomaly.total") total = m.value;
+    if (m.name == "anomaly.straggler") straggler = m.value;
+  }
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_DOUBLE_EQ(straggler, 1.0);
+}
+
+}  // namespace
