@@ -14,6 +14,9 @@
 //              [--sort-every=N]  # particle bin-sort cadence in steps;
 //                                # 0 = never (deck: sort_every, default 20;
 //                                # see docs/SORTING.md for tuning)
+//              [--overlap=MODE]  # comm/compute overlap: on|off|auto
+//                                # (deck: overlap, default auto = on for
+//                                # multi-rank runs; see docs/OVERLAP.md)
 //              [--set=section.key=value] # deck override (repeatable)
 //              [--metrics=PATH]  # NDJSON metrics stream (rank-reduced)
 //              [--metrics-every=N]       # sample cadence (default: --report)
@@ -269,7 +272,7 @@ int run(int argc, char** argv) {
   Args args(argc, argv);
   args.check_known({"steps", "report", "probe_plane", "checkpoint",
                     "checkpoint-every", "resume", "max-walltime", "history",
-                    "pipelines", "kernel", "sort-every", "metrics",
+                    "pipelines", "kernel", "sort-every", "overlap", "metrics",
                     "metrics-every", "trace", "log-level", "set", "ranks",
                     "comm-timeout", "inject-comm-fault", "flight-recorder",
                     "fdr-prefix"});
@@ -282,7 +285,8 @@ int run(int argc, char** argv) {
                  "       [--metrics=ndjson] [--metrics-every=N] "
                  "[--trace=json] [--log-level=LVL]\n"
                  "       [--kernel=scalar|sse|avx2|avx512|auto] "
-                 "[--sort-every=N] [--set=section.key=value ...]\n"
+                 "[--sort-every=N] [--overlap=on|off|auto]\n"
+                 "       [--set=section.key=value ...]\n"
                  "       [--ranks=N] [--comm-timeout=seconds] "
                  "[--inject-comm-fault=kind[:rank[:arg]]@step ...]\n"
                  "       [--flight-recorder[=events]] [--fdr-prefix=PATH]\n";
@@ -320,6 +324,21 @@ int run(int argc, char** argv) {
   if (args.has("sort-every")) {
     deck.sort_period = int(args.get_int("sort-every", 20));
     MV_REQUIRE(deck.sort_period >= 0, "--sort-every must be >= 0");
+  }
+  // Comm/compute overlap (docs/OVERLAP.md): the deck's [control] `overlap`
+  // key (default auto) overridden by --overlap.
+  if (args.has("overlap")) {
+    const std::string mode = args.get("overlap", "auto");
+    if (mode == "on") {
+      deck.overlap = sim::Deck::Overlap::kOn;
+    } else if (mode == "off") {
+      deck.overlap = sim::Deck::Overlap::kOff;
+    } else if (mode == "auto") {
+      deck.overlap = sim::Deck::Overlap::kAuto;
+    } else {
+      MV_REQUIRE(false, "--overlap: unknown mode '" << mode
+                                                    << "' (on|off|auto)");
+    }
   }
   if (args.has("checkpoint-every")) {
     deck.checkpoint_every = int(args.get_int("checkpoint-every", 0));

@@ -27,9 +27,11 @@ grid::Face opposite(grid::Face f) {
 
 }  // namespace
 
-MigrateStats migrate_particles(std::vector<Emigrant> emigrants, Species& sp,
-                               const Pusher& pusher, AccumulatorArray& acc,
-                               const grid::LocalGrid& g, vmpi::Comm* comm) {
+MigrateStats exchange_particles(std::vector<Emigrant> emigrants,
+                                const Species& sp, const Pusher& pusher,
+                                CellAccum* acc_block,
+                                const grid::LocalGrid& g, vmpi::Comm* comm,
+                                std::vector<Particle>* immigrants) {
   MigrateStats stats;
   if (comm == nullptr) {
     MV_REQUIRE(emigrants.empty(),
@@ -70,8 +72,19 @@ MigrateStats migrate_particles(std::vector<Emigrant> emigrants, Species& sp,
     stats.sent += static_cast<std::int64_t>(emigrants.size());
     emigrants.clear();
 
-    // Send on every rank-adjacent face (empty messages keep the pattern
-    // fixed); then receive from each.
+    // Post a receive for every rank-adjacent face *before* sending, so a
+    // neighbor's payload completes at delivery time instead of queueing;
+    // then send on every such face (empty messages keep the pattern fixed).
+    // Completion order is up to the transport, but faces are *processed* in
+    // fixed face order below, so results are independent of timing.
+    std::array<vmpi::Request, 6> rx;
+    for (int face = 0; face < 6; ++face) {
+      const auto myface = static_cast<grid::Face>(face);
+      const int nbr = g.neighbor(myface);
+      if (nbr == grid::LocalGrid::kNoNeighbor || nbr == g.rank()) continue;
+      const int tag = kMigrateTagBase + static_cast<int>(opposite(myface));
+      rx[std::size_t(face)] = comm->ipost(nbr, tag);
+    }
     for (int face = 0; face < 6; ++face) {
       const int nbr = g.neighbor(static_cast<grid::Face>(face));
       if (nbr == grid::LocalGrid::kNoNeighbor || nbr == g.rank()) {
@@ -83,12 +96,20 @@ MigrateStats migrate_particles(std::vector<Emigrant> emigrants, Species& sp,
                  std::span<const WireEmigrant>(out[std::size_t(face)]));
     }
     for (int face = 0; face < 6; ++face) {
-      const auto myface = static_cast<grid::Face>(face);
-      const int nbr = g.neighbor(myface);
-      if (nbr == grid::LocalGrid::kNoNeighbor || nbr == g.rank()) continue;
-      // The sender tagged with the face it crossed — the opposite of mine.
-      const int tag = kMigrateTagBase + static_cast<int>(opposite(myface));
-      const auto incoming = comm->recv_any<WireEmigrant>(nbr, tag);
+      vmpi::Request& req = rx[std::size_t(face)];
+      if (!req.valid()) continue;
+      std::vector<WireEmigrant> incoming;
+      try {
+        comm->wait(req);
+        incoming = req.take<WireEmigrant>();
+      } catch (...) {
+        // A fault on this face: drop the remaining posted receives so no
+        // orphaned entry can swallow a later send, then let the recovery
+        // machinery see the typed error.
+        for (int f = face + 1; f < 6; ++f)
+          if (rx[std::size_t(f)].valid()) comm->cancel(rx[std::size_t(f)]);
+        throw;
+      }
       for (const WireEmigrant& w : incoming) {
         const auto face_in = static_cast<grid::Face>(w.face);
         const int axis = grid::face_axis(face_in);
@@ -114,10 +135,10 @@ MigrateStats migrate_particles(std::vector<Emigrant> emigrants, Species& sp,
         p.w = w.w;
         Mover m{w.rdx, w.rdy, w.rdz};
         Emigrant next;
-        switch (pusher.continue_move(p, m, qsp * p.w, acc, &next,
+        switch (pusher.continue_move(p, m, qsp * p.w, acc_block, &next,
                                      &move_stats)) {
           case Pusher::MoveStatus::kDone:
-            sp.add(p);
+            immigrants->push_back(p);
             ++stats.received;
             break;
           case Pusher::MoveStatus::kEmigrated:
@@ -130,6 +151,16 @@ MigrateStats migrate_particles(std::vector<Emigrant> emigrants, Species& sp,
       }
     }
   }
+  return stats;
+}
+
+MigrateStats migrate_particles(std::vector<Emigrant> emigrants, Species& sp,
+                               const Pusher& pusher, AccumulatorArray& acc,
+                               const grid::LocalGrid& g, vmpi::Comm* comm) {
+  std::vector<Particle> immigrants;
+  const MigrateStats stats = exchange_particles(
+      std::move(emigrants), sp, pusher, acc.data(), g, comm, &immigrants);
+  for (const Particle& p : immigrants) sp.add(p);
   return stats;
 }
 

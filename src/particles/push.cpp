@@ -75,6 +75,35 @@ Pusher::Pusher(const grid::LocalGrid& grid, const ParticleBcSpec& bc,
                  "reflect/absorb particle BC on periodic face " << face);
     }
   }
+
+  // Skin map for the two-pass advance: a cell is skin iff it touches a face
+  // whose neighbor is a *remote* rank (kNoNeighbor faces are walls and
+  // self-neighbors are single-rank periodic wraps — neither can emigrate).
+  // Under the CFL limit (< 1 cell per axis per step) only skin-cell
+  // particles can leave the rank, which is what lets the scheduler start
+  // migration right after pass S.
+  bool remote[6];
+  for (int face = 0; face < 6; ++face) {
+    const int nbr = grid.neighbor(static_cast<grid::Face>(face));
+    remote[face] = nbr != grid::LocalGrid::kNoNeighbor && nbr != grid.rank();
+    has_skin_ = has_skin_ || remote[face];
+  }
+  if (has_skin_) {
+    skin_voxel_.assign(std::size_t(grid.num_voxels()), 0);
+    for (int iz = 1; iz <= grid.nz(); ++iz) {
+      for (int iy = 1; iy <= grid.ny(); ++iy) {
+        for (int ix = 1; ix <= grid.nx(); ++ix) {
+          const bool skin = (ix == 1 && remote[grid::kFaceXLo]) ||
+                            (ix == grid.nx() && remote[grid::kFaceXHi]) ||
+                            (iy == 1 && remote[grid::kFaceYLo]) ||
+                            (iy == grid.ny() && remote[grid::kFaceYHi]) ||
+                            (iz == 1 && remote[grid::kFaceZLo]) ||
+                            (iz == grid.nz() && remote[grid::kFaceZHi]);
+          if (skin) skin_voxel_[std::size_t(grid.voxel(ix, iy, iz))] = 1;
+        }
+      }
+    }
+  }
 }
 
 void Pusher::ensure_reflux_streams(int n) {
@@ -206,9 +235,9 @@ Pusher::MoveStatus Pusher::move_p(Particle& p, Mover& m, float macro_charge,
 
 Pusher::MoveStatus Pusher::continue_move(Particle& p, Mover& m,
                                          float macro_charge,
-                                         AccumulatorArray& acc, Emigrant* out,
+                                         CellAccum* acc_block, Emigrant* out,
                                          Result* stats) const {
-  return move_p(p, m, macro_charge, acc.data(), out, stats,
+  return move_p(p, m, macro_charge, acc_block, out, stats,
                 migrate_reflux_rng_);
 }
 
@@ -325,13 +354,43 @@ void Pusher::advance_range_scalar(Species& sp, const InterpolatorArray& interp,
   }
 }
 
-Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
-                               AccumulatorArray& acc, Pipeline* pipeline) {
+void Pusher::advance_runs(Species& sp, const InterpolatorArray& interp,
+                          CellAccum* acc_block, std::size_t begin,
+                          std::size_t end, std::uint8_t want, Rng& reflux_rng,
+                          Result& res, std::vector<std::size_t>& dead) const {
+  std::size_t n = begin;
+  while (n < end) {
+    if (cls_[n] != want) {
+      ++n;
+      continue;
+    }
+    std::size_t m = n + 1;
+    while (m < end && cls_[m] == want) ++m;
+    advance_range(sp, interp, acc_block, n, m, reflux_rng, res, dead);
+    n = m;
+  }
+}
+
+Pusher::Pass Pusher::advance_pass(Species& sp, const InterpolatorArray& interp,
+                                  AccumulatorArray& acc, Pipeline* pipeline,
+                                  PassKind kind) {
   const int n_pipe = pipeline == nullptr ? 1 : pipeline->size();
   MV_REQUIRE(acc.blocks() >= n_pipe,
              "accumulator has " << acc.blocks() << " blocks but the advance "
                                 << "runs on " << n_pipe << " pipelines");
   ensure_reflux_streams(n_pipe);
+
+  // With an empty skin the two passes degenerate: S advances nothing (and
+  // draws nothing), I advances full slices — bit-identical to kAll.
+  if (!has_skin_ && kind == PassKind::kSkin) {
+    Pass pass;
+    pass.res.pipeline_seconds.assign(std::size_t(n_pipe), 0.0);
+    return pass;
+  }
+  const bool full = kind == PassKind::kAll ||
+                    (!has_skin_ && kind == PassKind::kInterior);
+
+  if (kind == PassKind::kSkin) cls_.resize(sp.size());
 
   // Per-pipeline private state; spliced in pipeline order after the
   // barrier so all outputs keep serial particle order.
@@ -345,10 +404,25 @@ Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
   auto run = [&](int p) {
     const Timer lane_timer;
     const auto r = Pipeline::partition(sp.size(), n_pipe, p);
-    advance_range(sp, interp, acc.block(p), r.begin, r.end,
-                  reflux_streams_[std::size_t(p)], lanes[std::size_t(p)].res,
-                  lanes[std::size_t(p)].dead);
-    lanes[std::size_t(p)].seconds = lane_timer.seconds();
+    Lane& lane = lanes[std::size_t(p)];
+    Rng& rng = reflux_streams_[std::size_t(p)];
+    if (full) {
+      advance_range(sp, interp, acc.block(p), r.begin, r.end, rng, lane.res,
+                    lane.dead);
+    } else if (kind == PassKind::kSkin) {
+      // Classify before anything moves: pass I must push exactly the
+      // complement of what this pass pushes, and a skin particle may land
+      // in an interior cell.
+      const Particle* parts = sp.data();
+      for (std::size_t n = r.begin; n < r.end; ++n)
+        cls_[n] = skin_voxel_[std::size_t(parts[n].i)];
+      advance_runs(sp, interp, acc.block(p), r.begin, r.end, 1, rng, lane.res,
+                   lane.dead);
+    } else {
+      advance_runs(sp, interp, acc.block(p), r.begin, r.end, 0, rng, lane.res,
+                   lane.dead);
+    }
+    lane.seconds = lane_timer.seconds();
   };
   if (pipeline == nullptr) {
     run(0);
@@ -356,28 +430,50 @@ Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
     pipeline->dispatch(run);
   }
 
-  Result res = std::move(lanes[0].res);
-  std::vector<std::size_t> dead = std::move(lanes[0].dead);
-  res.pipeline_seconds.reserve(std::size_t(n_pipe));
-  for (const Lane& lane : lanes) res.pipeline_seconds.push_back(lane.seconds);
+  Pass pass;
+  pass.res = std::move(lanes[0].res);
+  pass.dead = std::move(lanes[0].dead);
+  pass.res.pipeline_seconds.reserve(std::size_t(n_pipe));
+  for (const Lane& lane : lanes)
+    pass.res.pipeline_seconds.push_back(lane.seconds);
   for (int p = 1; p < n_pipe; ++p) {
     Lane& lane = lanes[std::size_t(p)];
-    res.pushed += lane.res.pushed;
-    res.crossings += lane.res.crossings;
-    res.absorbed += lane.res.absorbed;
-    res.reflected += lane.res.reflected;
-    res.refluxed += lane.res.refluxed;
-    res.emigrants.insert(res.emigrants.end(), lane.res.emigrants.begin(),
-                         lane.res.emigrants.end());
-    dead.insert(dead.end(), lane.dead.begin(), lane.dead.end());
+    pass.res.pushed += lane.res.pushed;
+    pass.res.crossings += lane.res.crossings;
+    pass.res.absorbed += lane.res.absorbed;
+    pass.res.reflected += lane.res.reflected;
+    pass.res.refluxed += lane.res.refluxed;
+    pass.res.emigrants.insert(pass.res.emigrants.end(),
+                              lane.res.emigrants.begin(),
+                              lane.res.emigrants.end());
+    pass.dead.insert(pass.dead.end(), lane.dead.begin(), lane.dead.end());
   }
+  return pass;
+}
+
+Pusher::Pass Pusher::advance_skin(Species& sp, const InterpolatorArray& interp,
+                                  AccumulatorArray& acc, Pipeline* pipeline) {
+  return advance_pass(sp, interp, acc, pipeline, PassKind::kSkin);
+}
+
+Pusher::Pass Pusher::advance_interior(Species& sp,
+                                      const InterpolatorArray& interp,
+                                      AccumulatorArray& acc,
+                                      Pipeline* pipeline) {
+  return advance_pass(sp, interp, acc, pipeline, PassKind::kInterior);
+}
+
+Pusher::Result Pusher::advance(Species& sp, const InterpolatorArray& interp,
+                               AccumulatorArray& acc, Pipeline* pipeline) {
+  Pass pass = advance_pass(sp, interp, acc, pipeline, PassKind::kAll);
 
   // Compact out emigrated/absorbed particles. `dead` is ascending (each
   // slice is ascending and slices are concatenated in partition order);
   // descending removal keeps the swap-with-last from invalidating pending
   // indices.
-  for (auto it = dead.rbegin(); it != dead.rend(); ++it) sp.remove(*it);
-  return res;
+  for (auto it = pass.dead.rbegin(); it != pass.dead.rend(); ++it)
+    sp.remove(*it);
+  return std::move(pass.res);
 }
 
 namespace {

@@ -97,16 +97,59 @@ class Pusher {
   Result advance(Species& sp, const InterpolatorArray& interp,
                  AccumulatorArray& acc, Pipeline* pipeline = nullptr);
 
+  // -- two-pass (skin, then interior) advance ------------------------------
+  //
+  // The overlap scheduler (docs/OVERLAP.md) splits the advance into two
+  // passes over the same particle list: pass S advances only particles in
+  // *skin* cells — cells bordering a remote rank, the only ones that can
+  // emit emigrants under the CFL limit — so migration can start while
+  // pass I advances the interior complement. Both the barriered and the
+  // overlapped step loop run the same S-then-I sequence, so the per-stream
+  // arithmetic order, RNG draw order, emigrant order, and dead-index sets
+  // are identical by construction; the modes differ only in *when* the
+  // migration exchange executes. Removals are deferred to the caller:
+  // merge the two ascending dead lists and remove descending after the
+  // exchange completes. On a single-rank grid the skin set is empty and
+  // pass I alone is bit-identical to advance().
+
+  struct Pass {
+    Result res;
+    /// Dead (emigrated/absorbed) particle indices, ascending. Valid until
+    /// the particle list is modified.
+    std::vector<std::size_t> dead;
+  };
+
+  /// Pass S: classifies every particle of `sp` (the classification is
+  /// cached for the matching advance_interior call) and advances the
+  /// skin-cell subset.
+  Pass advance_skin(Species& sp, const InterpolatorArray& interp,
+                    AccumulatorArray& acc, Pipeline* pipeline = nullptr);
+
+  /// Pass I: advances the interior complement. Must directly follow an
+  /// advance_skin on the same, unmodified particle list.
+  Pass advance_interior(Species& sp, const InterpolatorArray& interp,
+                        AccumulatorArray& acc, Pipeline* pipeline = nullptr);
+
+  /// True when some local cell borders a remote rank (the skin is
+  /// non-empty); false on single-rank grids, where pass S is a no-op.
+  bool has_skin() const { return has_skin_; }
+
   enum class MoveStatus { kDone, kEmigrated, kAbsorbed };
 
   /// Completes the move of an immigrant received from a neighbor rank
   /// (momentum already updated by the sender). `p.i` must already be this
   /// rank's voxel. On kEmigrated, `*out` describes the next hop. Deposits
-  /// into accumulator block 0; runs serially on the rank's own thread
-  /// (migration happens outside the pipeline region).
+  /// into `acc_block` — the overlap scheduler passes a dedicated migration
+  /// block so the exchange can deposit concurrently with the interior
+  /// pass; the AccumulatorArray overload keeps the old block-0 behavior.
+  MoveStatus continue_move(Particle& p, Mover& m, float macro_charge,
+                           CellAccum* acc_block, Emigrant* out,
+                           Result* stats) const;
   MoveStatus continue_move(Particle& p, Mover& m, float macro_charge,
                            AccumulatorArray& acc, Emigrant* out,
-                           Result* stats) const;
+                           Result* stats) const {
+    return continue_move(p, m, macro_charge, acc.data(), out, stats);
+  }
 
   const ParticleBcSpec& bc() const { return bc_; }
 
@@ -152,6 +195,22 @@ class Pusher {
   /// persistent across steps so draw sequences stay reproducible.
   void ensure_reflux_streams(int n);
 
+  /// Shared machinery of advance / advance_skin / advance_interior: one
+  /// pass over the static pipeline partition, restricted to the requested
+  /// particle class (kAll advances every particle, exactly the historical
+  /// single-pass advance).
+  enum class PassKind { kAll, kSkin, kInterior };
+  Pass advance_pass(Species& sp, const InterpolatorArray& interp,
+                    AccumulatorArray& acc, Pipeline* pipeline, PassKind kind);
+
+  /// Advances the maximal runs of [begin, end) whose cached class equals
+  /// `want`, preserving index order (each run goes through advance_range,
+  /// so kernels see contiguous slices exactly as in the one-pass advance).
+  void advance_runs(Species& sp, const InterpolatorArray& interp,
+                    CellAccum* acc_block, std::size_t begin, std::size_t end,
+                    std::uint8_t want, Rng& reflux_rng, Result& res,
+                    std::vector<std::size_t>& dead) const;
+
   const grid::LocalGrid* grid_;
   ParticleBcSpec bc_;
   Kernel kernel_ = Kernel::kScalar;
@@ -164,8 +223,18 @@ class Pusher {
   std::vector<Rng> reflux_streams_;
   /// Stream for moves completed during migration (continue_move). Mutable
   /// because migration keeps its const Pusher interface; safe because
-  /// migration is single-threaded per rank, after the pipeline barrier.
+  /// migration is single-threaded per rank (in the overlapped loop, the
+  /// comm worker is that one thread; nothing else draws from this stream
+  /// until the scheduler joins it).
   mutable Rng migrate_reflux_rng_;
+  /// Per-voxel skin flag (1 = the cell borders a remote rank) and its
+  /// summary; built once in the constructor from the grid's neighbor map.
+  std::vector<std::uint8_t> skin_voxel_;
+  bool has_skin_ = false;
+  /// Per-particle class (skin_voxel_ of the particle's cell) captured by
+  /// advance_skin *before* any particle moves, so advance_interior pushes
+  /// exactly the complement even after skin particles changed cells.
+  std::vector<std::uint8_t> cls_;
 };
 
 /// Sets up leapfrog time-centering: pulls momenta back from t to t-dt/2

@@ -84,6 +84,17 @@ struct RoadrunnerConfig {
   double host_overhead_fraction = 0.18;  ///< DaCS/PCIe staging vs t_push
   int sort_period = 20;  ///< steps between bin sorts ([control] sort_every)
 
+  /// Comm/compute overlap effectiveness, in [0, 1]: the fraction of the
+  /// exchange the overlapped step loop (docs/OVERLAP.md, [control]
+  /// `overlap`) hides behind the interior push. 0 models the barriered
+  /// schedule (every t_comm second exposed — the legacy t_step, exactly);
+  /// 1 models a perfect scheduler that hides comm up to the interior-push
+  /// budget. The hideable budget itself is bounded by the skin fraction:
+  /// only the interior pass (1 - f_skin of t_push) runs concurrently with
+  /// the exchange, so a chip with a thin interior cannot hide much comm no
+  /// matter how good the scheduler is.
+  double comm_overlap = 0.0;
+
   /// Mean fraction of the particle list out of streaming order, averaged
   /// over one sort period: disorder grows ~linearly from 0 right after a
   /// sort to (P-1) * disorder_per_step just before the next, clamped to 1.
@@ -117,9 +128,12 @@ struct RoadrunnerPrediction {
   double gather_disorder = 0;      ///< mean out-of-order fraction modeled
   double bytes_per_particle_eff = 0;  ///< disorder-blended push traffic
   double t_field = 0;
-  double t_comm = 0;
+  double t_comm = 0;               ///< total exchange time (wire + latency)
+  double skin_fraction = 0;        ///< modeled skin share of the push
+  double t_comm_hidden = 0;        ///< comm overlapped behind interior push
+  double t_comm_exposed = 0;       ///< comm left on the critical path
   double t_host = 0;
-  double t_step = 0;
+  double t_step = 0;               ///< uses t_comm_exposed, not t_comm
   double inner_loop_flops = 0;     ///< sustained Pflop/s of the inner loop
   double sustained_flops = 0;      ///< sustained Pflop/s whole code
   double particles_per_second = 0;

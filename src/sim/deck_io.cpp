@@ -306,7 +306,7 @@ Deck DeckSource::build() const {
       check_known(s, {"sort_period", "sort_every", "clean_period",
                       "clean_passes",
                       "init_settle_passes", "collision_seed", "pipelines",
-                      "kernel",
+                      "kernel", "overlap",
                       "checkpoint_every", "checkpoint_keep", "health_period",
                       "health_policy", "health_max_energy_growth",
                       "health_max_particle_loss", "health_rollback_window"});
@@ -328,6 +328,20 @@ Deck DeckSource::build() const {
         deck.kernel = particles::parse_kernel(it->second);
       } else {
         deck.kernel = particles::Kernel::kAuto;
+      }
+      // Comm/compute overlap (docs/OVERLAP.md): on | off | auto. The
+      // default stays kAuto (on for multi-rank runs, off otherwise).
+      if (const auto it = s.values.find("overlap"); it != s.values.end()) {
+        if (it->second == "on") {
+          deck.overlap = Deck::Overlap::kOn;
+        } else if (it->second == "off") {
+          deck.overlap = Deck::Overlap::kOff;
+        } else if (it->second == "auto") {
+          deck.overlap = Deck::Overlap::kAuto;
+        } else {
+          MV_REQUIRE(false, "deck [control] overlap: unknown mode '"
+                                << it->second << "' (on|off|auto)");
+        }
       }
       deck.clean_period = to_int(s, "clean_period", 0);
       deck.clean_passes = to_int(s, "clean_passes", 2);

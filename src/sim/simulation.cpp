@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "particles/collisions.hpp"
@@ -39,12 +40,24 @@ Simulation::Simulation(const Deck& deck, vmpi::Comm* comm,
       cleaner_(grid_, &halo_),
       pipeline_(Pipeline::resolve(deck.pipelines)),
       interp_(grid_),
-      acc_(grid_, pipeline_.size()),
+      // Multi-rank runs get one extra accumulator block — the migration
+      // block — so the (possibly asynchronous) exchange never deposits into
+      // a pipeline's block. Single-rank runs keep the historical layout
+      // (their exchange is a no-op), which keeps reduce() bit-identical.
+      acc_(grid_, pipeline_.size() +
+                      (comm != nullptr && comm->size() > 1 ? 1 : 0)),
       pusher_(grid_, deck.particle_bc) {
   // Resolves kAuto to the widest kernel this host supports and validates
   // explicit choices (an explicitly requested unavailable kernel throws
   // here, before any particles are loaded).
   pusher_.set_kernel(deck.kernel);
+  // Overlap resolution (docs/OVERLAP.md): kAuto follows the skin — overlap
+  // pays off exactly when there is a remote neighbor to exchange with. kOn
+  // also degrades to barriered on single-rank grids (nothing to hide).
+  overlap_ = deck.overlap != Deck::Overlap::kOff && comm != nullptr &&
+             comm->size() > 1;
+  if (overlap_) comm_worker_ = std::make_unique<util::Worker>();
+  overlap_stats_.enabled = overlap_;
   MV_REQUIRE(!deck.species.empty(), "deck has no species");
   MV_REQUIRE(deck.sort_period >= 0 && deck.clean_period >= 0 &&
                  deck.clean_passes >= 1,
@@ -144,32 +157,123 @@ void Simulation::step() {
   const bool sort_now =
       deck_.sort_period > 0 && (step_ + 1) % deck_.sort_period == 0;
 
+  // The migration exchange deposits into the dedicated last block on
+  // multi-rank grids (see acc_'s constructor comment), block 0 otherwise.
+  particles::CellAccum* const migrate_block =
+      acc_.blocks() > pipeline_.size() ? acc_.block(pipeline_.size())
+                                       : acc_.data();
+
   for (std::size_t s = 0; s < species_.size(); ++s) {
     if (!mobile_[s]) continue;
+    particles::Species& sp = *species_[s];
     const double ruth = deck_.species[s].reflux_uth >= 0
                             ? deck_.species[s].reflux_uth
                             : deck_.species[s].load.uth;
     pusher_.set_reflux_uth(ruth);
-    particles::Pusher::Result res;
+
+    // Two-pass advance (docs/OVERLAP.md): pass S (skin cells) runs first in
+    // BOTH modes, so arithmetic order, RNG draws, and emigrant order are
+    // mode-independent; the overlapped loop merely runs the exchange on the
+    // comm worker while pass I advances the interior. Removals are deferred
+    // until the exchange has drained, then immigrants are appended —
+    // exactly the array layout the barriered schedule produces.
+    particles::Pusher::Pass skin, interior;
+    particles::MigrateStats mig;
+    std::vector<particles::Particle> immigrants;
+    double comm_dt = 0;  // async exchange wall time (worker writes, we
+                         // read after the join)
     {
       telemetry::PhaseSpan lap(timings_.push, trace_, "push", recorder_, telemetry::kFdrPhasePush);
-      res = pusher_.advance(*species_[s], interp_, acc_, &pipeline_);
+      {
+        telemetry::ScopedSpan span(trace_, "push.skin");
+        telemetry::RecordedPhase rec(recorder_, telemetry::kFdrPhasePushSkin);
+        const Timer t;
+        skin = pusher_.advance_skin(sp, interp_, acc_, &pipeline_);
+        if (overlap_) overlap_stats_.skin_seconds += t.seconds();
+      }
+      if (overlap_) {
+        comm_worker_->submit([&, this] {
+          // TraceWriter and Recorder are thread-safe; the span lands on the
+          // worker's own trace row, bracketing push.interior below.
+          telemetry::ScopedSpan span(trace_, "migrate.async");
+          telemetry::RecordedPhase rec(recorder_,
+                                       telemetry::kFdrPhaseMigrateAsync);
+          const Timer t;
+          mig = particles::exchange_particles(std::move(skin.res.emigrants),
+                                              sp, pusher_, migrate_block,
+                                              grid_, comm_, &immigrants);
+          comm_dt = t.seconds();
+        });
+      }
+      try {
+        telemetry::ScopedSpan span(trace_, "push.interior");
+        telemetry::RecordedPhase rec(recorder_,
+                                     telemetry::kFdrPhasePushInterior);
+        const Timer t;
+        interior = pusher_.advance_interior(sp, interp_, acc_, &pipeline_);
+        if (overlap_) overlap_stats_.interior_seconds += t.seconds();
+      } catch (...) {
+        // Join the comm worker before unwinding (the interior failure is
+        // primary; a concurrent exchange error is dropped) so it never
+        // outlives the state it touches.
+        if (overlap_) {
+          try {
+            comm_worker_->wait();
+          } catch (...) {
+          }
+        }
+        throw;
+      }
     }
-    stats_.pushed += res.pushed;
-    stats_.crossings += res.crossings;
-    stats_.absorbed += res.absorbed;
-    stats_.reflected += res.reflected;
-    stats_.refluxed += res.refluxed;
-    if (pipeline_busy_.size() < res.pipeline_seconds.size())
-      pipeline_busy_.resize(res.pipeline_seconds.size(), 0.0);
-    for (std::size_t p = 0; p < res.pipeline_seconds.size(); ++p)
-      pipeline_busy_[p] += res.pipeline_seconds[p];
+    stats_.pushed += skin.res.pushed + interior.res.pushed;
+    stats_.crossings += skin.res.crossings + interior.res.crossings;
+    stats_.absorbed += skin.res.absorbed + interior.res.absorbed;
+    stats_.reflected += skin.res.reflected + interior.res.reflected;
+    stats_.refluxed += skin.res.refluxed + interior.res.refluxed;
+    const std::size_t lanes = std::max(skin.res.pipeline_seconds.size(),
+                                       interior.res.pipeline_seconds.size());
+    if (pipeline_busy_.size() < lanes) pipeline_busy_.resize(lanes, 0.0);
+    for (std::size_t p = 0; p < skin.res.pipeline_seconds.size(); ++p)
+      pipeline_busy_[p] += skin.res.pipeline_seconds[p];
+    for (std::size_t p = 0; p < interior.res.pipeline_seconds.size(); ++p)
+      pipeline_busy_[p] += interior.res.pipeline_seconds[p];
     {
+      // In overlapped mode this phase records only the *exposed* join wait,
+      // so phase totals keep summing to step wall time; the hidden comm
+      // lives in overlap_stats().
       telemetry::PhaseSpan lap(timings_.migrate, trace_, "migrate", recorder_, telemetry::kFdrPhaseMigrate);
-      const auto m = particles::migrate_particles(
-          std::move(res.emigrants), *species_[s], pusher_, acc_, grid_, comm_);
-      stats_.migrated += m.sent;
-      stats_.absorbed += m.absorbed;
+      if (overlap_) {
+        const Timer t;
+        comm_worker_->wait();  // rethrows a CommError from the exchange
+        const double exposed = t.seconds();
+        overlap_stats_.comm_seconds += comm_dt;
+        overlap_stats_.exposed_seconds += exposed;
+        overlap_stats_.hidden_seconds += std::max(0.0, comm_dt - exposed);
+        ++overlap_stats_.overlapped_steps;
+      } else {
+        mig = particles::exchange_particles(std::move(skin.res.emigrants),
+                                            sp, pusher_, migrate_block,
+                                            grid_, comm_, &immigrants);
+      }
+      // Interior emigrants exist only past the CFL limit; both modes drain
+      // them with the same follow-up exchange (one allreduce, normally 0
+      // rounds).
+      const particles::MigrateStats tail = particles::exchange_particles(
+          std::move(interior.res.emigrants), sp, pusher_, migrate_block,
+          grid_, comm_, &immigrants);
+
+      // Deferred compaction: merge the two ascending dead lists, remove
+      // descending, then append settled immigrants.
+      std::vector<std::size_t> dead;
+      dead.reserve(skin.dead.size() + interior.dead.size());
+      std::merge(skin.dead.begin(), skin.dead.end(), interior.dead.begin(),
+                 interior.dead.end(), std::back_inserter(dead));
+      for (auto it = dead.rbegin(); it != dead.rend(); ++it) sp.remove(*it);
+      for (const particles::Particle& p : immigrants) sp.add(p);
+
+      stats_.migrated += mig.sent + tail.sent;
+      stats_.immigrated += mig.received + tail.received;
+      stats_.absorbed += mig.absorbed + tail.absorbed;
     }
   }
 

@@ -24,6 +24,7 @@
 #include "sim/deck.hpp"
 #include "util/pipeline.hpp"
 #include "util/timer.hpp"
+#include "util/worker.hpp"
 #include "vmpi/cart.hpp"
 #include "vmpi/comm.hpp"
 
@@ -63,10 +64,25 @@ struct ParticleStats {
   std::int64_t crossings = 0;
   std::int64_t absorbed = 0;
   std::int64_t reflected = 0;
-  std::int64_t migrated = 0;
+  std::int64_t migrated = 0;    ///< emigrants shipped to neighbor ranks
+  std::int64_t immigrated = 0;  ///< immigrants settled from neighbor ranks
   std::int64_t refluxed = 0;
   std::int64_t collision_pairs = 0;
   std::int64_t sorted = 0;  ///< particles passed through the bin sort
+};
+
+/// Comm/compute overlap telemetry (docs/OVERLAP.md), cumulative since
+/// construction. Only the overlapped loop fills the second group; the
+/// `migrate` phase stopwatch then records just the *exposed* join wait, so
+/// phase totals keep summing to the step wall time.
+struct OverlapStats {
+  bool enabled = false;              ///< resolved overlap mode
+  std::int64_t overlapped_steps = 0; ///< species-advances run overlapped
+  double skin_seconds = 0;           ///< pass S wall time
+  double interior_seconds = 0;       ///< pass I wall time
+  double comm_seconds = 0;           ///< async exchange wall (worker busy)
+  double hidden_seconds = 0;         ///< comm time covered by pass I
+  double exposed_seconds = 0;        ///< join wait after pass I
 };
 
 /// Globally reduced energy accounting.
@@ -117,6 +133,10 @@ class Simulation {
   /// Resolved particle-advance kernel (never kAuto; see particles/kernel.hpp).
   particles::Kernel kernel() const { return pusher_.kernel(); }
   const ParticleStats& particle_stats() const { return stats_; }
+  /// True when the step loop runs the overlapped schedule (Deck::overlap
+  /// resolved against the communicator at construction).
+  bool overlap() const { return overlap_; }
+  const OverlapStats& overlap_stats() const { return overlap_stats_; }
   /// Cumulative busy wall seconds per pipeline inside the particle advance
   /// (index = pipeline id; empty before the first step). The spread across
   /// entries is the per-pipeline load imbalance telemetry reports.
@@ -158,7 +178,10 @@ class Simulation {
   field::DivergenceCleaner cleaner_;
   Pipeline pipeline_;  ///< intra-rank particle pipelines
   particles::InterpolatorArray interp_;
-  particles::AccumulatorArray acc_;  ///< one block per pipeline
+  /// One block per pipeline plus a dedicated migration block (the last):
+  /// the async exchange deposits there so it never races a pipeline's
+  /// interior deposits; reduce() folds it in fixed block order.
+  particles::AccumulatorArray acc_;
   particles::Pusher pusher_;
   std::unique_ptr<field::LaserAntenna> antenna_;
   std::vector<std::unique_ptr<particles::Species>> species_;
@@ -174,8 +197,11 @@ class Simulation {
   std::int64_t step_ = 0;
   double time_ = 0;
   bool initialized_ = false;
+  bool overlap_ = false;  ///< resolved Deck::overlap
+  std::unique_ptr<util::Worker> comm_worker_;  ///< exists when overlap_
   StepTimings timings_;
   ParticleStats stats_;
+  OverlapStats overlap_stats_;
   std::vector<double> pipeline_busy_;  ///< per-pipeline advance seconds
   telemetry::TraceWriter* trace_ = nullptr;  ///< optional span/event sink
   telemetry::Recorder* recorder_ = nullptr;  ///< optional flight recorder

@@ -80,6 +80,9 @@ const char* fdr_phase_name(std::uint16_t phase) {
     case kFdrPhaseField: return "field";
     case kFdrPhaseClean: return "clean";
     case kFdrPhaseCollide: return "collide";
+    case kFdrPhasePushSkin: return "push.skin";
+    case kFdrPhasePushInterior: return "push.interior";
+    case kFdrPhaseMigrateAsync: return "migrate.async";
     default: return "phase?";
   }
 }

@@ -61,7 +61,12 @@ enum class FdrDumpReason : std::uint16_t {
 };
 
 /// Phase ids for kPhaseBegin/kPhaseEnd, matching StepTimings order with 0
-/// reserved for the whole step. Part of the on-disk format.
+/// reserved for the whole step. Part of the on-disk format — append new
+/// phases, never renumber. 10-12 are the overlap scheduler's sub-phases
+/// (docs/OVERLAP.md): push.skin and push.interior nest inside kFdrPhasePush,
+/// and kFdrPhaseMigrateAsync is recorded from the comm worker thread, so an
+/// overlapped step shows it bracketing push.interior — the concurrency is
+/// visible right in the black box.
 enum FdrPhase : std::uint16_t {
   kFdrPhaseStep = 0,
   kFdrPhaseInterpolate = 1,
@@ -73,6 +78,9 @@ enum FdrPhase : std::uint16_t {
   kFdrPhaseField = 7,
   kFdrPhaseClean = 8,
   kFdrPhaseCollide = 9,
+  kFdrPhasePushSkin = 10,
+  kFdrPhasePushInterior = 11,
+  kFdrPhaseMigrateAsync = 12,
 };
 
 const char* fdr_phase_name(std::uint16_t phase);  ///< "step", "push", ...

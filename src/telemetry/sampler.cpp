@@ -50,6 +50,14 @@ std::vector<ScalarMetric> StepSample::scalars() const {
   // Per-rank work done this interval: the reduced max/mean of this metric
   // (and of particles.local above) is the cross-rank load-imbalance feed.
   out.push_back({"pipeline.busy.s", "s", busy_seconds});
+  // Appended rows (schema is append-only): migration balance and the
+  // comm/compute overlap ledger (docs/OVERLAP.md). Across ranks,
+  // sum(particles.migrated) == sum(particles.immigrated) every interval.
+  out.push_back({"particles.immigrated", "count", double(immigrated)});
+  out.push_back({"comm.overlap.enabled", "bool", overlap_enabled});
+  out.push_back({"comm.overlap.comm.s", "s", overlap_comm_s});
+  out.push_back({"comm.overlap.hidden.s", "s", overlap_hidden_s});
+  out.push_back({"comm.overlap.exposed.s", "s", overlap_exposed_s});
   return out;
 }
 
@@ -65,6 +73,7 @@ StepSampler::Snapshot StepSampler::capture(const sim::Simulation& sim) {
                                  &t.field,       &t.clean,  &t.collide};
   for (int i = 0; i < 9; ++i) s.phases[i] = watches[i]->total_seconds();
   s.stats = sim.particle_stats();
+  s.overlap = sim.overlap_stats();
   s.pipeline_busy = sim.pipeline_busy_seconds();
   return s;
 }
@@ -116,6 +125,17 @@ StepSample StepSampler::derive(const sim::Simulation& sim,
   s.refluxed = to.stats.refluxed - from.stats.refluxed;
   s.collision_pairs = to.stats.collision_pairs - from.stats.collision_pairs;
   s.sorted = to.stats.sorted - from.stats.sorted;
+  s.immigrated = to.stats.immigrated - from.stats.immigrated;
+
+  // Overlap ledger: interval deltas of the cumulative OverlapStats. The
+  // enabled flag is a property of the run, not of the interval.
+  s.overlap_enabled = to.overlap.enabled ? 1.0 : 0.0;
+  s.overlap_comm_s =
+      std::max(0.0, to.overlap.comm_seconds - from.overlap.comm_seconds);
+  s.overlap_hidden_s =
+      std::max(0.0, to.overlap.hidden_seconds - from.overlap.hidden_seconds);
+  s.overlap_exposed_s =
+      std::max(0.0, to.overlap.exposed_seconds - from.overlap.exposed_seconds);
 
   // Sort rate: particles bin-sorted per second of sort-phase time. Zero in
   // intervals where the periodic sort never fired (the common case between

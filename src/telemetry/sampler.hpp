@@ -67,6 +67,16 @@ struct StepSample {
   std::string kernel = "scalar";    ///< resolved advance kernel name
   double lane_width = 1;            ///< SIMD lanes of that kernel (1|4|8|16)
 
+  std::int64_t immigrated = 0;      ///< immigrants settled in interval
+
+  // Comm/compute overlap (docs/OVERLAP.md). Zero when the barriered loop
+  // runs; in overlapped runs hidden + exposed == comm within clock jitter.
+  double overlap_enabled = 0;       ///< 1 when the overlapped loop ran
+  double overlap_comm_s = 0;        ///< async-exchange worker wall seconds
+  double overlap_hidden_s = 0;      ///< comm seconds covered by interior push
+  double overlap_exposed_s = 0;     ///< join-wait seconds (= phase.migrate
+                                    ///< share attributable to the exchange)
+
   std::vector<ScalarMetric> scalars() const;
 };
 
@@ -110,6 +120,7 @@ class StepSampler {
     std::int64_t step = 0;
     double phases[9] = {};  // StepTimings order
     sim::ParticleStats stats;
+    sim::OverlapStats overlap;
     std::vector<double> pipeline_busy;
   };
   static Snapshot capture(const sim::Simulation& sim);

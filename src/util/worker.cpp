@@ -1,0 +1,65 @@
+#include "util/worker.hpp"
+
+#include "util/error.hpp"
+
+namespace minivpic::util {
+
+Worker::Worker() { thread_ = std::thread([this] { run(); }); }
+
+Worker::~Worker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Worker::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return shutdown_ || task_ != nullptr; });
+    if (shutdown_) return;
+    std::function<void()> task = std::move(task_);
+    task_ = nullptr;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    error_ = error;
+    busy_ = false;
+    cv_.notify_all();
+  }
+}
+
+void Worker::submit(std::function<void()> task) {
+  MV_REQUIRE(task != nullptr, "submit of an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MV_REQUIRE(!busy_, "worker already has a task in flight");
+    busy_ = true;
+    task_ = std::move(task);
+  }
+  cv_.notify_all();
+}
+
+void Worker::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !busy_; });
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+bool Worker::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !busy_;
+}
+
+}  // namespace minivpic::util

@@ -1,0 +1,56 @@
+// A persistent single-task worker thread: the comm side of the overlap
+// scheduler (docs/OVERLAP.md).
+//
+// The overlapped step loop hands the asynchronous migration exchange to one
+// of these while the interior push runs on the Pipeline pool. The contract
+// is deliberately minimal — submit() one task, wait() for it — because the
+// scheduler needs a happens-before edge, not a queue: everything the task
+// wrote is visible to the caller after wait() returns, and an exception the
+// task threw (a CommError from a fault mid-exchange, say) is rethrown there,
+// on the caller's thread, where the recovery machinery expects it.
+//
+// Like Pipeline, the thread is spawned once and parked between tasks, so a
+// per-step submit costs a couple of microseconds, not a thread launch.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace minivpic::util {
+
+class Worker {
+ public:
+  Worker();
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Hands `task` to the worker thread. At most one task may be in flight:
+  /// submitting while busy is a programming error.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the in-flight task (if any) finishes; rethrows the
+  /// exception it threw, if any. Establishes a happens-before edge with
+  /// everything the task wrote. Idempotent when idle.
+  void wait();
+
+  /// True when no task is in flight (wait() would not block).
+  bool idle() const;
+
+ private:
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::function<void()> task_;
+  bool busy_ = false;
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace minivpic::util

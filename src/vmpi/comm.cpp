@@ -45,7 +45,24 @@ void Mailbox::push(Message msg) {
       }
       expected = msg.seq + 1;
     }
-    queue_.push_back(std::move(msg));
+    // Direct fulfillment of a posted receive. Only a clean, immediately
+    // deliverable message may skip the queue: a delay-held message, a
+    // message from a source with a lost predecessor, or a message whose
+    // pattern already has a queued match must all go through the queue so
+    // FIFO order and typed failures stay exactly those of the pop path.
+    bool fulfilled = false;
+    if (!msg.delayed && !lost_[static_cast<std::size_t>(msg.source)]) {
+      for (auto& e : posted_) {
+        if (e->complete) continue;
+        if (!matches(msg, e->src, e->tag)) continue;
+        if (queue_has_match(e->src, e->tag)) continue;  // FIFO: queue wins
+        e->msg = std::move(msg);
+        e->complete = true;
+        fulfilled = true;
+        break;
+      }
+    }
+    if (!fulfilled) queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
 }
@@ -64,6 +81,12 @@ Message* Mailbox::find(int src, int tag) {
     return &m;
   }
   return nullptr;
+}
+
+bool Mailbox::queue_has_match(int src, int tag) const {
+  for (const auto& m : queue_)
+    if (matches(m, src, tag)) return true;
+  return false;
 }
 
 Clock::time_point Mailbox::check_and_bound(int src, int tag,
@@ -170,6 +193,89 @@ bool Mailbox::iprobe(int src, int tag, int* out_src, int* out_tag,
     return true;
   }
   return false;
+}
+
+std::shared_ptr<PostedRecv> Mailbox::post(int src, int tag) {
+  auto entry = std::make_shared<PostedRecv>();
+  entry->src = src;
+  entry->tag = tag;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Pure registration, never a throw: if a match is already queued (or the
+  // link is lost), the claim path consumes it — with the same FIFO order and
+  // typed failures as pop — so post() stays safe to call in bulk.
+  posted_.push_back(entry);
+  return entry;
+}
+
+void Mailbox::erase_posted_locked(const std::shared_ptr<PostedRecv>& entry) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (*it == entry) {
+      posted_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Mailbox::claim_from_queue_locked(const std::shared_ptr<PostedRecv>& entry,
+                                      Message* out) {
+  if (Message* m = find(entry->src, entry->tag)) {
+    *out = std::move(*m);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (&*it == m) {
+        queue_.erase(it);
+        break;
+      }
+    }
+    erase_posted_locked(entry);
+    return true;
+  }
+  return false;
+}
+
+bool Mailbox::try_claim(const std::shared_ptr<PostedRecv>& entry,
+                        Message* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_)
+    throw CommError(Fault::kPoisoned, "vmpi recv aborted: " + poison_reason_);
+  if (revoked_ && entry->tag != kAgreeTag)
+    throw CommError(Fault::kRevoked, "vmpi recv aborted: " + revoke_reason_);
+  if (entry->complete) {
+    *out = std::move(entry->msg);
+    erase_posted_locked(entry);
+    return true;
+  }
+  // Like iprobe, the non-blocking path reports lost predecessors (via find)
+  // but not peer death, so pollers can keep draining stragglers.
+  return claim_from_queue_locked(entry, out);
+}
+
+Message Mailbox::claim(const std::shared_ptr<PostedRecv>& entry,
+                       Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (poisoned_)
+      throw CommError(Fault::kPoisoned, "vmpi recv aborted: " + poison_reason_);
+    if (revoked_ && entry->tag != kAgreeTag)
+      throw CommError(Fault::kRevoked, "vmpi recv aborted: " + revoke_reason_);
+    if (entry->complete) {
+      Message msg = std::move(entry->msg);
+      erase_posted_locked(entry);
+      return msg;
+    }
+    Message msg;
+    if (claim_from_queue_locked(entry, &msg)) return msg;
+    const Clock::time_point bound =
+        check_and_bound(entry->src, entry->tag, deadline);
+    if (bound == kNoDeadline)
+      cv_.wait(lock);
+    else
+      cv_.wait_until(lock, bound);
+  }
+}
+
+void Mailbox::cancel(const std::shared_ptr<PostedRecv>& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  erase_posted_locked(entry);
 }
 
 void Mailbox::poison(const std::string& reason) {
@@ -340,16 +446,36 @@ struct Request::Impl {
   std::size_t capacity = 0;
   bool done = false;
   Status status;
+  // Posted-receive state (ipost): the mailbox entry a send fulfills, the
+  // delivered payload, and the one-shot completion callback.
+  std::shared_ptr<detail::PostedRecv> entry;
+  std::vector<std::byte> payload;
+  RecvCallback on_complete;
 };
+
+bool Request::done() const {
+  MV_REQUIRE(impl_ != nullptr, "done() on an empty request");
+  return impl_->done;
+}
+
+const std::vector<std::byte>& Request::bytes() const {
+  MV_REQUIRE(impl_ != nullptr, "bytes() on an empty request");
+  MV_REQUIRE(impl_->done, "bytes() on an incomplete request");
+  return impl_->payload;
+}
 
 bool Request::test(Status* status) {
   MV_REQUIRE(impl_ != nullptr, "test on an empty request");
   Impl& impl = *impl_;
   if (!impl.done) {
-    if (!impl.comm->iprobe(impl.src, impl.tag, nullptr)) return false;
-    impl.status =
-        impl.comm->recv_bytes(impl.src, impl.tag, impl.data, impl.capacity);
-    impl.done = true;
+    if (impl.entry != nullptr) {
+      if (!impl.comm->test_posted(impl)) return false;
+    } else {
+      if (!impl.comm->iprobe(impl.src, impl.tag, nullptr)) return false;
+      impl.status =
+          impl.comm->recv_bytes(impl.src, impl.tag, impl.data, impl.capacity);
+      impl.done = true;
+    }
   }
   if (status != nullptr) *status = impl.status;
   return true;
@@ -504,11 +630,76 @@ Request Comm::irecv_bytes(int src, int tag, void* data, std::size_t capacity) {
   return req;
 }
 
+Request Comm::ipost(int src, int tag, RecvCallback on_complete) {
+  MV_REQUIRE(src == kAnySource || (src >= 0 && src < size_),
+             "posted recv from invalid rank " << src);
+  Request req;
+  req.impl_ = std::make_shared<Request::Impl>();
+  req.impl_->comm = this;
+  req.impl_->src = src;
+  req.impl_->tag = tag;
+  req.impl_->on_complete = std::move(on_complete);
+  req.impl_->entry = world_->mailbox(rank_).post(src, tag);
+  return req;
+}
+
+void Comm::cancel(Request& request) {
+  if (request.impl_ == nullptr) return;
+  Request::Impl& impl = *request.impl_;
+  if (impl.entry != nullptr && !impl.done)
+    world_->mailbox(rank_).cancel(impl.entry);
+  // The request no longer represents anything: drop it entirely so
+  // valid() turns false (a canceled request is inert, not "completed").
+  request.impl_.reset();
+}
+
+void Comm::complete_posted(Request::Impl& impl, detail::Message msg) {
+  // Observation-time half of a posted receive: everything that can fail or
+  // that observers may see (CRC verification, the recv hook, the completion
+  // callback) runs here, on the thread driving the request — bit-for-bit the
+  // semantics of the blocking recv path, just with transport already done.
+  verify_frame(msg);
+  impl.payload = std::move(msg.payload);
+  impl.status = Status{msg.source, msg.tag, impl.payload.size()};
+  impl.done = true;
+  notify(kCommHookRecv, msg.source, 0, impl.payload.size());
+  if (impl.on_complete) {
+    RecvCallback cb = std::move(impl.on_complete);
+    impl.on_complete = nullptr;
+    cb(impl.status);
+  }
+}
+
+bool Comm::test_posted(Request::Impl& impl) {
+  detail::Message msg;
+  try {
+    if (!world_->mailbox(rank_).try_claim(impl.entry, &msg)) return false;
+    complete_posted(impl, std::move(msg));
+  } catch (const CommError& e) {
+    notify(kCommHookFault, impl.src, static_cast<int>(e.fault()), 0);
+    throw;
+  }
+  return true;
+}
+
+Status Comm::wait_posted(Request::Impl& impl) {
+  try {
+    detail::Message msg =
+        world_->mailbox(rank_).claim(impl.entry, call_deadline());
+    complete_posted(impl, std::move(msg));
+  } catch (const CommError& e) {
+    notify(kCommHookFault, impl.src, static_cast<int>(e.fault()), 0);
+    throw;
+  }
+  return impl.status;
+}
+
 Status Comm::wait(Request& request) {
   MV_REQUIRE(request.impl_ != nullptr, "wait on an empty request");
   Request::Impl& impl = *request.impl_;
   MV_REQUIRE(impl.comm == this, "request waited on a different communicator");
   if (!impl.done) {
+    if (impl.entry != nullptr) return wait_posted(impl);
     impl.status = recv_bytes(impl.src, impl.tag, impl.data, impl.capacity);
     impl.done = true;
   }

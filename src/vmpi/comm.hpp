@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -55,28 +56,63 @@ struct Status {
 enum class Op { kSum, kMin, kMax };
 
 namespace detail {
-class World;      // shared state of one Runtime::run invocation
-struct Message;   // a queued point-to-point message
+class World;       // shared state of one Runtime::run invocation
+struct Message;    // a queued point-to-point message
+struct PostedRecv; // a pre-registered receive fulfilled at delivery time
 /// Tag reserved for collective traffic; user tags must be >= 0.
 inline constexpr int kCollectiveTag = -2;
 }  // namespace detail
 
 /// Handle for a pending nonblocking receive.
+///
+/// Two flavors share this handle. A classic irecv (irecv_bytes) polls the
+/// mailbox on test()/wait() and copies into a caller buffer. A posted
+/// receive (ipost) is registered in the mailbox so a matching send completes
+/// it at delivery time — genuinely asynchronous progress, no polling needed —
+/// with the payload stored inside the request (retrieve with take<T>() or
+/// bytes()). Both run the full FT pipeline (CRC verification, typed faults,
+/// comm hooks) on the receiving rank's thread at the test()/wait() call that
+/// first observes completion, never on the sender's thread.
 class Request {
  public:
   Request() = default;
   bool valid() const { return impl_ != nullptr; }
 
-  /// Nonblocking completion check: if a matching message is queued, consumes
-  /// it into the request's buffer and returns true (filling `status` if
-  /// given). Idempotent once complete, like wait().
+  /// True once test()/wait() observed completion.
+  bool done() const;
+
+  /// Nonblocking completion check: if a matching message is queued (classic)
+  /// or the posted receive was fulfilled, consumes it and returns true
+  /// (filling `status` if given). Idempotent once complete, like wait().
   bool test(Status* status = nullptr);
+
+  /// Payload of a completed posted receive (empty for classic requests).
+  const std::vector<std::byte>& bytes() const;
+
+  /// Moves the payload of a completed posted receive out as a vector<T>;
+  /// the payload length must be a multiple of sizeof(T).
+  template <typename T>
+  std::vector<T> take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte>& b = bytes();
+    MV_REQUIRE(b.size() % sizeof(T) == 0,
+               "posted payload length " << b.size()
+                                        << " not a multiple of element size");
+    std::vector<T> out(b.size() / sizeof(T));
+    if (!b.empty()) std::memcpy(out.data(), b.data(), b.size());
+    return out;
+  }
 
  private:
   friend class Comm;
   struct Impl;
   std::shared_ptr<Impl> impl_;
 };
+
+/// Callback invoked exactly once when a posted receive's completion is first
+/// observed (inside test()/wait(), after CRC verification) — on the thread
+/// driving the request, never the sender's.
+using RecvCallback = std::function<void(const Status&)>;
 
 /// Per-rank communicator endpoint. Each rank's thread owns exactly one Comm;
 /// Comm methods are not thread-safe within a rank (as in MPI).
@@ -161,6 +197,21 @@ class Comm {
   }
 
   Request irecv_bytes(int src, int tag, void* data, std::size_t capacity);
+
+  /// Posted receive of unknown size: registers the receive in this rank's
+  /// mailbox so a matching send completes it at delivery time (no receiver
+  /// polling). The payload lives inside the request — retrieve it with
+  /// Request::take<T>() / bytes() after wait() or a true test(). The
+  /// optional `on_complete` runs exactly once, on the thread that first
+  /// observes completion. FIFO matching, CRC framing, sequencing, deadlines,
+  /// and fault typing are identical to the blocking recv path.
+  Request ipost(int src, int tag, RecvCallback on_complete = {});
+
+  /// Deregisters an unfinished posted receive (e.g. when a sibling receive
+  /// failed and the exchange is being torn down) and invalidates the
+  /// request (valid() turns false). Safe on classic or completed requests:
+  /// they are just invalidated.
+  void cancel(Request& request);
 
   /// Blocks until the request completes; returns its Status.
   Status wait(Request& request);
@@ -274,6 +325,13 @@ class Comm {
 
   /// Deadline for a blocking call starting now (kNoDeadline if timeout 0).
   std::chrono::steady_clock::time_point call_deadline() const;
+
+  /// Posted-receive progress (shared by Request::test and wait): claims a
+  /// fulfilled/queued match and runs the observation-time FT pipeline.
+  friend class Request;
+  bool test_posted(Request::Impl& impl);
+  Status wait_posted(Request::Impl& impl);
+  void complete_posted(Request::Impl& impl, detail::Message msg);
 
   /// Collective-plane p2p (reserved tag; exact-size receive).
   void send_internal(int dst, const void* data, std::size_t bytes);

@@ -43,6 +43,18 @@ struct Message {
   bool delayed = false;
 };
 
+/// A posted (pre-registered) receive: push() fulfills it at delivery time by
+/// moving the matching message straight into `msg`, so completion needs no
+/// receiver-side polling. CRC verification, comm hooks, and fault typing
+/// stay on the receiver thread (Comm observes completion via test()/wait());
+/// the sender thread only copies bytes under the mailbox lock.
+struct PostedRecv {
+  int src = -1;          ///< kAnySource allowed
+  int tag = -1;          ///< kAnyTag allowed
+  Message msg;           ///< the fulfilled message (valid when complete)
+  bool complete = false;
+};
+
 /// Thread-safe per-rank message queue with (source, tag) FIFO matching,
 /// deadlines, duplicate/loss detection, and peer-liveness wakeups.
 class Mailbox {
@@ -66,6 +78,30 @@ class Mailbox {
   bool iprobe(int src, int tag, int* out_src, int* out_tag,
               std::size_t* out_bytes);
 
+  /// Registers a posted receive for (src, tag). If a matching message is
+  /// already deliverable the entry completes immediately (the message is
+  /// consumed from the queue); otherwise a later push() fulfills it directly
+  /// — unless an earlier queued message matches the same pattern (FIFO) or
+  /// the arriving message is delay-held, in which cases the message queues
+  /// and the claim path picks it up. Returns the entry handle.
+  std::shared_ptr<PostedRecv> post(int src, int tag);
+
+  /// Non-blocking claim: moves the fulfilled message into *out and
+  /// deregisters the entry when complete, also polling the queue (a
+  /// delay-held match becomes claimable once its hold expires). Throws on
+  /// poison, revocation, or a lost predecessor — but, like iprobe, not on
+  /// peer death, so pollers can keep draining stragglers.
+  bool try_claim(const std::shared_ptr<PostedRecv>& entry, Message* out);
+
+  /// Blocking claim with the same failure modes as pop (including peer
+  /// death and deadline expiry).
+  Message claim(const std::shared_ptr<PostedRecv>& entry,
+                Clock::time_point deadline = kNoDeadline);
+
+  /// Deregisters an incomplete posted receive; a fulfilled-but-unclaimed
+  /// entry's message is dropped (the caller abandoned it).
+  void cancel(const std::shared_ptr<PostedRecv>& entry);
+
   /// Marks the mailbox dead; all blocked and future pops throw.
   void poison(const std::string& reason);
 
@@ -84,14 +120,27 @@ class Mailbox {
 
   Message* find(int src, int tag);
 
+  /// True if any queued message (deliverable or delay-held) matches; a held
+  /// match still blocks direct fulfillment of a posted receive, because FIFO
+  /// order must hold across the hold window.
+  bool queue_has_match(int src, int tag) const;
+
   /// Throws if the mailbox state forbids a (src, tag) wait; returns the
   /// wake-up bound (deadline, or an earlier delayed-match due time).
   Clock::time_point check_and_bound(int src, int tag,
                                     Clock::time_point deadline);
 
+  /// Queue-side completion for a claim: consumes a deliverable queued match
+  /// into *out. Call with mutex_ held. Throws kLost like find/pop.
+  bool claim_from_queue_locked(const std::shared_ptr<PostedRecv>& entry,
+                               Message* out);
+
+  void erase_posted_locked(const std::shared_ptr<PostedRecv>& entry);
+
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::vector<std::shared_ptr<PostedRecv>> posted_;  // in post order
   int owner_;
   bool poisoned_ = false;
   std::string poison_reason_;

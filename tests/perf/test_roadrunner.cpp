@@ -104,5 +104,41 @@ TEST(RoadrunnerModelTest, ConfigValidation) {
   EXPECT_THROW(RoadrunnerModel{cfg}, Error);
 }
 
+TEST(RoadrunnerModelTest, OverlapFactorHidesCommBehindInteriorPush) {
+  RoadrunnerConfig off;  // comm_overlap defaults to 0: the legacy model
+  const auto barriered = RoadrunnerModel(off).predict(1.0e12, 136e6);
+  EXPECT_DOUBLE_EQ(barriered.t_comm_hidden, 0.0);
+  EXPECT_DOUBLE_EQ(barriered.t_comm_exposed, barriered.t_comm);
+
+  RoadrunnerConfig on;
+  on.comm_overlap = 1.0;
+  const auto overlapped = RoadrunnerModel(on).predict(1.0e12, 136e6);
+  // The split is exact, the hidden part is bounded by the interior cover,
+  // and hiding comm can only shorten the step.
+  EXPECT_NEAR(overlapped.t_comm_hidden + overlapped.t_comm_exposed,
+              overlapped.t_comm, 1e-15);
+  EXPECT_GT(overlapped.t_comm_hidden, 0.0);
+  EXPECT_LE(overlapped.t_comm_hidden,
+            overlapped.t_push * (1.0 - overlapped.skin_fraction) + 1e-15);
+  EXPECT_LT(overlapped.t_step, barriered.t_step);
+  EXPECT_NEAR(barriered.t_step - overlapped.t_step, overlapped.t_comm_hidden,
+              1e-12);
+}
+
+TEST(RoadrunnerModelTest, SkinFractionFollowsVoxelBlockGeometry) {
+  // 136e6 voxels over 12240 cells -> ~11111 per cell, side ~22.3: the
+  // 2-cell-thick skin shell of a cube that size is ~25% of its volume.
+  const auto p = RoadrunnerModel().predict(1.0e12, 136e6);
+  EXPECT_GT(p.skin_fraction, 0.0);
+  EXPECT_LT(p.skin_fraction, 1.0);
+  EXPECT_NEAR(p.skin_fraction, 0.25, 0.05);
+
+  RoadrunnerConfig cfg;
+  cfg.comm_overlap = 1.5;  // outside [0, 1]
+  EXPECT_THROW(RoadrunnerModel{cfg}, Error);
+  cfg.comm_overlap = -0.1;
+  EXPECT_THROW(RoadrunnerModel{cfg}, Error);
+}
+
 }  // namespace
 }  // namespace minivpic::perf

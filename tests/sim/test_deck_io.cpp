@@ -62,6 +62,17 @@ TEST(DeckIoTest, ParsesFullLpiDeck) {
   // [control] without a kernel key defaults to auto (deck files are the
   // production front end; the Deck struct default stays scalar).
   EXPECT_EQ(d.kernel, particles::Kernel::kAuto);
+  // Likewise without an overlap key: auto, resolved at Simulation build.
+  EXPECT_EQ(d.overlap, Deck::Overlap::kAuto);
+}
+
+TEST(DeckIoTest, OverlapModeParses) {
+  const char* tmpl = "[grid]\nnx = 8\n[species e]\nq=-1 m=1 ppc=1 uth=0.01\n"
+                     "[control]\noverlap = ";
+  EXPECT_EQ(parse(std::string(tmpl) + "on").overlap, Deck::Overlap::kOn);
+  EXPECT_EQ(parse(std::string(tmpl) + "off").overlap, Deck::Overlap::kOff);
+  EXPECT_EQ(parse(std::string(tmpl) + "auto").overlap, Deck::Overlap::kAuto);
+  EXPECT_THROW(parse(std::string(tmpl) + "sometimes"), Error);
 }
 
 TEST(DeckIoTest, KernelKey) {

@@ -217,6 +217,118 @@ TEST(VmpiFault, PeerDeathWakesBlockedReceiverWithoutDeadline) {
   EXPECT_GE(stats.peer_deaths.load(), 1);
 }
 
+// -- posted receives under fault injection -----------------------------------
+//
+// The overlap scheduler (docs/OVERLAP.md) drives particle migration through
+// posted receives on a comm worker thread, so every detection path proven
+// above for blocking recv must also fire at the test()/wait() observation
+// point of an ipost entry.
+
+TEST(VmpiFault, PostedRecvSurfacesCrcCorruptionAtWait) {
+  FaultPlane plane;
+  plane.corrupt_message(/*rank=*/0, /*step=*/0, /*bit=*/5);
+  WorldConfig cfg;
+  cfg.checksum = true;
+  cfg.fault_plane = &plane;
+  CommStats stats;
+  cfg.stats = &stats;
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      plane.on_step(0, 0);
+      comm.send_value(1, 7, 12345);
+    } else {
+      Request req = comm.ipost(0, 7);
+      try {
+        comm.wait(req);
+        ADD_FAILURE() << "corrupted payload passed the CRC on the posted path";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.fault(), Fault::kCorrupt);
+      }
+    }
+  }, cfg);
+  EXPECT_EQ(stats.crc_failures.load(), 1);
+  EXPECT_EQ(stats.faults_injected.load(), 1);
+  EXPECT_EQ(plane.injected().corrupted, 1);
+}
+
+TEST(VmpiFault, PostedRecvDoesNotOvertakeDelayedPredecessor) {
+  FaultPlane plane;
+  const double kDelay = 0.15;
+  plane.delay_message(0, 0, kDelay);
+  WorldConfig cfg;
+  cfg.fault_plane = &plane;
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      plane.on_step(0, 0);
+      comm.send_value(1, 7, 111);  // held back kDelay seconds
+      comm.send_value(1, 7, 222);  // queued behind it immediately
+    } else {
+      // The prompt message must not fulfill the posted entry while the
+      // delayed one is still in flight: FIFO holds on the async path too.
+      Request req = comm.ipost(0, 7);
+      const Status st = comm.wait(req);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(req.take<int>().at(0), 111)
+          << "prompt message overtook the delayed one via the posted entry";
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 222);
+    }
+  }, cfg);
+  EXPECT_EQ(plane.injected().delayed, 1);
+}
+
+TEST(VmpiFault, PostedRecvSurfacesSequenceGapAsLost) {
+  FaultPlane plane;
+  plane.drop_message(0, 0);
+  WorldConfig cfg;
+  cfg.sequencing = true;
+  cfg.fault_plane = &plane;
+  CommStats stats;
+  cfg.stats = &stats;
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      plane.on_step(0, 0);
+      comm.send_value(1, 7, 111);  // eaten by the fault plane
+      comm.send_value(1, 7, 222);  // arrives with a sequence gap
+    } else {
+      Request req = comm.ipost(0, 7);
+      try {
+        comm.wait(req);
+        ADD_FAILURE() << "loss went undetected on the posted path";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.fault(), Fault::kLost);
+      }
+    }
+  }, cfg);
+  EXPECT_EQ(stats.sequence_gaps.load(), 1);
+  EXPECT_EQ(plane.injected().dropped, 1);
+}
+
+TEST(VmpiFault, PeerDeathWakesBlockedPostedRecv) {
+  // No timeout configured: like the blocking-recv twin above, the wake must
+  // come from the liveness epoch while wait() blocks on the posted entry.
+  CommStats stats;
+  WorldConfig cfg;
+  cfg.stats = &stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      comm.mark_self_dead("simulated node failure");
+      return;
+    }
+    Request req = comm.ipost(1, 5);
+    try {
+      comm.wait(req);
+      ADD_FAILURE() << "posted wait on a dead rank returned";
+    } catch (const CommError& e) {
+      EXPECT_EQ(e.fault(), Fault::kPeerDead);
+    }
+    EXPECT_FALSE(comm.is_alive(1));
+  }, cfg);
+  EXPECT_LT(seconds_since(t0), 20.0);
+  EXPECT_GE(stats.peer_deaths.load(), 1);
+}
+
 // -- kill schedule ------------------------------------------------------------
 
 TEST(VmpiFault, ScheduledKillFiresExactlyOnce) {
