@@ -97,6 +97,15 @@ std::string event_detail(const FdrEvent& e) {
     case FdrKind::kDump:
       os << telemetry::fdr_dump_reason_name(telemetry::FdrDumpReason(e.code));
       break;
+    case FdrKind::kServiceAccept:
+      os << "accepted (depth " << e.arg << ")";
+      break;
+    case FdrKind::kServiceDispatch:
+      os << "dispatched";
+      break;
+    case FdrKind::kServiceComplete:
+      os << (e.code == 0 ? "done" : "failed");
+      break;
     default:
       break;
   }

@@ -27,7 +27,9 @@
 //            [--log-level=LVL]
 //
 // Validation mode (no deck run): `./run_campaign --validate=results.ndjson`
-// parses every record against schema v1 and exits 0 iff every job is done.
+// parses every record against schema v1, reports each malformed line as
+// `<path>: line N: <reason>`, and exits 0 iff every line parses and every
+// job is done.
 //
 // Fault drill (CI smoke / demos): --fail-job=I --fail-attempts=M makes the
 // I-th expanded job throw on its first step for its first M attempts,
@@ -35,6 +37,7 @@
 //
 // Exit codes: 0 = every job done (or skipped as already done), 1 = any job
 // failed or an internal error, 2 = usage.
+#include <fstream>
 #include <iostream>
 
 #include "campaign/executor.hpp"
@@ -52,22 +55,42 @@ using namespace minivpic;
 namespace {
 
 int validate(const std::string& path) {
-  // read_all throws on any malformed non-trailing line (exit 1 via main).
-  const std::vector<campaign::JobResult> results =
-      campaign::ResultStore::read_all(path);
+  // Line-by-line so every malformed record is reported with its line
+  // number and reason — not just the first one read_all() would throw on.
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "run_campaign: cannot open " << path << "\n";
+    return 1;
+  }
+  std::vector<campaign::JobResult> results;
+  std::string line;
+  int lineno = 0, bad = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      results.push_back(
+          campaign::result_from_json(telemetry::Json::parse(line)));
+    } catch (const Error& e) {
+      std::cout << path << ": line " << lineno << ": " << e.what() << "\n";
+      ++bad;
+    }
+  }
   int done = 0, failed = 0;
   for (const campaign::JobResult& r : results) {
     if (r.status == "done") ++done;
     else ++failed;
   }
   std::cout << path << ": " << results.size() << " records, " << done
-            << " done, " << failed << " failed\n";
+            << " done, " << failed << " failed";
+  if (bad > 0) std::cout << ", " << bad << " malformed line(s)";
+  std::cout << "\n";
   for (const campaign::JobResult& r : results) {
     if (r.status != "done")
       std::cout << "  failed: " << r.id << " (" << r.label << "): " << r.error
                 << "\n";
   }
-  return failed == 0 ? 0 : 1;
+  return (failed == 0 && bad == 0) ? 0 : 1;
 }
 
 int run(int argc, char** argv) {

@@ -60,16 +60,21 @@ std::string CampaignExecutor::scratch_prefix(const Job& job) const {
   return config_.scratch_dir + "/campaign_" + job.id + ".ckpt";
 }
 
+std::mutex& CampaignExecutor::metrics_lock() {
+  return config_.metrics_mutex != nullptr ? *config_.metrics_mutex
+                                          : metrics_mu_;
+}
+
 void CampaignExecutor::count(const char* counter, double d) {
   if (config_.metrics == nullptr) return;
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  std::lock_guard<std::mutex> lock(metrics_lock());
   config_.metrics->counter(counter).add(d);
 }
 
 void CampaignExecutor::set_queue_gauge(const JobQueue& queue) {
   if (config_.metrics == nullptr) return;
   const JobQueue::Counts c = queue.counts();
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  std::lock_guard<std::mutex> lock(metrics_lock());
   config_.metrics->gauge("campaign.queue.depth")
       .set(double(c.pending + c.running));
 }
@@ -236,6 +241,7 @@ void CampaignExecutor::worker_loop(JobQueue& queue, ResultStore& results) {
         r.error = "resume budget exhausted";
         results.append(r);
         count("campaign.jobs.failed");
+        finish_terminal(queue, r);
       }
     } else if (out.failed) {
       MV_LOG_WARN << "campaign job " << id << " (" << lease->job.label
@@ -256,6 +262,7 @@ void CampaignExecutor::worker_loop(JobQueue& queue, ResultStore& results) {
         r.error = out.error;
         results.append(r);
         count("campaign.jobs.failed");
+        finish_terminal(queue, r);
       }
     } else {
       queue.complete(id);
@@ -272,12 +279,67 @@ void CampaignExecutor::worker_loop(JobQueue& queue, ResultStore& results) {
         MV_LOG_WARN << "campaign: could not clean checkpoints of job " << id
                     << ": " << e.what();
       }
+      finish_terminal(queue, out.result);
     }
     set_queue_gauge(queue);
   }
 }
 
+void CampaignExecutor::finish_terminal(JobQueue& queue, const JobResult& r) {
+  if (config_.on_result) config_.on_result(r);
+  if (service_) {
+    // A long-lived service queue garbage-collects terminal entries (the
+    // cumulative counts survive); the ledger + its index keep the record.
+    queue.erase_terminal(r.id);
+    std::lock_guard<std::mutex> lock(seconds_mu_);
+    seconds_acc_.erase(r.id);
+  }
+}
+
+void CampaignExecutor::start(ResultStore& results) {
+  MV_REQUIRE(!service_, "campaign executor already started");
+  service_ = true;
+  service_results_ = &results;
+  service_queue_ = std::make_unique<JobQueue>(config_.retry);
+  if (config_.metrics != nullptr) {
+    std::lock_guard<std::mutex> lock(metrics_lock());
+    config_.metrics->gauge("campaign.workers").set(double(workers_));
+  }
+  service_pool_.reserve(std::size_t(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    service_pool_.emplace_back(
+        [this] { worker_loop(*service_queue_, *service_results_); });
+  }
+}
+
+void CampaignExecutor::submit(const Job& job, std::int64_t resume_step,
+                              const std::string& resume_prefix) {
+  MV_REQUIRE(service_ && service_queue_ != nullptr,
+             "submit() needs a start()ed executor");
+  service_queue_->push(job, resume_step, resume_prefix);
+  set_queue_gauge(*service_queue_);
+}
+
+JobQueue::Counts CampaignExecutor::queue_counts() const {
+  MV_REQUIRE(service_queue_ != nullptr, "queue_counts() needs service mode");
+  return service_queue_->counts();
+}
+
+std::vector<Lease> CampaignExecutor::stop() {
+  MV_REQUIRE(service_, "stop() without start()");
+  // Freeze first so no further leases go out, then close so workers exit
+  // once their in-flight attempt reaches a terminal or yield state.
+  service_queue_->freeze();
+  service_queue_->close();
+  for (std::thread& t : service_pool_) t.join();
+  service_pool_.clear();
+  std::vector<Lease> pending = service_queue_->pending_leases();
+  service_ = false;
+  return pending;
+}
+
 CampaignSummary CampaignExecutor::run(ResultStore& results) {
+  MV_REQUIRE(!service_, "run() on a service-mode executor");
   Timer wall;
   std::vector<Job> jobs = spec_->expand();
   CampaignSummary summary;
@@ -300,7 +362,7 @@ CampaignSummary CampaignExecutor::run(ResultStore& results) {
       std::max(1, std::min(workers_, queue.counts().total()));
   summary.workers = nworkers;
   if (config_.metrics != nullptr) {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::lock_guard<std::mutex> lock(metrics_lock());
     config_.metrics->gauge("campaign.workers").set(double(nworkers));
   }
   set_queue_gauge(queue);

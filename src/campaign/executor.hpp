@@ -22,8 +22,11 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "campaign/queue.hpp"
 #include "campaign/results.hpp"
@@ -61,6 +64,11 @@ struct ExecutorConfig {
   /// run(). Updated under an internal mutex (registries are not
   /// thread-safe).
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// External guard for `metrics`: when the registry is shared with another
+  /// concurrent producer/reader (the service layer's service.* metrics and
+  /// its metrics endpoint), every party must serialize on ONE mutex —
+  /// point this at it. Null = the executor's internal mutex (batch mode).
+  std::mutex* metrics_mutex = nullptr;
 
   /// When non-empty, every attempt runs with per-rank flight recorders
   /// (telemetry/recorder.hpp) wired into the job's world; a failed attempt
@@ -83,6 +91,11 @@ struct ExecutorConfig {
   std::function<void(sim::Simulation&, const Job&,
                      const sim::ReflectivityProbe* probe, JobResult* result)>
       on_complete;
+  /// Called (from a worker thread) after every terminal job's record has
+  /// been appended to the ResultStore — done and failed alike. The service
+  /// front door resolves waiting clients here. Fires in both batch and
+  /// service mode.
+  std::function<void(const JobResult&)> on_result;
 };
 
 struct CampaignSummary {
@@ -110,6 +123,28 @@ class CampaignExecutor {
   /// executed job. Blocks until the queue drains.
   CampaignSummary run(ResultStore& results);
 
+  // -- service mode (external submission; see docs/SERVICE.md) -------------
+  /// Starts the worker pool against an open queue that submit() feeds.
+  /// Results land in `results` exactly as in run(); the spec contributes
+  /// the base deck and defaults, while submitted jobs may carry their own
+  /// deck text (Job::deck_text). Mutually exclusive with run().
+  void start(ResultStore& results);
+
+  /// Enqueues one externally built job (id from campaign::job_id). A
+  /// non-negative `resume_step` restarts a drained checkpoint-sliced job
+  /// from its checkpoint under `resume_prefix`.
+  void submit(const Job& job, std::int64_t resume_step = -1,
+              const std::string& resume_prefix = {});
+
+  /// Pending/running totals of the service queue (dispatch gating).
+  JobQueue::Counts queue_counts() const;
+
+  /// Graceful drain: stop handing out leases, let in-flight attempts reach
+  /// their natural end (a wall-time-sliced attempt checkpoints as usual),
+  /// join the pool, and return the still-pending jobs — with any resume
+  /// state — for the caller to persist and resubmit after restart.
+  std::vector<Lease> stop();
+
  private:
   struct AttemptOutcome {
     JobResult result;
@@ -123,17 +158,25 @@ class CampaignExecutor {
 
   AttemptOutcome run_attempt(const Lease& lease);
   void worker_loop(JobQueue& queue, ResultStore& results);
+  void finish_terminal(JobQueue& queue, const JobResult& r);
   std::string scratch_prefix(const Job& job) const;
   void count(const char* counter, double d = 1.0);
   void set_queue_gauge(const JobQueue& queue);
+  std::mutex& metrics_lock();
 
   const CampaignSpec* spec_;
   ExecutorConfig config_;
   int workers_ = 1;
 
-  std::mutex metrics_mu_;           ///< guards config_.metrics
+  std::mutex metrics_mu_;           ///< guards config_.metrics (no override)
   std::mutex seconds_mu_;           ///< guards seconds_acc_
   std::map<std::string, double> seconds_acc_;  ///< wall seconds per job id
+
+  // Service mode (start/submit/stop).
+  bool service_ = false;
+  std::unique_ptr<JobQueue> service_queue_;
+  ResultStore* service_results_ = nullptr;
+  std::vector<std::thread> service_pool_;
 };
 
 }  // namespace minivpic::campaign

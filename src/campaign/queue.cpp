@@ -34,6 +34,75 @@ JobQueue::JobQueue(std::vector<Job> jobs, RetryPolicy policy)
   }
 }
 
+JobQueue::JobQueue(RetryPolicy policy) : JobQueue({}, policy) { open_ = true; }
+
+void JobQueue::push(Job job, std::int64_t resume_step,
+                    std::string resume_prefix) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MV_REQUIRE(open_, "push() on a closed campaign queue");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].job.id != job.id) continue;
+      const JobState s = entries_[i].state;
+      MV_REQUIRE(s == JobState::kDone || s == JobState::kFailed,
+                 "push() of live campaign job id " << job.id
+                                                   << " (coalesce upstream)");
+      entries_.erase(entries_.begin() + std::ptrdiff_t(i));
+      break;
+    }
+    Entry e;
+    e.job = std::move(job);
+    e.resume_step = resume_step;
+    e.resume_prefix = std::move(resume_prefix);
+    entries_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::freeze() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frozen_ = true;
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::erase_terminal(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].job.id != id) continue;
+    if (entries_[i].state == JobState::kDone ||
+        entries_[i].state == JobState::kFailed) {
+      entries_.erase(entries_.begin() + std::ptrdiff_t(i));
+    }
+    return;
+  }
+}
+
+std::vector<Lease> JobQueue::pending_leases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Lease> out;
+  for (const Entry& e : entries_) {
+    if (e.state != JobState::kPending) continue;
+    Lease lease;
+    lease.job = e.job;
+    lease.attempt = std::max(1, e.attempts);
+    lease.resumes = e.resumes;
+    lease.resume_step = e.resume_step;
+    lease.resume_prefix = e.resume_prefix;
+    out.push_back(std::move(lease));
+  }
+  return out;
+}
+
 JobQueue::Entry* JobQueue::find(const std::string& id) {
   for (Entry& e : entries_)
     if (e.job.id == id) return &e;
@@ -44,6 +113,7 @@ JobQueue::Entry* JobQueue::find(const std::string& id) {
 std::optional<Lease> JobQueue::acquire() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    if (frozen_) return std::nullopt;
     const auto now = std::chrono::steady_clock::now();
     Entry* ready = nullptr;
     std::optional<SteadyTime> earliest;
@@ -73,9 +143,10 @@ std::optional<Lease> JobQueue::acquire() {
       lease.resume_prefix = ready->resume_prefix;
       return lease;
     }
-    if (!any_pending_or_running) return std::nullopt;
+    if (!any_pending_or_running && !open_) return std::nullopt;
     // Nothing runnable right now: wait for a state change (complete/fail/
-    // yield wake us) or for the earliest backoff gate to open.
+    // yield — or push/freeze/close on an open queue — wake us) or for the
+    // earliest backoff gate to open.
     if (earliest) {
       cv_.wait_until(lock, *earliest);
     } else {
@@ -92,6 +163,7 @@ void JobQueue::complete(const std::string& id) {
                "complete() on a job that is not running: " << id);
     e->state = JobState::kDone;
     e->last_error.clear();
+    ++done_;
   }
   cv_.notify_all();
 }
@@ -110,6 +182,7 @@ bool JobQueue::fail(const std::string& id, const std::string& error) {
     e->resume_prefix.clear();
     if (e->attempts >= policy_.max_attempts) {
       e->state = JobState::kFailed;
+      ++failed_;
     } else {
       e->state = JobState::kPending;
       double delay = policy_.backoff_seconds;
@@ -135,6 +208,7 @@ bool JobQueue::yield_resume(const std::string& id, const std::string& prefix,
                "yield_resume() on a job that is not running: " << id);
     if (e->resumes >= policy_.max_resumes) {
       e->state = JobState::kFailed;
+      ++failed_;
       e->last_error = "resume budget exhausted (" +
                       std::to_string(policy_.max_resumes) +
                       " wall-time yields)";
@@ -159,10 +233,15 @@ JobQueue::Counts JobQueue::counts() const {
     switch (e.state) {
       case JobState::kPending: ++c.pending; break;
       case JobState::kRunning: ++c.running; break;
-      case JobState::kDone: ++c.done; break;
-      case JobState::kFailed: ++c.failed; break;
+      case JobState::kDone: break;   // cumulative below
+      case JobState::kFailed: break; // cumulative below
     }
   }
+  // Cumulative so erase_terminal() (service garbage collection) does not
+  // make finished work disappear from the tallies. In batch mode nothing
+  // is ever erased and these equal the entry scan.
+  c.done = done_;
+  c.failed = failed_;
   c.retries = retries_handed_;
   c.resumes = resumes_handed_;
   return c;

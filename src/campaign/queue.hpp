@@ -52,11 +52,42 @@ class JobQueue {
  public:
   JobQueue(std::vector<Job> jobs, RetryPolicy policy);
 
+  /// An *open* queue for the service executor: starts empty, accepts push()
+  /// until close(), and acquire() blocks while the queue is open even when
+  /// nothing is currently runnable.
+  explicit JobQueue(RetryPolicy policy);
+
   const RetryPolicy& policy() const { return policy_; }
 
+  /// Adds a job to an open queue (external service submissions). A terminal
+  /// entry with the same id is replaced — resubmitting a failed job re-runs
+  /// it — while a live duplicate throws (the service coalesces those before
+  /// they reach the queue). A non-negative `resume_step` seeds a
+  /// checkpoint-resume lease: how a drained daemon restarts sliced jobs.
+  void push(Job job, std::int64_t resume_step = -1,
+            std::string resume_prefix = {});
+
+  /// Stops handing out leases: acquire() returns nullopt immediately, while
+  /// running attempts may still complete/fail/yield (their entries stay for
+  /// pending_leases()). The first half of a graceful drain.
+  void freeze();
+
+  /// No more push(); acquire() returns nullopt once nothing is runnable.
+  void close();
+
   /// Blocks until a job is runnable and leases it, or returns nullopt once
-  /// every job is terminal. Safe to call from many worker threads.
+  /// every job is terminal (and the queue is closed and not frozen). Safe
+  /// to call from many worker threads.
   std::optional<Lease> acquire();
+
+  /// Removes a terminal (done/failed) entry so a long-lived service queue
+  /// does not grow without bound; the cumulative done/failed counts()
+  /// survive the removal. No-op when the id is absent or still live.
+  void erase_terminal(const std::string& id);
+
+  /// Pending (leasable, not running, not terminal) jobs with their resume
+  /// state — what a draining service persists for restart.
+  std::vector<Lease> pending_leases() const;
 
   /// Terminal success for a leased job.
   void complete(const std::string& id);
@@ -111,6 +142,10 @@ class JobQueue {
   std::condition_variable cv_;
   std::vector<Entry> entries_;
   RetryPolicy policy_;
+  bool open_ = false;    ///< service mode: push() allowed, acquire() waits
+  bool frozen_ = false;  ///< drain: no further leases
+  int done_ = 0;         ///< cumulative, survives erase_terminal()
+  int failed_ = 0;       ///< cumulative, survives erase_terminal()
   int retries_handed_ = 0;
   int resumes_handed_ = 0;
 };

@@ -97,9 +97,12 @@ JobResult result_from_json(const telemetry::Json& j) {
 ResultStore::ResultStore(std::string path, bool resume)
     : path_(std::move(path)) {
   if (resume) {
-    for (const JobResult& r : read_all(path_)) {
+    for (JobResult& r : read_all(path_)) {
       ++records_;
       if (r.status == "done") completed_.insert(r.id);
+      // File order = append order, so the last record per id wins — the
+      // index answers find() without ever rescanning the ledger.
+      index_[r.id] = std::move(r);
     }
   } else {
     std::ofstream out(path_, std::ios::trunc);
@@ -118,6 +121,14 @@ void ResultStore::append(const JobResult& r) {
   out.flush();
   MV_REQUIRE(out.good(), "write to results file failed: " << path_);
   ++records_;
+  index_[r.id] = r;
+}
+
+std::optional<JobResult> ResultStore::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::int64_t ResultStore::records_written() const {

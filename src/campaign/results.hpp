@@ -18,7 +18,9 @@
 // runs) — written as CSV or JSON.
 #pragma once
 
+#include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -70,6 +72,13 @@ class ResultStore {
   /// Appends one record and flushes (thread-safe).
   void append(const JobResult& r);
 
+  /// O(1) id -> latest-record lookup against the in-memory index built at
+  /// open (resume mode) and maintained by append() — the service cache-hit
+  /// path, which must not rescan the NDJSON ledger per query. Returns the
+  /// *latest* record for the id (a failed rerun shadows an older failure);
+  /// nullopt when the id has never been ledgered. Thread-safe.
+  std::optional<JobResult> find(const std::string& id) const;
+
   std::int64_t records_written() const;
 
   /// Parses every record of a results file (same tolerance as resume).
@@ -80,6 +89,7 @@ class ResultStore {
   mutable std::mutex mu_;
   std::int64_t records_ = 0;
   std::set<std::string> completed_;
+  std::map<std::string, JobResult> index_;  ///< id -> latest record
 };
 
 /// One point of an aggregated campaign curve.

@@ -59,6 +59,25 @@ std::uint64_t fnv1a64(const std::string& s) {
   return h;
 }
 
+std::string job_id(const std::string& fingerprint,
+                   const std::vector<sim::DeckOverride>& overrides, int steps) {
+  // Content hash: base deck fingerprint + step count + sorted overrides,
+  // so ids survive axis/override reordering and unrelated edits but change
+  // with anything that changes the physics of the job.
+  std::vector<std::string> specs;
+  specs.reserve(overrides.size());
+  for (const sim::DeckOverride& ov : overrides) specs.push_back(ov.spec());
+  std::sort(specs.begin(), specs.end());
+  std::string blob = fingerprint + "|steps=" + std::to_string(steps);
+  for (const std::string& s : specs) blob += "|" + s;
+  std::ostringstream id;
+  id << std::hex;
+  id.width(16);
+  id.fill('0');
+  id << fnv1a64(blob);
+  return id.str();
+}
+
 CampaignSpec CampaignSpec::from_deck_text(const std::string& text) {
   return from_deck_source(sim::DeckSource::from_text(text));
 }
@@ -148,21 +167,7 @@ std::vector<Job> CampaignSpec::expand() const {
       if (!job.label.empty()) job.label += ",";
       job.label += a.key + "=" + value;
     }
-    // Content hash: base deck fingerprint + step count + sorted overrides,
-    // so ids survive axis reordering and unrelated campaign edits but
-    // change with anything that changes the physics of the job.
-    std::vector<std::string> specs;
-    specs.reserve(job.overrides.size());
-    for (const sim::DeckOverride& ov : job.overrides) specs.push_back(ov.spec());
-    std::sort(specs.begin(), specs.end());
-    std::string blob = fingerprint_ + "|steps=" + std::to_string(job.steps);
-    for (const std::string& s : specs) blob += "|" + s;
-    std::ostringstream id;
-    id << std::hex;
-    id.width(16);
-    id.fill('0');
-    id << fnv1a64(blob);
-    job.id = id.str();
+    job.id = job_id(fingerprint_, job.overrides, job.steps);
     jobs.push_back(std::move(job));
   }
   // Fail on typos before any compute: building a Deck is cheap (no
@@ -172,6 +177,13 @@ std::vector<Job> CampaignSpec::expand() const {
 }
 
 sim::Deck CampaignSpec::make_deck(const Job& job) const {
+  if (!job.deck_text.empty()) {
+    // Service submissions may ship their own base deck; the spec then only
+    // contributes execution defaults, not the physics.
+    sim::DeckSource src = sim::DeckSource::from_text(job.deck_text);
+    for (const sim::DeckOverride& ov : job.overrides) src.apply_override(ov);
+    return src.build();
+  }
   if (factory_) return factory_(job.overrides);
   sim::DeckSource src = base_;
   for (const sim::DeckOverride& ov : job.overrides) src.apply_override(ov);

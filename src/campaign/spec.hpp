@@ -50,10 +50,22 @@ struct Job {
   int steps = 0;
   int probe_plane = -1;  ///< reflectivity probe x-plane; < 0 = no probe
   double warmup = 0;     ///< probe warmup time
+  /// Per-job base deck text (service submissions that ship their own deck);
+  /// empty = the owning spec's base deck. Hashed into the id through the
+  /// fingerprint argument of job_id().
+  std::string deck_text;
 };
 
 /// FNV-1a 64-bit over a string: the job-id content hash.
 std::uint64_t fnv1a64(const std::string& s);
+
+/// The canonical 16-hex job id: FNV-1a over the base-deck fingerprint
+/// (DeckSource::canonical_text or a factory label), the step count, and the
+/// sorted override specs. Single source of truth shared by CampaignSpec::
+/// expand() and the service front door, so a job submitted over the wire
+/// hashes identically to the same point of a run_campaign sweep.
+std::string job_id(const std::string& fingerprint,
+                   const std::vector<sim::DeckOverride>& overrides, int steps);
 
 class CampaignSpec {
  public:
@@ -85,6 +97,9 @@ class CampaignSpec {
   int probe_plane() const { return probe_plane_; }
   double warmup() const { return warmup_; }
   const std::vector<Axis>& axes() const { return axes_; }
+  /// The job-id content-hash base (canonical base-deck text or the factory
+  /// label) — what the service hashes for submissions against this spec.
+  const std::string& fingerprint() const { return fingerprint_; }
 
   /// Expands the cartesian product of the axes into jobs (one job with no
   /// overrides when there are no axes) and validates every job's deck —

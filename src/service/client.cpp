@@ -1,0 +1,60 @@
+#include "service/client.hpp"
+
+#include "util/error.hpp"
+
+namespace minivpic::service {
+
+using telemetry::Json;
+
+ServiceClient::ServiceClient(int port, double timeout_seconds)
+    : conn_(std::make_unique<TcpConn>(connect_fd(port, timeout_seconds))),
+      timeout_(timeout_seconds) {}
+
+Json ServiceClient::request(const Json& req) {
+  MV_REQUIRE(conn_->send_line(req.dump()), "service connection lost on send");
+  std::string line;
+  const ReadStatus rs = conn_->read_line(&line, timeout_, 16u << 20);
+  MV_REQUIRE(rs == ReadStatus::kLine,
+             "service response: " << read_status_name(rs));
+  return Json::parse(line);
+}
+
+Json ServiceClient::submit(const std::string& deck_text,
+                           const std::vector<std::string>& override_specs,
+                           int steps, const std::string& client_name,
+                           double priority, bool wait) {
+  Json req = Json::object();
+  req.set("type", Json::string("submit"));
+  if (!deck_text.empty()) req.set("deck", Json::string(deck_text));
+  if (!override_specs.empty()) {
+    Json ovs = Json::array();
+    for (const std::string& spec : override_specs)
+      ovs.push_back(Json::string(spec));
+    req.set("overrides", std::move(ovs));
+  }
+  if (steps > 0) req.set("steps", Json::number(std::int64_t{steps}));
+  req.set("client", Json::string(client_name));
+  req.set("priority", Json::number(priority));
+  req.set("wait", Json::boolean(wait));
+  return request(req);
+}
+
+Json ServiceClient::status() {
+  Json req = Json::object();
+  req.set("type", Json::string("status"));
+  return request(req);
+}
+
+Json ServiceClient::metrics() {
+  Json req = Json::object();
+  req.set("type", Json::string("metrics"));
+  return request(req);
+}
+
+bool ServiceClient::ping() {
+  Json req = Json::object();
+  req.set("type", Json::string("ping"));
+  return request(req).at("type").as_string() == "pong";
+}
+
+}  // namespace minivpic::service

@@ -1,0 +1,51 @@
+// ServiceClient: a thin synchronous client for the campaign service wire
+// protocol — connect, send one JSON request line, read one JSON response
+// line. Shared by the load generator (examples/campaign_load), the
+// throughput bench, and the end-to-end tests, so they all speak exactly
+// the grammar of docs/SERVICE.md instead of three hand-rolled copies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/net.hpp"
+#include "sim/deck_io.hpp"
+#include "telemetry/json.hpp"
+
+namespace minivpic::service {
+
+class ServiceClient {
+ public:
+  /// Connects to 127.0.0.1:`port`; throws minivpic::Error on failure.
+  /// `timeout_seconds` bounds the connect AND each response read — a
+  /// response slower than this throws rather than hanging the caller.
+  explicit ServiceClient(int port, double timeout_seconds = 60.0);
+
+  /// Sends one request object and returns the parsed response object.
+  /// Throws minivpic::Error on a dead connection, a response timeout, or
+  /// a malformed response line.
+  telemetry::Json request(const telemetry::Json& req);
+
+  /// Convenience: builds and sends a submit request. Empty `deck_text`
+  /// uses the server's base deck; `steps` <= 0 uses the server default.
+  telemetry::Json submit(const std::string& deck_text,
+                         const std::vector<std::string>& override_specs,
+                         int steps, const std::string& client_name = "anon",
+                         double priority = 1.0, bool wait = true);
+
+  telemetry::Json status();
+  telemetry::Json metrics();
+  bool ping();
+
+  /// The raw connection — protocol-abuse tests (oversized lines, truncated
+  /// JSON, slow loris) write through this directly.
+  TcpConn& conn() { return *conn_; }
+  double timeout_seconds() const { return timeout_; }
+
+ private:
+  std::unique_ptr<TcpConn> conn_;
+  double timeout_;
+};
+
+}  // namespace minivpic::service

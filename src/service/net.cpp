@@ -1,0 +1,185 @@
+#include "service/net.hpp"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace minivpic::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll slice between stop-flag checks; short enough that drain feels
+/// immediate, long enough that an idle session costs nothing measurable.
+constexpr int kSliceMs = 50;
+
+double seconds_until(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+}  // namespace
+
+TcpListener::TcpListener(int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MV_REQUIRE(fd_ >= 0, "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(std::uint16_t(port));
+  MV_REQUIRE(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+             "bind(127.0.0.1:" << port << "): " << std::strerror(errno));
+  MV_REQUIRE(::listen(fd_, 64) == 0, "listen(): " << std::strerror(errno));
+  socklen_t len = sizeof(addr);
+  MV_REQUIRE(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+             "getsockname(): " << std::strerror(errno));
+  port_ = int(ntohs(addr.sin_port));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int TcpListener::accept_fd(double timeout_seconds) {
+  MV_REQUIRE(fd_ >= 0, "accept on a closed listener");
+  pollfd p{fd_, POLLIN, 0};
+  const int rc = ::poll(&p, 1, int(timeout_seconds * 1000));
+  if (rc == 0) return -1;
+  MV_REQUIRE(rc > 0 || errno == EINTR, "poll(): " << std::strerror(errno));
+  if (rc < 0) return -1;  // EINTR: let the caller re-check its stop flag
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0 && (errno == EAGAIN || errno == ECONNABORTED)) return -1;
+  MV_REQUIRE(fd >= 0, "accept(): " << std::strerror(errno));
+  return fd;
+}
+
+const char* read_status_name(ReadStatus s) {
+  switch (s) {
+    case ReadStatus::kLine: return "line";
+    case ReadStatus::kEof: return "eof";
+    case ReadStatus::kTimeout: return "timeout";
+    case ReadStatus::kOverflow: return "overflow";
+    case ReadStatus::kStopped: return "stopped";
+    case ReadStatus::kError: return "error";
+  }
+  return "?";
+}
+
+TcpConn::~TcpConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TcpConn::send_line(const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE here instead of SIGPIPE
+    // killing the whole daemon.
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += std::size_t(n);
+  }
+  return true;
+}
+
+ReadStatus TcpConn::read_line(std::string* line, double deadline_seconds,
+                              std::size_t max_bytes,
+                              const std::atomic<bool>* stop) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(deadline_seconds));
+  for (;;) {
+    // Deliver a buffered line first — a previous read may have pulled in
+    // more than one line (pipelined client).
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return ReadStatus::kLine;
+    }
+    if (buf_.size() > max_bytes) return ReadStatus::kOverflow;
+    if (stop != nullptr && stop->load(std::memory_order_relaxed))
+      return ReadStatus::kStopped;
+    const double remain = seconds_until(deadline);
+    if (remain <= 0) return ReadStatus::kTimeout;
+    pollfd p{fd_, POLLIN, 0};
+    const int wait_ms = std::min(kSliceMs, int(remain * 1000) + 1);
+    const int rc = ::poll(&p, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    if (rc == 0) continue;  // slice elapsed: re-check stop flag and deadline
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadStatus::kEof;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return ReadStatus::kError;
+    }
+    buf_.append(chunk, std::size_t(n));
+  }
+}
+
+int connect_fd(int port, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MV_REQUIRE(fd >= 0, "socket(): " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(std::uint16_t(port));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      MV_REQUIRE(false, "connect(127.0.0.1:" << port
+                                             << "): " << std::strerror(err));
+    }
+    pollfd p{fd, POLLOUT, 0};
+    const int prc = ::poll(&p, 1, int(timeout_seconds * 1000));
+    if (prc <= 0) {
+      ::close(fd);
+      MV_REQUIRE(false, "connect(127.0.0.1:" << port << "): timeout");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      MV_REQUIRE(false, "connect(127.0.0.1:" << port
+                                             << "): " << std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace minivpic::service

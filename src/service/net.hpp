@@ -1,0 +1,86 @@
+// Minimal POSIX TCP plumbing for the campaign service: a listener with a
+// poll-based accept timeout (so the accept loop can observe a stop flag),
+// and a connection wrapper whose line reader enforces the three protocol
+// guards of docs/SERVICE.md — a per-line read deadline (slow-loris),
+// a maximum line length (memory bound), and a cooperative stop flag (drain).
+//
+// Everything here is blocking-with-deadline, not event-driven: the service
+// runs one session thread per client, which is the right shape for the
+// tens-of-clients regime a simulation daemon serves (the expensive resource
+// is the worker pool, not the sockets).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace minivpic::service {
+
+/// Listening socket on 127.0.0.1. Port 0 binds an ephemeral port; port()
+/// reports the actual one (tests and --port-file depend on this).
+class TcpListener {
+ public:
+  explicit TcpListener(int port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int port() const { return port_; }
+
+  /// Waits up to `timeout_seconds` for one connection. Returns the accepted
+  /// fd, or -1 on timeout (poll again) — errors throw minivpic::Error.
+  int accept_fd(double timeout_seconds);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Outcome of TcpConn::read_line.
+enum class ReadStatus {
+  kLine,      ///< one complete line delivered (newline stripped)
+  kEof,       ///< peer closed cleanly with no buffered partial line
+  kTimeout,   ///< deadline elapsed before a newline arrived (slow loris)
+  kOverflow,  ///< line exceeded the maximum length
+  kStopped,   ///< the stop flag was raised mid-read (drain)
+  kError,     ///< socket error
+};
+const char* read_status_name(ReadStatus s);
+
+/// One accepted (or connected) socket. Owns the fd.
+class TcpConn {
+ public:
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn();
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Writes `line` plus a trailing newline, looping over partial sends.
+  /// Returns false on any send error (peer gone) instead of throwing — a
+  /// dead client must not take the session thread down.
+  bool send_line(const std::string& line);
+
+  /// Reads up to and including the next newline. The wall-clock deadline
+  /// covers the WHOLE line, not each byte — a client trickling one byte per
+  /// poll slice still times out (the slow-loris guard). Lines longer than
+  /// `max_bytes` return kOverflow with the connection left unusable (the
+  /// caller should report and close). `stop`, when non-null, is polled
+  /// between slices so a draining server can interrupt idle readers.
+  ReadStatus read_line(std::string* line, double deadline_seconds,
+                       std::size_t max_bytes,
+                       const std::atomic<bool>* stop = nullptr);
+
+ private:
+  int fd_;
+  std::string buf_;  ///< bytes received past the last delivered line
+};
+
+/// Connects to 127.0.0.1:`port` with a deadline. Returns the fd; throws
+/// minivpic::Error on refusal or timeout.
+int connect_fd(int port, double timeout_seconds);
+
+}  // namespace minivpic::service

@@ -1,0 +1,151 @@
+#include "service/protocol.hpp"
+
+#include "campaign/results.hpp"
+#include "util/error.hpp"
+
+namespace minivpic::service {
+
+using telemetry::Json;
+
+Request parse_request(const std::string& line) {
+  const Json j = Json::parse(line);  // throws with a byte offset
+  MV_REQUIRE(j.is_object(), "request must be a JSON object");
+  const Json* type = j.find("type");
+  MV_REQUIRE(type != nullptr && type->is_string(),
+             "request needs a string 'type' field");
+  Request req;
+  const std::string& t = type->as_string();
+  if (t == "ping") {
+    req.type = Request::Type::kPing;
+    return req;
+  }
+  if (t == "status") {
+    req.type = Request::Type::kStatus;
+    return req;
+  }
+  if (t == "metrics") {
+    req.type = Request::Type::kMetrics;
+    return req;
+  }
+  MV_REQUIRE(t == "submit", "unknown request type '" << t << "'");
+  req.type = Request::Type::kSubmit;
+  if (const Json* deck = j.find("deck")) {
+    MV_REQUIRE(deck->is_string(), "submit 'deck' must be a string");
+    req.submit.deck_text = deck->as_string();
+  }
+  if (const Json* ovs = j.find("overrides")) {
+    MV_REQUIRE(ovs->is_array(), "submit 'overrides' must be an array");
+    for (std::size_t i = 0; i < ovs->size(); ++i) {
+      MV_REQUIRE(ovs->at(i).is_string(),
+                 "submit override " << i << " must be a 'section.key=value' "
+                                       "string");
+      req.submit.overrides.push_back(
+          sim::parse_override(ovs->at(i).as_string()));
+    }
+  }
+  if (const Json* steps = j.find("steps")) {
+    MV_REQUIRE(steps->is_number(), "submit 'steps' must be a number");
+    req.submit.steps = int(steps->as_number());
+    MV_REQUIRE(req.submit.steps > 0, "submit 'steps' must be positive");
+  }
+  if (const Json* client = j.find("client")) {
+    MV_REQUIRE(client->is_string(), "submit 'client' must be a string");
+    MV_REQUIRE(!client->as_string().empty(), "submit 'client' must be "
+                                             "non-empty");
+    req.submit.client = client->as_string();
+  }
+  if (const Json* prio = j.find("priority")) {
+    MV_REQUIRE(prio->is_number(), "submit 'priority' must be a number");
+    req.submit.priority = prio->as_number();
+    MV_REQUIRE(req.submit.priority > 0, "submit 'priority' must be > 0");
+  }
+  if (const Json* wait = j.find("wait")) req.submit.wait = wait->as_bool();
+  return req;
+}
+
+Json make_result_response(const campaign::JobResult& r,
+                          const std::string& source) {
+  Json j = Json::object();
+  j.set("type", Json::string("result"));
+  j.set("id", Json::string(r.id));
+  j.set("source", Json::string(source));
+  j.set("result", campaign::result_to_json(r));
+  return j;
+}
+
+Json make_accepted_response(const std::string& id, int queue_depth) {
+  Json j = Json::object();
+  j.set("type", Json::string("accepted"));
+  j.set("id", Json::string(id));
+  j.set("queue_depth", Json::number(std::int64_t{queue_depth}));
+  return j;
+}
+
+Json make_rejected_response(const std::string& id, const std::string& reason,
+                            double retry_after_seconds) {
+  Json j = Json::object();
+  j.set("type", Json::string("rejected"));
+  if (!id.empty()) j.set("id", Json::string(id));
+  j.set("reason", Json::string(reason));
+  j.set("retry_after_seconds", Json::number(retry_after_seconds));
+  return j;
+}
+
+Json make_error_response(const std::string& message) {
+  Json j = Json::object();
+  j.set("type", Json::string("error"));
+  j.set("message", Json::string(message));
+  return j;
+}
+
+Json make_pong_response() {
+  Json j = Json::object();
+  j.set("type", Json::string("pong"));
+  return j;
+}
+
+Json queued_job_to_json(const QueuedJob& q) {
+  Json j = Json::object();
+  j.set("type", Json::string("queued_job"));
+  j.set("id", Json::string(q.job.id));
+  j.set("label", Json::string(q.job.label));
+  if (!q.job.deck_text.empty()) j.set("deck", Json::string(q.job.deck_text));
+  Json ovs = Json::array();
+  for (const sim::DeckOverride& ov : q.job.overrides)
+    ovs.push_back(Json::string(ov.spec()));
+  j.set("overrides", std::move(ovs));
+  j.set("steps", Json::number(std::int64_t{q.job.steps}));
+  j.set("probe_plane", Json::number(std::int64_t{q.job.probe_plane}));
+  j.set("warmup", Json::number(q.job.warmup));
+  j.set("client", Json::string(q.client));
+  j.set("priority", Json::number(q.priority));
+  if (q.resume_step >= 0) {
+    j.set("resume_step", Json::number(q.resume_step));
+    j.set("resume_prefix", Json::string(q.resume_prefix));
+  }
+  return j;
+}
+
+QueuedJob queued_job_from_json(const Json& j) {
+  MV_REQUIRE(j.is_object() && j.at("type").as_string() == "queued_job",
+             "queue-state record: not a queued_job object");
+  QueuedJob q;
+  q.job.id = j.at("id").as_string();
+  q.job.label = j.at("label").as_string();
+  if (const Json* deck = j.find("deck")) q.job.deck_text = deck->as_string();
+  const Json& ovs = j.at("overrides");
+  for (std::size_t i = 0; i < ovs.size(); ++i)
+    q.job.overrides.push_back(sim::parse_override(ovs.at(i).as_string()));
+  q.job.steps = int(j.at("steps").as_number());
+  q.job.probe_plane = int(j.at("probe_plane").as_number());
+  q.job.warmup = j.at("warmup").as_number();
+  q.client = j.at("client").as_string();
+  q.priority = j.at("priority").as_number();
+  if (const Json* rs = j.find("resume_step")) {
+    q.resume_step = std::int64_t(rs->as_number());
+    q.resume_prefix = j.at("resume_prefix").as_string();
+  }
+  return q;
+}
+
+}  // namespace minivpic::service

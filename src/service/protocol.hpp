@@ -1,0 +1,83 @@
+// Wire protocol of the campaign service: line-delimited JSON, one request
+// object per line, one response object per line, over a plain TCP stream.
+// The full grammar lives in docs/SERVICE.md; this header is the parse /
+// serialize layer shared by the server, the client library, and the tests —
+// a malformed request throws minivpic::Error with a reason the server
+// echoes back verbatim in its `error` response.
+//
+// Request types:   submit | status | metrics | ping
+// Response types:  result | accepted | rejected | status | metrics | pong
+//                  | error
+//
+// The queue-state records at the bottom are the drain/restart persistence
+// format: one queued_job NDJSON line per job the daemon accepted but had
+// not finished when SIGTERM arrived, carrying enough (deck text, overrides,
+// steps, client, priority, resume checkpoint) to resubmit after restart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/results.hpp"
+#include "campaign/spec.hpp"
+#include "sim/deck_io.hpp"
+#include "telemetry/json.hpp"
+
+namespace minivpic::service {
+
+/// Parsed `submit` request fields.
+struct SubmitRequest {
+  std::string deck_text;  ///< empty = the server's base deck
+  std::vector<sim::DeckOverride> overrides;
+  int steps = -1;         ///< -1 = the server's default step count
+  std::string client = "anon";
+  double priority = 1.0;  ///< fair-share weight (> 0)
+  bool wait = true;       ///< false: respond `accepted` instead of blocking
+};
+
+struct Request {
+  enum class Type { kSubmit, kStatus, kMetrics, kPing };
+  Type type = Type::kPing;
+  SubmitRequest submit;  ///< valid when type == kSubmit
+};
+
+/// Parses one request line. Throws minivpic::Error (with a client-safe
+/// message) on malformed JSON, an unknown type, or bad field shapes.
+Request parse_request(const std::string& line);
+
+// -- response builders (server side) ----------------------------------------
+
+/// `result`: a terminal job record. `source` is "fresh" (this submission
+/// ran the job), "cache" (served from the ledger), or "coalesced" (attached
+/// to an already-running duplicate).
+telemetry::Json make_result_response(const campaign::JobResult& r,
+                                     const std::string& source);
+
+/// `accepted`: submit with wait=false — the job is queued, poll the ledger.
+telemetry::Json make_accepted_response(const std::string& id, int queue_depth);
+
+/// `rejected`: admission control (429 analogue). `retry_after_seconds` is
+/// the server's estimate of when capacity frees up.
+telemetry::Json make_rejected_response(const std::string& id,
+                                       const std::string& reason,
+                                       double retry_after_seconds);
+
+telemetry::Json make_error_response(const std::string& message);
+telemetry::Json make_pong_response();
+
+// -- queue-state persistence (drain/restart) ---------------------------------
+
+/// One accepted-but-unfinished job as persisted at drain.
+struct QueuedJob {
+  campaign::Job job;
+  std::string client = "anon";
+  double priority = 1.0;
+  std::int64_t resume_step = -1;   ///< checkpoint-sliced jobs resume here
+  std::string resume_prefix;
+};
+
+telemetry::Json queued_job_to_json(const QueuedJob& q);
+QueuedJob queued_job_from_json(const telemetry::Json& j);
+
+}  // namespace minivpic::service

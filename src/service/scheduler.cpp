@@ -1,0 +1,89 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace minivpic::service {
+
+FairScheduler::FairScheduler(int max_queued, double quantum)
+    : max_queued_(max_queued), quantum_(quantum) {
+  MV_REQUIRE(max_queued_ >= 1, "scheduler needs max_queued >= 1");
+  MV_REQUIRE(quantum_ > 0, "scheduler needs a positive quantum");
+}
+
+bool FairScheduler::enqueue(ScheduledJob j) {
+  if (depth_ >= max_queued_) return false;
+  ClientQueue* cq = nullptr;
+  for (ClientQueue& c : clients_)
+    if (c.client == j.client) cq = &c;
+  if (cq == nullptr) {
+    ClientQueue c;
+    c.client = j.client;
+    clients_.push_back(std::move(c));
+    cq = &clients_.back();
+  }
+  // Latest submission's weight wins for the whole per-client queue — one
+  // client is one flow, not one flow per priority value.
+  cq->priority = j.priority;
+  cq->jobs.push_back(std::move(j));
+  ++depth_;
+  return true;
+}
+
+std::optional<ScheduledJob> FairScheduler::next() {
+  if (depth_ == 0) return std::nullopt;
+  // One-job-per-call DRR: the deficit tops up ONCE per arrival at a client
+  // (fresh_visit_), and the cursor stays on that client while it can still
+  // afford its head job — otherwise a client would bank quantum x priority
+  // on every call and high-priority flows would accumulate unbounded
+  // credit. Termination: every full pass tops every backlogged client up
+  // by a positive amount, so some head job becomes affordable within
+  // O(max job cost / quantum) passes.
+  for (;;) {
+    if (cursor_ >= clients_.size()) cursor_ = 0;
+    ClientQueue& c = clients_[cursor_];
+    if (c.jobs.empty()) {
+      c.deficit = 0;  // idle flows bank no credit
+      ++cursor_;
+      fresh_visit_ = true;
+      continue;
+    }
+    if (fresh_visit_) {
+      c.deficit += quantum_ * c.priority;
+      fresh_visit_ = false;
+    }
+    const double cost = double(std::max(1, c.jobs.front().job.steps));
+    if (c.deficit < cost) {
+      ++cursor_;
+      fresh_visit_ = true;
+      continue;
+    }
+    c.deficit -= cost;
+    ScheduledJob out = std::move(c.jobs.front());
+    c.jobs.pop_front();
+    --depth_;
+    if (c.jobs.empty()) {
+      c.deficit = 0;
+      ++cursor_;
+      fresh_visit_ = true;
+    }
+    return out;
+  }
+}
+
+std::vector<ScheduledJob> FairScheduler::drain() {
+  std::vector<ScheduledJob> out;
+  out.reserve(std::size_t(depth_));
+  for (ClientQueue& c : clients_) {
+    for (ScheduledJob& j : c.jobs) out.push_back(std::move(j));
+    c.jobs.clear();
+    c.deficit = 0;
+  }
+  depth_ = 0;
+  cursor_ = 0;
+  fresh_visit_ = true;
+  return out;
+}
+
+}  // namespace minivpic::service

@@ -1,0 +1,81 @@
+// FairScheduler: deficit-weighted round-robin over per-client queues, plus
+// the admission bound. This is the policy half of the service's dispatch
+// path — the server holds jobs here (not in the executor's queue) until a
+// worker frees up, so ordering decisions stay revisable and one chatty
+// client cannot starve the others.
+//
+// Deficit round robin (Shreedhar & Varghese): each client queue carries a
+// deficit counter; a round visits clients in arrival order, tops each
+// visited deficit up by quantum x priority, and serves the head job when
+// the deficit covers its cost (cost = step count, the honest proxy for
+// worker seconds). Served cost is subtracted, so over time each client's
+// share of worker-steps converges to priority / sum(priorities) regardless
+// of how its jobs are sized — a client submitting 10x-longer jobs gets
+// served 10x less often, not 10x more compute.
+//
+// Admission: enqueue() refuses beyond `max_queued` total jobs; the server
+// turns that refusal into a typed `rejected` response with a retry hint.
+// Bounding the queue bounds both memory and the worst-case latency promise.
+//
+// Not thread-safe — the server serializes access under its own mutex (the
+// scheduler is always touched together with the in-flight map, so a second
+// lock would just add a lock-order hazard).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace minivpic::service {
+
+/// One job waiting for a worker, with its fair-queuing identity.
+struct ScheduledJob {
+  campaign::Job job;
+  std::string client = "anon";
+  double priority = 1.0;
+  std::int64_t resume_step = -1;
+  std::string resume_prefix;
+};
+
+class FairScheduler {
+ public:
+  /// `max_queued` bounds the total jobs held; `quantum` is the DRR top-up
+  /// in cost units (steps) per visit — small enough that short jobs
+  /// interleave, large enough that a typical job is served within a few
+  /// rounds.
+  explicit FairScheduler(int max_queued, double quantum = 256.0);
+
+  /// Admits one job, or returns false when the queue is full.
+  bool enqueue(ScheduledJob j);
+
+  /// The next job under DRR, or nullopt when empty.
+  std::optional<ScheduledJob> next();
+
+  int depth() const { return depth_; }
+  int max_queued() const { return max_queued_; }
+
+  /// Removes and returns every queued job (client arrival order, FIFO
+  /// within a client) — the drain path.
+  std::vector<ScheduledJob> drain();
+
+ private:
+  struct ClientQueue {
+    std::string client;
+    double priority = 1.0;
+    double deficit = 0.0;
+    std::deque<ScheduledJob> jobs;
+  };
+
+  int max_queued_;
+  double quantum_;
+  int depth_ = 0;
+  std::vector<ClientQueue> clients_;  ///< client arrival order
+  std::size_t cursor_ = 0;            ///< client currently being served
+  bool fresh_visit_ = true;           ///< top the deficit up on arrival only
+};
+
+}  // namespace minivpic::service

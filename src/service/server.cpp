@@ -1,0 +1,461 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace minivpic::service {
+
+using campaign::JobResult;
+using telemetry::FdrKind;
+using telemetry::Json;
+
+ServiceServer::ServiceServer(const campaign::CampaignSpec& spec,
+                             campaign::ResultStore& results,
+                             campaign::ExecutorConfig exec,
+                             ServerConfig config)
+    : spec_(&spec),
+      results_(&results),
+      config_(std::move(config)),
+      metrics_(exec.metrics),
+      scheduler_(config_.max_queued, config_.drr_quantum) {
+  // Pre-register every service.* instrument before any thread exists —
+  // MetricsRegistry is not thread-safe for registration, so all lookups
+  // after this point hit existing entries under registry_mu_.
+  if (metrics_ != nullptr) {
+    metrics_->counter("service.submissions", "count");
+    metrics_->counter("service.cache_hits", "count");
+    metrics_->counter("service.coalesced", "count");
+    metrics_->counter("service.rejections", "count");
+    metrics_->counter("service.invalid", "count");
+    metrics_->counter("service.completed", "count");
+    metrics_->counter("service.failed", "count");
+    metrics_->counter("service.disconnects", "count");
+    metrics_->gauge("service.queue_depth", "count");
+    metrics_->gauge("service.inflight", "count");
+    metrics_->histogram("service.latency.cache", 0.0, 1.0, 100, "s");
+    metrics_->histogram("service.latency.job", 0.0, 120.0, 240, "s");
+  }
+  exec.metrics_mutex = &registry_mu_;
+  exec.on_result = [this](const JobResult& r) { handle_result(r); };
+  executor_ = std::make_unique<campaign::CampaignExecutor>(spec, exec);
+  listener_ = std::make_unique<TcpListener>(config_.port);
+}
+
+ServiceServer::~ServiceServer() {
+  if (started_ && !drained_) drain();
+}
+
+void ServiceServer::count(const char* name, double d) {
+  if (metrics_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  metrics_->counter(name).add(d);
+}
+
+void ServiceServer::observe_latency(const char* histogram, double seconds) {
+  if (metrics_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  metrics_->histogram(histogram, 0.0, 1.0, 1).add(seconds);
+}
+
+void ServiceServer::fdr(FdrKind kind, std::uint16_t code, std::uint64_t arg) {
+  if (config_.recorder != nullptr) config_.recorder->record(kind, code, -1, arg);
+}
+
+void ServiceServer::start() {
+  MV_REQUIRE(!started_, "service server already started");
+  started_ = true;
+  load_queue_state();
+  executor_->start(*results_);
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  MV_LOG_INFO << "service: listening on 127.0.0.1:" << port() << " ("
+              << executor_->effective_workers() << " workers, queue bound "
+              << config_.max_queued << ")";
+}
+
+// -- accept / session --------------------------------------------------------
+
+void ServiceServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = -1;
+    try {
+      fd = listener_->accept_fd(0.2);
+    } catch (const Error&) {
+      break;  // listener closed under us: drain in progress
+    }
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.emplace_back([this, fd] { session(fd); });
+  }
+}
+
+void ServiceServer::session(int fd) {
+  TcpConn conn(fd);
+  for (;;) {
+    std::string line;
+    const ReadStatus rs = conn.read_line(&line, config_.read_deadline_seconds,
+                                         config_.max_line_bytes, &stopping_);
+    switch (rs) {
+      case ReadStatus::kLine:
+        break;
+      case ReadStatus::kEof:
+        return;
+      case ReadStatus::kTimeout:
+        conn.send_line(make_error_response("read deadline exceeded").dump());
+        count("service.disconnects");
+        return;
+      case ReadStatus::kOverflow:
+        conn.send_line(
+            make_error_response("request line exceeds " +
+                                std::to_string(config_.max_line_bytes) +
+                                " bytes")
+                .dump());
+        count("service.disconnects");
+        return;
+      case ReadStatus::kStopped:
+      case ReadStatus::kError:
+        return;
+    }
+    if (line.empty()) continue;
+    handle_request(conn, line);
+  }
+}
+
+void ServiceServer::handle_request(TcpConn& conn, const std::string& line) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const Error& e) {
+    count("service.invalid");
+    conn.send_line(make_error_response(e.what()).dump());
+    return;
+  }
+  switch (req.type) {
+    case Request::Type::kPing:
+      conn.send_line(make_pong_response().dump());
+      return;
+    case Request::Type::kStatus:
+      conn.send_line(status_json().dump());
+      return;
+    case Request::Type::kMetrics:
+      conn.send_line(metrics_json().dump());
+      return;
+    case Request::Type::kSubmit:
+      handle_submit(conn, req.submit);
+      return;
+  }
+}
+
+// -- submit: cache -> coalesce -> admit -> wait -------------------------------
+
+void ServiceServer::handle_submit(TcpConn& conn, const SubmitRequest& req) {
+  const double t0 = epoch_.seconds();
+  count("service.submissions");
+
+  // Build and validate the job before touching any shared state, so a bad
+  // deck costs one error line, not a queue slot.
+  campaign::Job job;
+  job.overrides = req.overrides;
+  job.steps = req.steps > 0 ? req.steps : spec_->steps();
+  job.probe_plane = spec_->probe_plane();
+  job.warmup = spec_->warmup();
+  job.deck_text = req.deck_text;
+  try {
+    const std::string fingerprint =
+        req.deck_text.empty()
+            ? spec_->fingerprint()
+            : sim::DeckSource::from_text(req.deck_text).canonical_text();
+    job.id = campaign::job_id(fingerprint, job.overrides, job.steps);
+    std::string label;
+    for (const sim::DeckOverride& ov : job.overrides) {
+      if (!label.empty()) label += ",";
+      label += ov.spec();
+    }
+    job.label = label.empty() ? "base" : label;
+    (void)spec_->make_deck(job);  // full validation: unknown keys throw here
+  } catch (const Error& e) {
+    count("service.invalid");
+    conn.send_line(make_error_response(e.what()).dump());
+    return;
+  }
+
+  // Ledger cache: a done record with this content hash answers instantly.
+  if (const auto cached = results_->find(job.id);
+      cached && cached->status == "done") {
+    count("service.cache_hits");
+    observe_latency("service.latency.cache", epoch_.seconds() - t0);
+    conn.send_line(make_result_response(*cached, "cache").dump());
+    return;
+  }
+
+  bool fresh = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = inflight_.find(job.id);
+    if (it != inflight_.end() && !it->second.terminal) {
+      // Duplicate of an accepted-but-unfinished job: attach, don't re-run.
+      count("service.coalesced");
+    } else if (draining_) {
+      conn.send_line(
+          make_rejected_response(job.id, "server draining", 5.0).dump());
+      count("service.rejections");
+      return;
+    } else {
+      ScheduledJob sj;
+      sj.job = job;
+      sj.client = req.client;
+      sj.priority = req.priority;
+      if (!scheduler_.enqueue(std::move(sj))) {
+        const double retry = std::max(
+            1.0, ewma_job_seconds_ * double(scheduler_.depth()) /
+                     double(std::max(1, executor_->effective_workers())));
+        count("service.rejections");
+        conn.send_line(
+            make_rejected_response(job.id, "queue full", retry).dump());
+        return;
+      }
+      fresh = true;
+      Inflight inf;
+      inf.accept_seconds = t0;
+      inf.client = req.client;
+      inf.priority = req.priority;
+      inflight_[job.id] = std::move(inf);
+      if (metrics_ != nullptr) {
+        std::lock_guard<std::mutex> mlock(registry_mu_);
+        metrics_->gauge("service.queue_depth").set(double(scheduler_.depth()));
+        metrics_->gauge("service.inflight").set(double(inflight_.size()));
+      }
+      fdr(FdrKind::kServiceAccept, 0, std::uint64_t(scheduler_.depth()));
+      cv_.notify_all();  // wake the dispatcher
+    }
+
+    if (!req.wait) {
+      conn.send_line(
+          make_accepted_response(job.id, scheduler_.depth()).dump());
+      return;
+    }
+
+    // Block until the job reaches a terminal state (result arrives via
+    // handle_result) or the drain finishes without it having started.
+    cv_.wait(lock, [&] {
+      const auto w = inflight_.find(job.id);
+      return (w != inflight_.end() && w->second.terminal) || drain_complete_;
+    });
+    const auto done = inflight_.find(job.id);
+    if (done != inflight_.end() && done->second.terminal) {
+      const JobResult r = done->second.result;
+      lock.unlock();
+      conn.send_line(
+          make_result_response(r, fresh ? "fresh" : "coalesced").dump());
+      return;
+    }
+  }
+  // Drained before the job ran: it is persisted, not lost — tell the client
+  // to come back after the restart.
+  conn.send_line(make_rejected_response(
+                     job.id, "server draining; job persisted for restart", 5.0)
+                     .dump());
+}
+
+// -- dispatcher ---------------------------------------------------------------
+
+void ServiceServer::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // A worker is free when the executor's queue holds fewer live jobs
+    // than it has workers — only then does handing over the next job start
+    // it immediately, keeping ordering decisions in the FairScheduler.
+    auto free_workers = [&] {
+      const auto c = executor_->queue_counts();
+      return executor_->effective_workers() - (c.pending + c.running);
+    };
+    cv_.wait(lock, [&] {
+      return draining_ || (scheduler_.depth() > 0 && free_workers() > 0);
+    });
+    if (draining_) return;
+    auto next = scheduler_.next();
+    if (!next) continue;
+    fdr(FdrKind::kServiceDispatch);
+    if (metrics_ != nullptr) {
+      std::lock_guard<std::mutex> mlock(registry_mu_);
+      metrics_->gauge("service.queue_depth").set(double(scheduler_.depth()));
+    }
+    executor_->submit(next->job, next->resume_step, next->resume_prefix);
+  }
+}
+
+// Runs on the worker thread that finished the job (ExecutorConfig::
+// on_result). Every terminal job both resolves its waiters and frees a
+// worker slot, so one notify_all serves the session threads and the
+// dispatcher alike.
+void ServiceServer::handle_result(const JobResult& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Inflight& inf = inflight_[r.id];
+    inf.terminal = true;
+    inf.result = r;
+    const double latency = epoch_.seconds() - inf.accept_seconds;
+    ewma_job_seconds_ = 0.8 * ewma_job_seconds_ + 0.2 * std::max(r.seconds, 1e-3);
+    if (metrics_ != nullptr) {
+      std::lock_guard<std::mutex> mlock(registry_mu_);
+      metrics_->counter(r.status == "done" ? "service.completed"
+                                           : "service.failed")
+          .add(1.0);
+      metrics_->histogram("service.latency.job", 0, 1, 1).add(latency);
+    }
+    fdr(FdrKind::kServiceComplete, r.status == "done" ? 0 : 1);
+  }
+  cv_.notify_all();
+}
+
+// -- status / metrics ---------------------------------------------------------
+
+telemetry::Json ServiceServer::status_json() {
+  Json j = Json::object();
+  j.set("type", Json::string("status"));
+  const auto c = executor_->queue_counts();
+  std::lock_guard<std::mutex> lock(mu_);
+  j.set("queued", Json::number(std::int64_t{scheduler_.depth()}));
+  j.set("dispatched_pending", Json::number(std::int64_t{c.pending}));
+  j.set("running", Json::number(std::int64_t{c.running}));
+  j.set("done", Json::number(std::int64_t{c.done}));
+  j.set("failed", Json::number(std::int64_t{c.failed}));
+  j.set("inflight", Json::number(std::int64_t(inflight_.size())));
+  j.set("workers", Json::number(std::int64_t{executor_->effective_workers()}));
+  j.set("draining", Json::boolean(draining_));
+  return j;
+}
+
+telemetry::Json ServiceServer::metrics_json() {
+  Json j = Json::object();
+  j.set("type", Json::string("metrics"));
+  Json vals = Json::object();
+  if (metrics_ != nullptr) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const telemetry::ScalarMetric& m : metrics_->scalars())
+      vals.set(m.name, Json::number(m.value));
+    for (const char* h : {"service.latency.cache", "service.latency.job"}) {
+      if (const auto* hist = metrics_->find_histogram(h);
+          hist != nullptr && hist->total_count() > 0) {
+        vals.set(std::string(h) + ".p50", Json::number(hist->quantile(0.5)));
+        vals.set(std::string(h) + ".p99", Json::number(hist->quantile(0.99)));
+      }
+    }
+  }
+  j.set("values", std::move(vals));
+  return j;
+}
+
+// -- drain / persistence ------------------------------------------------------
+
+void ServiceServer::drain() {
+  if (!started_ || drained_) return;
+  drained_ = true;
+  MV_LOG_INFO << "service: draining";
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  // Let in-flight attempts reach their natural end (checkpoint-sliced ones
+  // land back as pending leases with resume state).
+  std::vector<campaign::Lease> pending = executor_->stop();
+
+  std::vector<QueuedJob> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ScheduledJob& sj : scheduler_.drain()) {
+      QueuedJob q;
+      q.job = std::move(sj.job);
+      q.client = std::move(sj.client);
+      q.priority = sj.priority;
+      q.resume_step = sj.resume_step;
+      q.resume_prefix = std::move(sj.resume_prefix);
+      queued.push_back(std::move(q));
+    }
+    for (campaign::Lease& lease : pending) {
+      QueuedJob q;
+      q.job = std::move(lease.job);
+      q.resume_step = lease.resume_step;
+      q.resume_prefix = std::move(lease.resume_prefix);
+      if (const auto it = inflight_.find(q.job.id); it != inflight_.end()) {
+        q.client = it->second.client;
+        q.priority = it->second.priority;
+      }
+      queued.push_back(std::move(q));
+    }
+    drain_complete_ = true;
+  }
+  cv_.notify_all();  // waiters for unfinished jobs give up with `rejected`
+
+  persist_queue_state(queued);
+  persisted_jobs_ = int(queued.size());
+
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& t : sessions)
+    if (t.joinable()) t.join();
+  MV_LOG_INFO << "service: drained (" << queued.size()
+              << " pending jobs persisted)";
+}
+
+void ServiceServer::persist_queue_state(const std::vector<QueuedJob>& queued) {
+  if (config_.queue_state_path.empty()) return;
+  std::ofstream out(config_.queue_state_path, std::ios::trunc);
+  MV_REQUIRE(out.good(),
+             "cannot write queue state: " << config_.queue_state_path);
+  for (const QueuedJob& q : queued) out << queued_job_to_json(q).dump() << "\n";
+  out.flush();
+  MV_REQUIRE(out.good(),
+             "queue state write failed: " << config_.queue_state_path);
+}
+
+void ServiceServer::load_queue_state() {
+  if (config_.queue_state_path.empty()) return;
+  std::ifstream in(config_.queue_state_path);
+  if (!in.good()) return;  // first boot: nothing persisted yet
+  std::string line;
+  int loaded = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    QueuedJob q = queued_job_from_json(Json::parse(line));
+    ScheduledJob sj;
+    Inflight inf;
+    inf.accept_seconds = epoch_.seconds();
+    inf.client = q.client;
+    inf.priority = q.priority;
+    inflight_[q.job.id] = std::move(inf);
+    sj.job = std::move(q.job);
+    sj.client = std::move(q.client);
+    sj.priority = q.priority;
+    sj.resume_step = q.resume_step;
+    sj.resume_prefix = std::move(q.resume_prefix);
+    if (!scheduler_.enqueue(std::move(sj))) {
+      // Cannot happen when max_queued matches the previous run's bound,
+      // but a shrunk bound must not silently drop accepted work.
+      MV_LOG_WARN << "service: queue state overflows max_queued; job "
+                  << "dropped from restart backlog";
+      continue;
+    }
+    ++loaded;
+  }
+  in.close();
+  std::ofstream(config_.queue_state_path, std::ios::trunc);  // consumed
+  if (loaded > 0)
+    MV_LOG_INFO << "service: reloaded " << loaded
+                << " persisted jobs from " << config_.queue_state_path;
+}
+
+}  // namespace minivpic::service

@@ -1,0 +1,144 @@
+// ServiceServer: the campaign-as-a-service front door. A long-lived daemon
+// core that accepts line-delimited JSON jobs over TCP (protocol.hpp),
+// multiplexes many concurrent clients onto one shared CampaignExecutor
+// worker pool, and answers duplicate work without recomputing it:
+//
+//   submit --> validate --> ledger cache?  --> serve the stored record
+//                       --> in flight?     --> coalesce onto the running job
+//                       --> queue full?    --> typed rejection + retry hint
+//                       --> else           --> fair-queue, dispatch, wait
+//
+// Threads: one accept loop, one session thread per client connection, one
+// dispatcher that moves jobs from the FairScheduler into the executor only
+// when a worker is free (so scheduling order stays the scheduler's call),
+// plus the executor's own workers. All shared state — scheduler, in-flight
+// map, drain flags — lives under one mutex `mu_`; the metrics registry,
+// which the executor's workers also touch, is guarded by the separate
+// `registry_mu_` that ExecutorConfig::metrics_mutex shares with them.
+//
+// Drain (SIGTERM): stop accepting, stop dispatching, let running attempts
+// finish or checkpoint (CampaignExecutor::stop), answer every waiting
+// client (finished jobs with their result, unstarted ones with a typed
+// rejection), and persist the still-pending jobs — scheduler backlog plus
+// checkpoint-sliced leases — as queued_job NDJSON that the next start()
+// reloads. An accepted job is therefore never lost: it either completes,
+// or survives the restart with its resume checkpoint.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/executor.hpp"
+#include "campaign/results.hpp"
+#include "campaign/spec.hpp"
+#include "service/net.hpp"
+#include "service/protocol.hpp"
+#include "service/scheduler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
+#include "util/timer.hpp"
+
+namespace minivpic::service {
+
+struct ServerConfig {
+  int port = 0;                        ///< 0 = ephemeral; see port()
+  int max_queued = 64;                 ///< admission bound (scheduler depth)
+  double read_deadline_seconds = 30;   ///< per-line slow-loris deadline
+  std::size_t max_line_bytes = 1 << 20;
+  double drr_quantum = 256;            ///< FairScheduler quantum (steps)
+  /// Drain persistence: queued_job NDJSON written at drain(), reloaded and
+  /// truncated by start(). Empty = no persistence.
+  std::string queue_state_path;
+  /// Optional service flight recorder (accept/dispatch/complete events).
+  telemetry::Recorder* recorder = nullptr;
+};
+
+class ServiceServer {
+ public:
+  /// `spec` contributes the base deck, default step count and probe config;
+  /// `results` is the shared ledger (cache source of truth); `exec` is the
+  /// worker-pool shape — its metrics registry (if any) gains the service.*
+  /// instruments and is shared TSan-cleanly via metrics_mutex. The socket
+  /// binds in the constructor so port() is valid immediately; no thread
+  /// runs until start().
+  ServiceServer(const campaign::CampaignSpec& spec,
+                campaign::ResultStore& results,
+                campaign::ExecutorConfig exec, ServerConfig config);
+  ~ServiceServer();
+
+  int port() const { return listener_->port(); }
+
+  /// Reloads persisted queue state, starts the executor pool, the
+  /// dispatcher, and the accept loop.
+  void start();
+
+  /// Graceful drain (idempotent): see the file comment. Blocks until every
+  /// session thread has exited and pending work is persisted.
+  void drain();
+
+  /// Jobs persisted by the last drain() (for the daemon's exit report).
+  int persisted_jobs() const { return persisted_jobs_; }
+
+ private:
+  struct Inflight {
+    bool terminal = false;
+    campaign::JobResult result;   ///< valid when terminal
+    double accept_seconds = 0;    ///< server-epoch accept timestamp
+    std::string client = "anon";  ///< for drain persistence
+    double priority = 1.0;
+  };
+
+  void accept_loop();
+  void session(int fd);
+  void dispatch_loop();
+  void handle_request(TcpConn& conn, const std::string& line);
+  void handle_submit(TcpConn& conn, const SubmitRequest& req);
+  void handle_result(const campaign::JobResult& r);
+  telemetry::Json status_json();
+  telemetry::Json metrics_json();
+  void persist_queue_state(const std::vector<QueuedJob>& queued);
+  void load_queue_state();
+  void count(const char* name, double d = 1.0);
+  void observe_latency(const char* histogram, double seconds);
+  void fdr(telemetry::FdrKind kind, std::uint16_t code = 0,
+           std::uint64_t arg = 0);
+
+  const campaign::CampaignSpec* spec_;
+  campaign::ResultStore* results_;
+  ServerConfig config_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+
+  /// Shared guard for `metrics_` — ExecutorConfig::metrics_mutex points
+  /// here, so executor workers and server threads serialize on one lock.
+  std::mutex registry_mu_;
+
+  std::unique_ptr<campaign::CampaignExecutor> executor_;
+  std::unique_ptr<TcpListener> listener_;
+  Timer epoch_;  ///< server-relative timestamps (latency accounting)
+
+  std::mutex mu_;  ///< scheduler_, inflight_, drain flags, ewma
+  std::condition_variable cv_;
+  FairScheduler scheduler_;
+  std::map<std::string, Inflight> inflight_;
+  bool draining_ = false;        ///< dispatcher must stop handing out work
+  bool drain_complete_ = false;  ///< executor stopped; waiters may give up
+  double ewma_job_seconds_ = 1.0;
+
+  std::atomic<bool> stopping_{false};  ///< accept/read loops observe this
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex sessions_mu_;
+  std::vector<std::thread> sessions_;
+  bool started_ = false;
+  bool drained_ = false;
+  int persisted_jobs_ = 0;
+};
+
+}  // namespace minivpic::service

@@ -104,6 +104,9 @@ const char* fdr_kind_name(FdrKind kind) {
     case FdrKind::kAnomaly: return "anomaly";
     case FdrKind::kDump: return "dump";
     case FdrKind::kExit: return "exit";
+    case FdrKind::kServiceAccept: return "service_accept";
+    case FdrKind::kServiceDispatch: return "service_dispatch";
+    case FdrKind::kServiceComplete: return "service_complete";
   }
   return "kind?";
 }

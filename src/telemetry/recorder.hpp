@@ -48,6 +48,9 @@ enum class FdrKind : std::uint16_t {
   kAnomaly = 12,     ///< online detector verdict; code = AnomalyKind
   kDump = 13,        ///< dump marker; code = FdrDumpReason
   kExit = 14,        ///< normal end of run
+  kServiceAccept = 15,    ///< service job accepted; arg = queue depth
+  kServiceDispatch = 16,  ///< service job leased to a worker
+  kServiceComplete = 17,  ///< service job terminal; code = 0 done / 1 failed
 };
 
 /// Why a dump was written (FdrHeader::reason and the kDump event code).
