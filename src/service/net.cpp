@@ -10,6 +10,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "util/error.hpp"
@@ -31,43 +32,46 @@ double seconds_until(Clock::time_point deadline) {
 }  // namespace
 
 TcpListener::TcpListener(int port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  MV_REQUIRE(fd_ >= 0, "socket(): " << std::strerror(errno));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MV_REQUIRE(fd >= 0, "socket(): " << std::strerror(errno));
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(std::uint16_t(port));
-  MV_REQUIRE(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+  MV_REQUIRE(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
              "bind(127.0.0.1:" << port << "): " << std::strerror(errno));
-  MV_REQUIRE(::listen(fd_, 64) == 0, "listen(): " << std::strerror(errno));
+  MV_REQUIRE(::listen(fd, 64) == 0, "listen(): " << std::strerror(errno));
   socklen_t len = sizeof(addr);
-  MV_REQUIRE(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+  MV_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
              "getsockname(): " << std::strerror(errno));
   port_ = int(ntohs(addr.sin_port));
+  fd_.store(fd, std::memory_order_release);
 }
 
 TcpListener::~TcpListener() { close(); }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // exchange: exactly one closer even if drain and the destructor race.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 int TcpListener::accept_fd(double timeout_seconds) {
-  MV_REQUIRE(fd_ >= 0, "accept on a closed listener");
-  pollfd p{fd_, POLLIN, 0};
+  const int fd = fd_.load(std::memory_order_acquire);
+  MV_REQUIRE(fd >= 0, "accept on a closed listener");
+  pollfd p{fd, POLLIN, 0};
   const int rc = ::poll(&p, 1, int(timeout_seconds * 1000));
   if (rc == 0) return -1;
   MV_REQUIRE(rc > 0 || errno == EINTR, "poll(): " << std::strerror(errno));
   if (rc < 0) return -1;  // EINTR: let the caller re-check its stop flag
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0 && (errno == EAGAIN || errno == ECONNABORTED)) return -1;
-  MV_REQUIRE(fd >= 0, "accept(): " << std::strerror(errno));
-  return fd;
+  // A concurrent close() makes poll/accept fail (POLLNVAL/EBADF), which the
+  // requires below turn into the Error the accept loop treats as "drain".
+  const int afd = ::accept(fd, nullptr, nullptr);
+  if (afd < 0 && (errno == EAGAIN || errno == ECONNABORTED)) return -1;
+  MV_REQUIRE(afd >= 0, "accept(): " << std::strerror(errno));
+  return afd;
 }
 
 const char* read_status_name(ReadStatus s) {
@@ -97,11 +101,20 @@ bool TcpConn::send_line(const std::string& line) {
         ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // includes EAGAIN/EWOULDBLOCK from SO_SNDTIMEO
     }
     sent += std::size_t(n);
   }
   return true;
+}
+
+void TcpConn::set_send_timeout(double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = time_t(seconds);
+    tv.tv_usec = suseconds_t((seconds - double(tv.tv_sec)) * 1e6);
+  }
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 ReadStatus TcpConn::read_line(std::string* line, double deadline_seconds,

@@ -31,10 +31,13 @@ class TcpListener {
   /// fd, or -1 on timeout (poll again) — errors throw minivpic::Error.
   int accept_fd(double timeout_seconds);
 
+  /// Idempotent; callable from a thread other than the accept loop's (the
+  /// drain path closes the listener under a poller, which then throws out
+  /// of accept_fd) — hence the atomic fd.
   void close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   int port_ = 0;
 };
 
@@ -63,6 +66,11 @@ class TcpConn {
   /// Returns false on any send error (peer gone) instead of throwing — a
   /// dead client must not take the session thread down.
   bool send_line(const std::string& line);
+
+  /// Sets SO_SNDTIMEO: a peer that stops reading (full socket buffer) makes
+  /// send_line fail after `seconds` instead of blocking the session thread
+  /// forever. <= 0 restores the blocking default.
+  void set_send_timeout(double seconds);
 
   /// Reads up to and including the next newline. The wall-clock deadline
   /// covers the WHOLE line, not each byte — a client trickling one byte per

@@ -57,7 +57,11 @@ Request parse_request(const std::string& line) {
   if (const Json* prio = j.find("priority")) {
     MV_REQUIRE(prio->is_number(), "submit 'priority' must be a number");
     req.submit.priority = prio->as_number();
-    MV_REQUIRE(req.submit.priority > 0, "submit 'priority' must be > 0");
+    // Bounded on both sides: a vanishingly small priority would make the
+    // DRR scheduler spin ~cost/(quantum*priority) rounds before the flow
+    // affords its head job — an unbounded loop under the server's lock.
+    MV_REQUIRE(req.submit.priority >= 0.01 && req.submit.priority <= 100.0,
+               "submit 'priority' must be in [0.01, 100]");
   }
   if (const Json* wait = j.find("wait")) req.submit.wait = wait->as_bool();
   return req;

@@ -1,6 +1,7 @@
 #include "service/scheduler.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/error.hpp"
 
@@ -24,8 +25,10 @@ bool FairScheduler::enqueue(ScheduledJob j) {
     cq = &clients_.back();
   }
   // Latest submission's weight wins for the whole per-client queue — one
-  // client is one flow, not one flow per priority value.
-  cq->priority = j.priority;
+  // client is one flow, not one flow per priority value. The clamp bounds
+  // next()'s rounds-until-affordable even if a caller skips protocol-level
+  // validation (e.g. restart backlog from a hand-edited state file).
+  cq->priority = std::clamp(j.priority, 0.01, 100.0);
   cq->jobs.push_back(std::move(j));
   ++depth_;
   return true;
@@ -44,8 +47,8 @@ std::optional<ScheduledJob> FairScheduler::next() {
     if (cursor_ >= clients_.size()) cursor_ = 0;
     ClientQueue& c = clients_[cursor_];
     if (c.jobs.empty()) {
-      c.deficit = 0;  // idle flows bank no credit
-      ++cursor_;
+      // Emptied flows are erased eagerly below; this is the defensive path.
+      clients_.erase(clients_.begin() + std::ptrdiff_t(cursor_));
       fresh_visit_ = true;
       continue;
     }
@@ -64,8 +67,10 @@ std::optional<ScheduledJob> FairScheduler::next() {
     c.jobs.pop_front();
     --depth_;
     if (c.jobs.empty()) {
-      c.deficit = 0;
-      ++cursor_;
+      // An emptied flow is forgotten entirely (it banked no credit anyway),
+      // so a long-lived daemon does not accumulate one ClientQueue per
+      // client name ever seen. The erase leaves cursor_ on the next flow.
+      clients_.erase(clients_.begin() + std::ptrdiff_t(cursor_));
       fresh_visit_ = true;
     }
     return out;
@@ -75,11 +80,9 @@ std::optional<ScheduledJob> FairScheduler::next() {
 std::vector<ScheduledJob> FairScheduler::drain() {
   std::vector<ScheduledJob> out;
   out.reserve(std::size_t(depth_));
-  for (ClientQueue& c : clients_) {
+  for (ClientQueue& c : clients_)
     for (ScheduledJob& j : c.jobs) out.push_back(std::move(j));
-    c.jobs.clear();
-    c.deficit = 0;
-  }
+  clients_.clear();
   depth_ = 0;
   cursor_ = 0;
   fresh_visit_ = true;

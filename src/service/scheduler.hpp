@@ -58,6 +58,11 @@ class FairScheduler {
   int depth() const { return depth_; }
   int max_queued() const { return max_queued_; }
 
+  /// Live client flows. Emptied flows are erased (a flow exists only while
+  /// it has queued jobs), so this is bounded by depth(), not by how many
+  /// distinct client names the daemon has ever seen.
+  int flows() const { return int(clients_.size()); }
+
   /// Removes and returns every queued job (client arrival order, FIFO
   /// within a client) — the drain path.
   std::vector<ScheduledJob> drain();

@@ -1,6 +1,9 @@
 #include "service/server.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "util/error.hpp"
@@ -86,14 +89,45 @@ void ServiceServer::accept_loop() {
     } catch (const Error&) {
       break;  // listener closed under us: drain in progress
     }
+    reap_sessions();  // every ~200ms tick, so churn cannot accumulate
     if (fd < 0) continue;
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    sessions_.emplace_back([this, fd] { session(fd); });
+    SessionSlot slot;
+    slot.done = done;
+    slot.thread = std::thread([this, fd, done] {
+      session(fd);
+      done->store(true, std::memory_order_release);
+    });
+    sessions_.push_back(std::move(slot));
   }
+}
+
+// Joins and drops every session thread that has finished — a
+// connection-churning workload must not grow the sessions_ vector (and its
+// dead thread handles) for the daemon's lifetime. The joins happen outside
+// sessions_mu_ so a (briefly) still-exiting thread never stalls accept.
+void ServiceServer::reap_sessions() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.begin();
+    while (it != sessions_.end()) {
+      if (it->done->load(std::memory_order_acquire)) {
+        finished.push_back(std::move(it->thread));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : finished)
+    if (t.joinable()) t.join();
 }
 
 void ServiceServer::session(int fd) {
   TcpConn conn(fd);
+  conn.set_send_timeout(config_.send_timeout_seconds);
   for (;;) {
     std::string line;
     const ReadStatus rs = conn.read_line(&line, config_.read_deadline_seconds,
@@ -191,67 +225,93 @@ void ServiceServer::handle_submit(TcpConn& conn, const SubmitRequest& req) {
     return;
   }
 
+  // Every reply below is BUILT under mu_ but SENT after unlocking: send()
+  // blocks without bound on a peer that stops reading, and a blocked send
+  // under the global lock would wedge the dispatcher, every other session,
+  // the executor's result path, and drain() itself.
   bool fresh = false;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    const auto it = inflight_.find(job.id);
-    if (it != inflight_.end() && !it->second.terminal) {
-      // Duplicate of an accepted-but-unfinished job: attach, don't re-run.
-      count("service.coalesced");
-    } else if (draining_) {
-      conn.send_line(
-          make_rejected_response(job.id, "server draining", 5.0).dump());
-      count("service.rejections");
-      return;
-    } else {
-      ScheduledJob sj;
-      sj.job = job;
-      sj.client = req.client;
-      sj.priority = req.priority;
-      if (!scheduler_.enqueue(std::move(sj))) {
-        const double retry = std::max(
-            1.0, ewma_job_seconds_ * double(scheduler_.depth()) /
-                     double(std::max(1, executor_->effective_workers())));
-        count("service.rejections");
-        conn.send_line(
-            make_rejected_response(job.id, "queue full", retry).dump());
-        return;
-      }
-      fresh = true;
-      Inflight inf;
-      inf.accept_seconds = t0;
-      inf.client = req.client;
-      inf.priority = req.priority;
-      inflight_[job.id] = std::move(inf);
-      if (metrics_ != nullptr) {
-        std::lock_guard<std::mutex> mlock(registry_mu_);
-        metrics_->gauge("service.queue_depth").set(double(scheduler_.depth()));
-        metrics_->gauge("service.inflight").set(double(inflight_.size()));
-      }
-      fdr(FdrKind::kServiceAccept, 0, std::uint64_t(scheduler_.depth()));
-      cv_.notify_all();  // wake the dispatcher
-    }
-
-    if (!req.wait) {
-      conn.send_line(
-          make_accepted_response(job.id, scheduler_.depth()).dump());
-      return;
-    }
-
-    // Block until the job reaches a terminal state (result arrives via
-    // handle_result) or the drain finishes without it having started.
-    cv_.wait(lock, [&] {
-      const auto w = inflight_.find(job.id);
-      return (w != inflight_.end() && w->second.terminal) || drain_complete_;
-    });
-    const auto done = inflight_.find(job.id);
-    if (done != inflight_.end() && done->second.terminal) {
-      const JobResult r = done->second.result;
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = inflight_.find(job.id);
+  if (it != inflight_.end() && !it->second.terminal) {
+    // Duplicate of an accepted-but-unfinished job: attach, don't re-run.
+    count("service.coalesced");
+  } else if (draining_) {
+    lock.unlock();
+    count("service.rejections");
+    conn.send_line(
+        make_rejected_response(job.id, "server draining", 5.0).dump());
+    return;
+  } else {
+    ScheduledJob sj;
+    sj.job = job;
+    sj.client = req.client;
+    sj.priority = req.priority;
+    if (!scheduler_.enqueue(std::move(sj))) {
+      const double retry = std::max(
+          1.0, ewma_job_seconds_ * double(scheduler_.depth()) /
+                   double(std::max(1, executor_->effective_workers())));
       lock.unlock();
+      count("service.rejections");
       conn.send_line(
-          make_result_response(r, fresh ? "fresh" : "coalesced").dump());
+          make_rejected_response(job.id, "queue full", retry).dump());
       return;
     }
+    fresh = true;
+    // find-or-create rather than overwrite: a resubmit of a just-failed id
+    // may race waiters still waking on the old terminal entry, and their
+    // registration count must survive into the new run.
+    Inflight& inf = inflight_[job.id];
+    inf.terminal = false;
+    inf.result = JobResult{};
+    inf.accept_seconds = t0;
+    inf.client = req.client;
+    inf.priority = req.priority;
+    if (metrics_ != nullptr) {
+      std::lock_guard<std::mutex> mlock(registry_mu_);
+      metrics_->gauge("service.queue_depth").set(double(scheduler_.depth()));
+      metrics_->gauge("service.inflight").set(double(inflight_.size()));
+    }
+    fdr(FdrKind::kServiceAccept, 0, std::uint64_t(scheduler_.depth()));
+    cv_.notify_all();  // wake the dispatcher
+  }
+
+  if (!req.wait) {
+    const int depth = scheduler_.depth();
+    lock.unlock();
+    conn.send_line(make_accepted_response(job.id, depth).dump());
+    return;
+  }
+
+  // Register as a waiter (keeps the entry alive until we read the result),
+  // then block until the job reaches a terminal state (result arrives via
+  // handle_result) or the drain finishes without it having started.
+  if (const auto w = inflight_.find(job.id); w != inflight_.end())
+    ++w->second.waiters;
+  cv_.wait(lock, [&] {
+    const auto w = inflight_.find(job.id);
+    return w == inflight_.end() || w->second.terminal || drain_complete_;
+  });
+  bool have_result = false;
+  JobResult r;
+  if (const auto done = inflight_.find(job.id); done != inflight_.end()) {
+    --done->second.waiters;
+    if (done->second.terminal) {
+      have_result = true;
+      r = done->second.result;
+      if (done->second.waiters == 0) {
+        inflight_.erase(done);  // the ledger serves any later duplicate
+        if (metrics_ != nullptr) {
+          std::lock_guard<std::mutex> mlock(registry_mu_);
+          metrics_->gauge("service.inflight").set(double(inflight_.size()));
+        }
+      }
+    }
+  }
+  lock.unlock();
+  if (have_result) {
+    conn.send_line(
+        make_result_response(r, fresh ? "fresh" : "coalesced").dump());
+    return;
   }
   // Drained before the job ran: it is persisted, not lost — tell the client
   // to come back after the restart.
@@ -299,12 +359,18 @@ void ServiceServer::handle_result(const JobResult& r) {
     inf.result = r;
     const double latency = epoch_.seconds() - inf.accept_seconds;
     ewma_job_seconds_ = 0.8 * ewma_job_seconds_ + 0.2 * std::max(r.seconds, 1e-3);
+    // The executor appended this record to the ledger before calling us, so
+    // the entry only has to outlive its registered waiters: with none, drop
+    // it now — inflight_ tracks actual in-flight work, not every id ever
+    // seen, and the gauge below stays meaningful in a long-lived daemon.
+    if (inf.waiters == 0) inflight_.erase(r.id);
     if (metrics_ != nullptr) {
       std::lock_guard<std::mutex> mlock(registry_mu_);
       metrics_->counter(r.status == "done" ? "service.completed"
                                            : "service.failed")
           .add(1.0);
       metrics_->histogram("service.latency.job", 0, 1, 1).add(latency);
+      metrics_->gauge("service.inflight").set(double(inflight_.size()));
     }
     fdr(FdrKind::kServiceComplete, r.status == "done" ? 0 : 1);
   }
@@ -398,14 +464,19 @@ void ServiceServer::drain() {
 
   persist_queue_state(queued);
   persisted_jobs_ = int(queued.size());
+  // The freshly persisted file supersedes any backlog start() set aside:
+  // every job in the marker either completed into the ledger or was just
+  // re-persisted above, so the marker's crash-recovery duty is over.
+  if (!config_.queue_state_path.empty())
+    std::remove((config_.queue_state_path + ".consumed").c_str());
 
-  std::vector<std::thread> sessions;
+  std::vector<SessionSlot> sessions;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions.swap(sessions_);
   }
-  for (std::thread& t : sessions)
-    if (t.joinable()) t.join();
+  for (SessionSlot& s : sessions)
+    if (s.thread.joinable()) s.thread.join();
   MV_LOG_INFO << "service: drained (" << queued.size()
               << " pending jobs persisted)";
 }
@@ -423,14 +494,46 @@ void ServiceServer::persist_queue_state(const std::vector<QueuedJob>& queued) {
 
 void ServiceServer::load_queue_state() {
   if (config_.queue_state_path.empty()) return;
-  std::ifstream in(config_.queue_state_path);
+  // Move the backlog aside to a consumed marker instead of truncating it:
+  // truncation would make a crash (as opposed to a clean drain) after
+  // restart silently lose every reloaded job. The marker stays on disk
+  // until the next drain() re-persists whatever is still pending — and if
+  // the daemon crashes before that, the next boot finds the marker (no
+  // fresh queue-state file exists, so the rename below fails with ENOENT)
+  // and reloads from it, skipping jobs the ledger already shows done.
+  const std::string consumed = config_.queue_state_path + ".consumed";
+  std::string src = consumed;
+  if (std::rename(config_.queue_state_path.c_str(), consumed.c_str()) != 0 &&
+      errno != ENOENT) {
+    MV_LOG_WARN << "service: cannot set queue state aside ("
+                << std::strerror(errno) << "); loading it in place";
+    src = config_.queue_state_path;
+  }
+  std::ifstream in(src);
   if (!in.good()) return;  // first boot: nothing persisted yet
   std::string line;
-  int loaded = 0;
+  int loaded = 0, line_no = 0, already_done = 0;
   std::lock_guard<std::mutex> lock(mu_);
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    QueuedJob q = queued_job_from_json(Json::parse(line));
+    QueuedJob q;
+    try {
+      q = queued_job_from_json(Json::parse(line));
+    } catch (const std::exception& e) {
+      // A corrupt or partial record (e.g. a crash mid-persist) costs that
+      // one job, not the whole backlog — and never the daemon's boot.
+      MV_LOG_WARN << "service: skipping unparseable queue-state record at "
+                  << src << ":" << line_no << ": " << e.what();
+      continue;
+    }
+    // Crash-after-restart replay: a reloaded job may have completed before
+    // the crash, in which case the ledger already serves it.
+    if (const auto cached = results_->find(q.job.id);
+        cached && cached->status == "done") {
+      ++already_done;
+      continue;
+    }
     ScheduledJob sj;
     Inflight inf;
     inf.accept_seconds = epoch_.seconds();
@@ -451,11 +554,9 @@ void ServiceServer::load_queue_state() {
     }
     ++loaded;
   }
-  in.close();
-  std::ofstream(config_.queue_state_path, std::ios::trunc);  // consumed
-  if (loaded > 0)
-    MV_LOG_INFO << "service: reloaded " << loaded
-                << " persisted jobs from " << config_.queue_state_path;
+  if (loaded > 0 || already_done > 0)
+    MV_LOG_INFO << "service: reloaded " << loaded << " persisted jobs from "
+                << src << " (" << already_done << " already in the ledger)";
 }
 
 }  // namespace minivpic::service

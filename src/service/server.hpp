@@ -8,13 +8,19 @@
 //                       --> queue full?    --> typed rejection + retry hint
 //                       --> else           --> fair-queue, dispatch, wait
 //
-// Threads: one accept loop, one session thread per client connection, one
-// dispatcher that moves jobs from the FairScheduler into the executor only
-// when a worker is free (so scheduling order stays the scheduler's call),
-// plus the executor's own workers. All shared state — scheduler, in-flight
-// map, drain flags — lives under one mutex `mu_`; the metrics registry,
-// which the executor's workers also touch, is guarded by the separate
-// `registry_mu_` that ExecutorConfig::metrics_mutex shares with them.
+// Threads: one accept loop (which also reaps finished session threads), one
+// session thread per client connection, one dispatcher that moves jobs from
+// the FairScheduler into the executor only when a worker is free (so
+// scheduling order stays the scheduler's call), plus the executor's own
+// workers. All shared state — scheduler, in-flight map, drain flags — lives
+// under one mutex `mu_`; the metrics registry, which the executor's workers
+// also touch, is guarded by the separate `registry_mu_` that
+// ExecutorConfig::metrics_mutex shares with them. No thread ever writes to
+// a socket while holding `mu_`: send() can block indefinitely on a peer
+// that stops reading, and a blocked send under the global lock would wedge
+// the dispatcher, every other session, and drain() itself. Responses are
+// built under the lock and sent after unlocking; a send timeout bounds even
+// the unlocked writes so a stalled peer costs one session, not the daemon.
 //
 // Drain (SIGTERM): stop accepting, stop dispatching, let running attempts
 // finish or checkpoint (CampaignExecutor::stop), answer every waiting
@@ -51,10 +57,13 @@ struct ServerConfig {
   int port = 0;                        ///< 0 = ephemeral; see port()
   int max_queued = 64;                 ///< admission bound (scheduler depth)
   double read_deadline_seconds = 30;   ///< per-line slow-loris deadline
+  double send_timeout_seconds = 30;    ///< SO_SNDTIMEO on session sockets
   std::size_t max_line_bytes = 1 << 20;
   double drr_quantum = 256;            ///< FairScheduler quantum (steps)
-  /// Drain persistence: queued_job NDJSON written at drain(), reloaded and
-  /// truncated by start(). Empty = no persistence.
+  /// Drain persistence: queued_job NDJSON written at drain(). start() moves
+  /// the file aside to `<path>.consumed` before re-queuing it (so a crash
+  /// after restart still has the backlog on disk) and drain() removes the
+  /// marker once the backlog is re-persisted. Empty = no persistence.
   std::string queue_state_path;
   /// Optional service flight recorder (accept/dispatch/complete events).
   telemetry::Recorder* recorder = nullptr;
@@ -93,9 +102,23 @@ class ServiceServer {
     double accept_seconds = 0;    ///< server-epoch accept timestamp
     std::string client = "anon";  ///< for drain persistence
     double priority = 1.0;
+    /// Sessions blocked in handle_submit on this id. A terminal entry is
+    /// erased by whoever brings the count to zero (handle_result when
+    /// nobody waits, else the last waiter) — the ledger answers later
+    /// duplicates, so inflight_ stays bounded by actual in-flight work.
+    int waiters = 0;
+  };
+
+  /// One session thread plus its self-reported completion flag, so
+  /// accept_loop can reap finished sessions instead of accumulating
+  /// terminated-but-joinable handles for the daemon's lifetime.
+  struct SessionSlot {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
   };
 
   void accept_loop();
+  void reap_sessions();
   void session(int fd);
   void dispatch_loop();
   void handle_request(TcpConn& conn, const std::string& line);
@@ -135,7 +158,7 @@ class ServiceServer {
   std::thread accept_thread_;
   std::thread dispatch_thread_;
   std::mutex sessions_mu_;
-  std::vector<std::thread> sessions_;
+  std::vector<SessionSlot> sessions_;
   bool started_ = false;
   bool drained_ = false;
   int persisted_jobs_ = 0;

@@ -136,6 +136,28 @@ TEST(FairScheduler, LargeJobsServedInverselyToTheirCost) {
   EXPECT_NEAR(double(a_steps) / double(b_steps), 1.0, 0.5);
 }
 
+TEST(FairScheduler, EmptiedFlowsAreForgotten) {
+  // A long-lived daemon must not keep one flow per client name ever seen:
+  // once a client's queue empties, its flow is erased.
+  FairScheduler s(100, /*quantum=*/10);
+  for (int i = 0; i < 50; ++i) {
+    const std::string n = std::to_string(i);
+    ASSERT_TRUE(s.enqueue(make_sched("client" + n, 1, 10, "j" + n)));
+  }
+  EXPECT_EQ(s.flows(), 50);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(s.next().has_value());
+  EXPECT_EQ(s.flows(), 0);
+  // Interleaving still holds after flows come and go.
+  s.enqueue(make_sched("a", 1, 10, "a0"));
+  s.enqueue(make_sched("b", 1, 10, "b0"));
+  s.enqueue(make_sched("a", 1, 10, "a1"));
+  s.enqueue(make_sched("b", 1, 10, "b1"));
+  std::string order;
+  while (auto j = s.next()) order += j->client;
+  EXPECT_EQ(order, "abab");
+  EXPECT_EQ(s.flows(), 0);
+}
+
 TEST(FairScheduler, DrainReturnsEverythingAndEmpties) {
   FairScheduler s(100);
   s.enqueue(make_sched("a", 1, 10, "a0"));
@@ -178,6 +200,11 @@ TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_THROW(parse_request(R"({"type":"launch_missiles"})"), Error);
   EXPECT_THROW(parse_request(R"({"type":"submit","steps":-1})"), Error);
   EXPECT_THROW(parse_request(R"({"type":"submit","priority":0})"), Error);
+  // Out-of-range weights are refused at parse time: a near-zero priority
+  // would otherwise spin the DRR scheduler for ~cost/(quantum*priority)
+  // rounds under the server lock.
+  EXPECT_THROW(parse_request(R"({"type":"submit","priority":1e-12})"), Error);
+  EXPECT_THROW(parse_request(R"({"type":"submit","priority":1000})"), Error);
   EXPECT_THROW(parse_request(R"({"type":"submit","overrides":"x"})"), Error);
 }
 
@@ -527,6 +554,53 @@ TEST(ServiceDrain, PersistsPendingJobsAndRestartFinishesThem) {
     server.drain();
     EXPECT_EQ(server.persisted_jobs(), 0);
   }
+}
+
+TEST(ServiceDrain, CorruptQueueStateRecordIsSkippedNotFatal) {
+  LogSilencer quiet;
+  const std::string ledger = temp_path("corrupt.ndjson");
+  const std::string queue_state = temp_path("corrupt.queue.ndjson");
+  campaign::CampaignSpec spec = base_spec();
+  const std::string id = campaign::job_id(
+      spec.fingerprint(),
+      {sim::parse_override(std::string(kAxis) + "=0.081")}, kSteps);
+  {
+    // One garbage line, one good job, one truncated record: the daemon must
+    // boot, warn, and run the one good job.
+    QueuedJob q;
+    q.job.id = id;
+    q.job.label = std::string(kAxis) + "=0.081";
+    q.job.overrides = {sim::parse_override(std::string(kAxis) + "=0.081")};
+    q.job.steps = kSteps;
+    q.job.probe_plane = spec.probe_plane();
+    q.job.warmup = spec.warmup();
+    std::ofstream out(queue_state);
+    out << "this is not json\n";
+    out << queued_job_to_json(q).dump() << "\n";
+    out << R"({"type":"queued_job","id":"truncated)" << "\n";
+  }
+  campaign::ResultStore store(ledger, /*resume=*/false);
+  campaign::ExecutorConfig exec;
+  exec.scratch_dir = ::testing::TempDir();
+  ServerConfig config;
+  config.queue_state_path = queue_state;
+  ServiceServer server(spec, store, exec, config);
+  server.start();  // must not throw on the corrupt records
+  // The backlog was moved aside, not truncated: a crash between here and
+  // drain() would still find the jobs on disk.
+  EXPECT_TRUE(std::ifstream(queue_state + ".consumed").good());
+  EXPECT_FALSE(std::ifstream(queue_state).good());
+  bool done = false;
+  for (int i = 0; i < 500 && !done; ++i) {
+    if (const auto r = store.find(id); r && r->status == "done") done = true;
+    else std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(done) << "good job " << id << " from corrupt backlog never ran";
+  server.drain();
+  EXPECT_EQ(server.persisted_jobs(), 0);
+  // A clean drain re-persisted the (now empty) backlog and retired the
+  // consumed marker.
+  EXPECT_FALSE(std::ifstream(queue_state + ".consumed").good());
 }
 
 }  // namespace
